@@ -1,0 +1,78 @@
+// Ablation: notification delivery transport.
+// Explains the Figure 2-4 Notify gap: "Notification performance does
+// appear to be considerably better for the WS-Eventing implementation than
+// for WSRF.NET because of the TCP vs. HTTP issue." Three sinks deliver the
+// same notification: raw SOAP frames on a persistent TCP connection
+// (Plumbwork WSE), HTTP with a fresh connection per notify (WSRF.NET's
+// client-side HTTP server), and HTTP with keep-alive (what WSRF.NET could
+// have done).
+#include <cstdio>
+
+#include "harness.hpp"
+
+namespace gs::bench {
+namespace {
+
+struct DeliveryRig {
+  net::VirtualNetwork net{net::NetworkProfile::distributed()};
+  net::WireMeter meter;
+  wsn::NotificationConsumer consumer;
+  std::unique_ptr<net::VirtualCaller> sink;
+  xml::Element event{xml::QName("urn:bench", "Event")};
+
+  DeliveryRig(net::TransportKind transport, bool keep_alive) {
+    net.bind("client.example", consumer);
+    sink = std::make_unique<net::VirtualCaller>(
+        net, net::VirtualCaller::Options{
+                 .transport = transport, .keep_alive = keep_alive,
+                 .meter = &meter});
+    event.append_element(xml::QName("urn:bench", "Value")).set_text("1");
+  }
+
+  void deliver() {
+    soap::Envelope env = wsn::make_notify_envelope(
+        "bench/topic", event, "http://producer.example/Source",
+        soap::EndpointReference("http://client.example/sink"));
+    sink->call("http://client.example/sink", env);
+  }
+};
+
+void register_benches() {
+  struct Mode {
+    const char* name;
+    net::TransportKind transport;
+    bool keep_alive;
+  };
+  static const Mode kModes[] = {
+      {"TCP_persistent_WSEventing", net::TransportKind::kSoapTcp, true},
+      {"HTTP_reconnect_WSRFNET", net::TransportKind::kHttp, false},
+      {"HTTP_keepalive", net::TransportKind::kHttp, true},
+  };
+  for (const Mode& mode : kModes) {
+    auto rig = std::make_shared<DeliveryRig>(mode.transport, mode.keep_alive);
+    std::string name = std::string("AblationDelivery/Notify/") + mode.name;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [rig](benchmark::State& s) {
+          run_metered(s, rig->meter, [&] { rig->deliver(); });
+          s.counters["connects"] = static_cast<double>(rig->meter.connects());
+        })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace gs::bench
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Ablation: notification delivery transports on a distributed wire.\n"
+      "Per-notify reconnection is what separates WSN's delivery from\n"
+      "WS-Eventing's persistent TCP in the hello-world Notify bars.\n\n");
+  gs::bench::register_benches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 2: "Hello World" counter, no security.
+// Paper shape to reproduce: Create is the slowest op for both stacks (a
+// database insert); WSRF.NET's Set beats WS-Transfer's (write-through
+// resource cache skips the read-back); WS-Eventing's Notify beats
+// WS-Notification's (persistent TCP vs per-notify HTTP connections);
+// distributed adds a roughly constant delta to every operation.
+#include "hello_world_common.hpp"
+
+int main(int argc, char** argv) {
+  return gs::bench::hello_world_main(argc, argv, "Fig2", "no security",
+                                     gs::bench::Security::kNone);
+}

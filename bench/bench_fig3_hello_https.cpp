@@ -1,0 +1,11 @@
+// Figure 3: "Hello World" counter over HTTPS.
+// Paper shape to reproduce: the same trends as Figure 2 with a modest
+// uniform overhead — "Due to socket caching, HTTPS performance is much
+// faster" than per-message X.509 signing, because the TLS handshake is
+// paid once per connection and resumed from the session cache thereafter.
+#include "hello_world_common.hpp"
+
+int main(int argc, char** argv) {
+  return gs::bench::hello_world_main(argc, argv, "Fig3", "https",
+                                     gs::bench::Security::kHttps);
+}

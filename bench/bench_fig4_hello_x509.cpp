@@ -1,0 +1,14 @@
+// Figure 4: "Hello World" counter with X.509 signing of request and
+// response.
+// Paper shape to reproduce: "the overhead of the security processing is so
+// large that the performance differences between the two underlying
+// systems tend to fade in significance" — every operation is dominated by
+// the four RSA operations per round trip (client sign, server verify,
+// server sign, client verify) plus canonicalization, and the stack-to-stack
+// gaps of Figure 2 compress.
+#include "hello_world_common.hpp"
+
+int main(int argc, char** argv) {
+  return gs::bench::hello_world_main(argc, argv, "Fig4", "X.509 signing",
+                                     gs::bench::Security::kX509);
+}

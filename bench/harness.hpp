@@ -1,0 +1,157 @@
+// Shared benchmark harness: deployment rigs for the paper's measurement
+// scenarios.
+//
+// Methodology. The original testbed was two Opteron machines; this repo
+// substitutes a simulated wire (src/net/wire.hpp). Real compute — XML
+// parse/serialize, database I/O, RSA/TLS crypto — runs on the CPU and is
+// measured with wall clocks; wire costs (propagation, transmission,
+// connects, handshake round trips) are charged on a WireMeter. Each
+// benchmark iteration reports wall time PLUS the metered wire time, so
+// "co-located vs distributed" appears exactly as the network profile
+// dictates, deterministically. Absolute numbers are smaller than the
+// paper's 2005 stack; the comparisons (which stack wins, by what factor)
+// are the reproduction target.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+
+#include "counter/wsrf_counter.hpp"
+#include "counter/wst_counter.hpp"
+#include "gridbox/clients.hpp"
+#include "wsn/consumer.hpp"
+
+namespace gs::bench {
+
+enum class Stack { kWsrf, kWst };
+enum class Security { kNone, kHttps, kX509 };
+
+const char* stack_name(Stack stack);
+const char* security_name(Security security);
+
+/// Process-wide PKI (1024-bit keys, generated once).
+struct Pki {
+  std::mt19937_64 rng{20050712};
+  security::CertificateAuthority ca =
+      security::CertificateAuthority::create("CN=GridCA,O=VO", 1024, rng);
+  security::Credential service = issue("CN=vo-host,O=VO");
+  security::Credential node = issue("CN=node1-host,O=VO");
+  security::Credential admin = issue("CN=admin,O=VO");
+  security::Credential user = issue("CN=alice,O=VO");
+
+  security::Credential issue(const std::string& dn);
+  static Pki& instance();
+};
+
+/// Measures one operation inside a google-benchmark loop: wall time plus
+/// the simulated wire time accrued on `meter` during the call.
+template <typename Op>
+void run_metered(benchmark::State& state, net::WireMeter& meter, Op&& op) {
+  for (auto _ : state) {
+    double sim_before = meter.simulated_ms();
+    auto wall_before = std::chrono::steady_clock::now();
+    op();
+    auto wall_after = std::chrono::steady_clock::now();
+    double seconds =
+        std::chrono::duration<double>(wall_after - wall_before).count() +
+        (meter.simulated_ms() - sim_before) / 1000.0;
+    state.SetIterationTime(seconds);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hello-world rig (Figures 2-4)
+// ---------------------------------------------------------------------------
+
+/// One counter deployment + client for a (stack, security, locality)
+/// combination, mirroring the paper's six scenarios per stack.
+class CounterRig {
+ public:
+  CounterRig(Stack stack, Security security, bool distributed);
+  ~CounterRig();
+
+  /// The five measured operations. Each creates/uses/destroys resources so
+  /// it can run repeatedly inside a benchmark loop.
+  void op_get();
+  void op_set();
+  void op_create();
+  void op_destroy();
+  /// Set + delivery of the CounterValueChanged notification (delivery is
+  /// synchronous in-process, so completion of set implies receipt — the
+  /// harness asserts it). Bracket with subscribe_notifier /
+  /// unsubscribe_notifier so the Get/Set benchmarks run subscriber-free,
+  /// as the paper's did.
+  void op_notify();
+  void subscribe_notifier();
+  void unsubscribe_notifier();
+
+  net::WireMeter& meter() noexcept { return meter_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  net::WireMeter meter_;
+};
+
+// ---------------------------------------------------------------------------
+// Grid-in-a-Box rig (Figure 6)
+// ---------------------------------------------------------------------------
+
+/// A one-host VO per stack with X.509 signing everywhere (the paper's
+/// Figure 6 configuration), exposing the six measured operations. Every op
+/// has a prep_ (and occasionally post_) phase the benches run OUTSIDE the
+/// timed window (manual timing makes that exact).
+class GridRig {
+ public:
+  GridRig(Stack stack, bool distributed);
+  ~GridRig();
+
+  void prep_get_available_resource();
+  void op_get_available_resource();
+  void prep_make_reservation();
+  void op_make_reservation();
+  void prep_upload_file();
+  void op_upload_file();
+  void prep_instantiate_job();
+  void op_instantiate_job();
+  void post_instantiate_job();
+  void prep_delete_file();
+  void op_delete_file();
+  void prep_unreserve_resource();
+  /// WS-Transfer only: explicit unreserve. The WSRF variant's unreserve is
+  /// automatic (no client operation exists to measure), matching the paper
+  /// reporting no time for it.
+  void op_unreserve_resource();
+
+  bool has_unreserve() const;  // false for WSRF
+
+  net::WireMeter& meter() noexcept { return meter_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  net::WireMeter meter_;
+};
+
+/// Metered loop with an untimed prep (and optional post) phase per
+/// iteration.
+template <typename Prep, typename Op, typename Post>
+void run_metered_with_prep(benchmark::State& state, net::WireMeter& meter,
+                           Prep&& prep, Op&& op, Post&& post) {
+  for (auto _ : state) {
+    prep();
+    double sim_before = meter.simulated_ms();
+    auto wall_before = std::chrono::steady_clock::now();
+    op();
+    auto wall_after = std::chrono::steady_clock::now();
+    double seconds =
+        std::chrono::duration<double>(wall_after - wall_before).count() +
+        (meter.simulated_ms() - sim_before) / 1000.0;
+    state.SetIterationTime(seconds);
+    post();
+  }
+}
+
+}  // namespace gs::bench

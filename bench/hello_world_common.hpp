@@ -1,0 +1,74 @@
+// Shared registration for the three "hello world" figures (2, 3, 4):
+// the five counter operations across the four {stack} x {locality} series
+// the paper plots, at a given security level.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "harness.hpp"
+
+namespace gs::bench {
+
+inline void register_hello_world(const char* figure, Security security) {
+  struct Combo {
+    Stack stack;
+    bool distributed;
+    const char* label;
+  };
+  static const Combo kCombos[] = {
+      {Stack::kWst, false, "Co-located_WS-Transfer+WS-Eventing"},
+      {Stack::kWsrf, false, "Co-located_WSRF.NET"},
+      {Stack::kWst, true, "Distributed_WS-Transfer+WS-Eventing"},
+      {Stack::kWsrf, true, "Distributed_WSRF.NET"},
+  };
+
+  for (const auto& combo : kCombos) {
+    auto rig = std::make_shared<CounterRig>(combo.stack, security,
+                                            combo.distributed);
+    auto name = [&](const char* op) {
+      return std::string(figure) + "/" + op + "/" + combo.label;
+    };
+    auto add = [&](const char* op, auto fn) {
+      benchmark::RegisterBenchmark(name(op).c_str(), fn)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    };
+    add("Get", [rig](benchmark::State& s) {
+      run_metered(s, rig->meter(), [&] { rig->op_get(); });
+    });
+    add("Set", [rig](benchmark::State& s) {
+      run_metered(s, rig->meter(), [&] { rig->op_set(); });
+    });
+    add("Create", [rig](benchmark::State& s) {
+      run_metered(s, rig->meter(), [&] { rig->op_create(); });
+    });
+    add("Destroy", [rig](benchmark::State& s) {
+      // Each destroy consumes the counter minted by the untimed prep.
+      run_metered_with_prep(
+          s, rig->meter(), [&] { rig->op_create(); }, [&] { rig->op_destroy(); },
+          [] {});
+    });
+    add("Notify", [rig](benchmark::State& s) {
+      rig->subscribe_notifier();
+      run_metered(s, rig->meter(), [&] { rig->op_notify(); });
+      rig->unsubscribe_notifier();
+    });
+  }
+}
+
+inline int hello_world_main(int argc, char** argv, const char* figure,
+                            const char* title, Security security) {
+  std::printf("%s: testing \"Hello World\" with %s\n", figure, title);
+  std::printf(
+      "Series match the paper's bars; times are ms/request =\n"
+      "real compute (XML, DB, crypto) + simulated wire (see DESIGN.md).\n\n");
+  register_hello_world(figure, security);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace gs::bench

@@ -1,0 +1,56 @@
+// Clock abstraction.
+//
+// Lifetime management (WS-ResourceLifetime scheduled termination,
+// WS-Eventing subscription expiration) and the simulated wire both need a
+// time source that tests can control. Services take a Clock&; production
+// wiring passes the RealClock singleton, tests pass a ManualClock they
+// advance explicitly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace gs::common {
+
+/// Milliseconds since an arbitrary epoch.
+using TimeMs = std::int64_t;
+
+/// Abstract monotonic-enough time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeMs now() const = 0;
+};
+
+/// Wall-clock-backed clock (steady_clock, so never goes backwards).
+class RealClock final : public Clock {
+ public:
+  TimeMs now() const override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Process-wide instance for default wiring.
+  static RealClock& instance() {
+    static RealClock clock;
+    return clock;
+  }
+};
+
+/// Manually-advanced clock for tests and deterministic simulation.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimeMs start = 0) : now_(start) {}
+
+  TimeMs now() const override { return now_.load(std::memory_order_relaxed); }
+
+  void advance(TimeMs delta) { now_.fetch_add(delta, std::memory_order_relaxed); }
+  void set(TimeMs t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<TimeMs> now_;
+};
+
+}  // namespace gs::common

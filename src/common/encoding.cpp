@@ -1,0 +1,99 @@
+#include "common/encoding.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace gs::common {
+
+std::string hex_encode(std::span<const std::uint8_t> bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0xF];
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+namespace {
+constexpr char kB64[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    std::uint32_t v = (bytes[i] << 16) | (bytes[i + 1] << 8) | bytes[i + 2];
+    out += kB64[(v >> 18) & 0x3F];
+    out += kB64[(v >> 12) & 0x3F];
+    out += kB64[(v >> 6) & 0x3F];
+    out += kB64[v & 0x3F];
+  }
+  size_t rem = bytes.size() - i;
+  if (rem == 1) {
+    std::uint32_t v = bytes[i] << 16;
+    out += kB64[(v >> 18) & 0x3F];
+    out += kB64[(v >> 12) & 0x3F];
+    out += "==";
+  } else if (rem == 2) {
+    std::uint32_t v = (bytes[i] << 16) | (bytes[i + 1] << 8);
+    out += kB64[(v >> 18) & 0x3F];
+    out += kB64[(v >> 12) & 0x3F];
+    out += kB64[(v >> 6) & 0x3F];
+    out += '=';
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> base64_decode(std::string_view text) {
+  std::array<int, 256> table;
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) table[static_cast<unsigned char>(kB64[i])] = i;
+
+  std::vector<std::uint8_t> out;
+  std::uint32_t acc = 0;
+  int bits = 0;
+  int padding = 0;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '=') {
+      ++padding;
+      continue;
+    }
+    if (padding > 0) return std::nullopt;  // data after padding
+    int v = table[static_cast<unsigned char>(c)];
+    if (v < 0) return std::nullopt;
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xFF));
+    }
+  }
+  if (padding > 2) return std::nullopt;
+  return out;
+}
+
+}  // namespace gs::common

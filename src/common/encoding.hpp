@@ -1,0 +1,27 @@
+// Hex and Base64 codecs (signature values, digests, binary tokens in XML).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gs::common {
+
+/// Lowercase hex encoding.
+std::string hex_encode(std::span<const std::uint8_t> bytes);
+/// Decodes hex (either case); nullopt on malformed input.
+std::optional<std::vector<std::uint8_t>> hex_decode(std::string_view hex);
+
+/// Standard Base64 with padding.
+std::string base64_encode(std::span<const std::uint8_t> bytes);
+/// Decodes Base64 (ignoring whitespace); nullopt on malformed input.
+std::optional<std::vector<std::uint8_t>> base64_decode(std::string_view text);
+
+/// Bytes of a string, viewed as uint8_t.
+inline std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace gs::common

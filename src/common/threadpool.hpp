@@ -1,0 +1,46 @@
+// Fixed-size thread pool (container request handling, notification fan-out).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gs::common {
+
+/// A fixed pool of worker threads draining a FIFO task queue.
+///
+/// `submit` never blocks (the queue is unbounded); `drain` waits for the
+/// queue to empty and all in-flight tasks to finish — the shutdown barrier
+/// used by the container and the notification producers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void drain();
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  unsigned active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace gs::common

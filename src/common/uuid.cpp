@@ -1,0 +1,61 @@
+#include "common/uuid.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <random>
+
+namespace gs::common {
+namespace {
+
+// One generator behind a mutex: UUID creation is far from any hot path
+// (every use is adjacent to XML serialization and I/O).
+std::mt19937_64& generator() {
+  static std::mt19937_64 gen = [] {
+    std::random_device rd;
+    std::seed_seq seq{rd(), rd(), rd(), rd()};
+    return std::mt19937_64(seq);
+  }();
+  return gen;
+}
+
+std::mutex& generator_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+std::string new_uuid() {
+  std::uint64_t hi, lo;
+  {
+    std::lock_guard lock(generator_mutex());
+    hi = generator()();
+    lo = generator()();
+  }
+  // Stamp version (4) and variant (10xx) bits.
+  hi = (hi & 0xFFFFFFFFFFFF0FFFULL) | 0x0000000000004000ULL;
+  lo = (lo & 0x3FFFFFFFFFFFFFFFULL) | 0x8000000000000000ULL;
+
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(36);
+  auto emit = [&](std::uint64_t v, int nibbles) {
+    for (int i = nibbles - 1; i >= 0; --i) out += kHex[(v >> (i * 4)) & 0xF];
+  };
+  emit(hi >> 32, 8);
+  out += '-';
+  emit(hi >> 16, 4);
+  out += '-';
+  emit(hi, 4);
+  out += '-';
+  emit(lo >> 48, 4);
+  out += '-';
+  emit(lo, 12);
+  return out;
+}
+
+std::string new_urn_uuid() { return "urn:uuid:" + new_uuid(); }
+
+}  // namespace gs::common

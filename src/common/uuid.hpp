@@ -1,0 +1,19 @@
+// GUID generation.
+//
+// Both stacks name resources with server-assigned GUIDs (the paper's
+// WS-Transfer Create "names the resource by assigning a new resource id
+// (by default, GUID)"); WS-Addressing MessageIDs are also GUID URNs.
+#pragma once
+
+#include <string>
+
+namespace gs::common {
+
+/// A random version-4 style UUID string, e.g.
+/// "3f2a1b4c-9d8e-4f00-a1b2-c3d4e5f60718". Thread-safe.
+std::string new_uuid();
+
+/// "urn:uuid:<uuid>" — the WS-Addressing MessageID convention.
+std::string new_urn_uuid();
+
+}  // namespace gs::common

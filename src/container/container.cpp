@@ -1,0 +1,87 @@
+#include "container/container.hpp"
+
+namespace gs::container {
+
+Container::Container(ContainerConfig config)
+    : config_(config), lifetime_(*config.clock) {
+  if (config_.security == SecurityMode::kX509) {
+    if (!config_.anchor || !config_.credential) {
+      throw std::invalid_argument(
+          "X.509 container security requires an anchor and a credential");
+    }
+  }
+}
+
+void Container::deploy(const std::string& path, Service& service) {
+  std::lock_guard lock(mu_);
+  services_[path] = &service;
+}
+
+void Container::undeploy(const std::string& path) {
+  std::lock_guard lock(mu_);
+  services_.erase(path);
+}
+
+Service* Container::service_at(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  auto it = services_.find(path);
+  return it == services_.end() ? nullptr : it->second;
+}
+
+soap::Envelope Container::process(const soap::Envelope& request,
+                                  const std::string& path) {
+  // Scheduled terminations fire before the request sees any state.
+  lifetime_.sweep();
+
+  Service* service = service_at(path);
+  if (!service) {
+    return soap::Envelope::make_fault(
+        {"Sender", "no service deployed at " + path, "", ""});
+  }
+
+  RequestContext ctx;
+  ctx.request = &request;
+  ctx.info = request.read_addressing();
+
+  // Security/Policy handler: verify the signature and establish identity.
+  if (config_.security == SecurityMode::kX509) {
+    try {
+      ctx.identity =
+          security::verify_envelope(request, *config_.anchor, config_.clock->now());
+    } catch (const security::SecurityError& e) {
+      soap::Envelope fault = soap::Envelope::make_fault(
+          {"Sender", std::string("security policy rejected request: ") + e.what(),
+           "", ""});
+      security::sign_envelope(fault, *config_.credential);
+      return fault;
+    }
+  }
+
+  soap::Envelope response = service->dispatch(ctx);
+
+  // Response passes back through the security handler (digital signature).
+  if (config_.security == SecurityMode::kX509) {
+    security::sign_envelope(response, *config_.credential);
+  }
+  return response;
+}
+
+net::HttpResponse Container::handle(const net::HttpRequest& request) {
+  soap::Envelope request_env;
+  try {
+    request_env = soap::Envelope::from_xml(request.body);
+  } catch (const std::exception& e) {
+    return net::HttpResponse::error(400, "Bad Request", e.what());
+  }
+  soap::Envelope response = process(request_env, request.path);
+  // SOAP 1.2 over HTTP: faults ride a 500, still with an envelope body.
+  if (response.is_fault()) {
+    net::HttpResponse http =
+        net::HttpResponse::error(500, "Internal Server Error", response.to_xml());
+    http.headers["Content-Type"] = "application/soap+xml";
+    return http;
+  }
+  return net::HttpResponse::ok(response.to_xml());
+}
+
+}  // namespace gs::container

@@ -1,0 +1,71 @@
+// The resource-aware container (paper Figure 1).
+//
+// Request path: Dispatch (path -> service, wsa:Action -> operation) behind
+// a Security/Policy handler (X.509 verification when configured), with
+// Lifetime Management swept on every request and the storage binding
+// shared by the deployed services. One Container per simulated host; it is
+// a net::Endpoint, so it mounts on the virtual network and on the real
+// TCP HttpServer alike.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.hpp"
+#include "container/lifetime.hpp"
+#include "container/service.hpp"
+#include "net/virtual_network.hpp"
+#include "security/cert.hpp"
+
+namespace gs::container {
+
+/// Message-level security policy enforced by the container.
+enum class SecurityMode {
+  kNone,  // accept anything (paper scenarios 1 and 4; HTTPS scenarios too,
+          // where protection is at the transport)
+  kX509,  // require a valid X.509 signature; sign every response
+};
+
+struct ContainerConfig {
+  SecurityMode security = SecurityMode::kNone;
+  /// Trust anchor for verifying client signatures (kX509).
+  const security::Certificate* anchor = nullptr;
+  /// This host's credential: signs responses (kX509) and serves TLS.
+  const security::Credential* credential = nullptr;
+  /// Time source for lifetime management.
+  const common::Clock* clock = &common::RealClock::instance();
+};
+
+class Container final : public net::Endpoint {
+ public:
+  explicit Container(ContainerConfig config);
+
+  /// Deploys a service at a path, e.g. "/CounterService". The container
+  /// does not own the service.
+  void deploy(const std::string& path, Service& service);
+  void undeploy(const std::string& path);
+  Service* service_at(const std::string& path) const;
+
+  LifetimeManager& lifetime() noexcept { return lifetime_; }
+  const ContainerConfig& config() const noexcept { return config_; }
+
+  /// net::Endpoint: full request pipeline — parse, security, sweep,
+  /// dispatch, security (response), serialize.
+  net::HttpResponse handle(const net::HttpRequest& request) override;
+  const security::Credential* tls_credential() const override {
+    return config_.credential;
+  }
+
+  /// Processes an envelope directly (used by in-process tests).
+  soap::Envelope process(const soap::Envelope& request, const std::string& path);
+
+ private:
+  ContainerConfig config_;
+  LifetimeManager lifetime_;
+  mutable std::mutex mu_;
+  std::map<std::string, Service*> services_;
+};
+
+}  // namespace gs::container

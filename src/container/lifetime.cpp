@@ -1,0 +1,73 @@
+#include "container/lifetime.hpp"
+
+namespace gs::container {
+
+LifetimeManager::Handle LifetimeManager::schedule(
+    common::TimeMs termination_time, std::function<void()> on_destroy) {
+  std::lock_guard lock(mu_);
+  Handle handle = next_++;
+  entries_[handle] = {termination_time, std::move(on_destroy)};
+  return handle;
+}
+
+bool LifetimeManager::set_termination_time(Handle handle,
+                                           common::TimeMs termination_time) {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) return false;
+  it->second.termination_time = termination_time;
+  return true;
+}
+
+std::optional<common::TimeMs> LifetimeManager::termination_time(
+    Handle handle) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.termination_time;
+}
+
+bool LifetimeManager::destroy(Handle handle) {
+  std::function<void()> callback;
+  {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(handle);
+    if (it == entries_.end()) return false;
+    callback = std::move(it->second.on_destroy);
+    entries_.erase(it);
+  }
+  if (callback) callback();
+  return true;
+}
+
+bool LifetimeManager::cancel(Handle handle) {
+  std::lock_guard lock(mu_);
+  return entries_.erase(handle) > 0;
+}
+
+size_t LifetimeManager::sweep() {
+  common::TimeMs now = clock_.now();
+  std::vector<std::function<void()>> callbacks;
+  {
+    std::lock_guard lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.termination_time <= now) {
+        callbacks.push_back(std::move(it->second.on_destroy));
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& cb : callbacks) {
+    if (cb) cb();
+  }
+  return callbacks.size();
+}
+
+size_t LifetimeManager::active() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace gs::container

@@ -1,0 +1,65 @@
+// Lifetime management (the "Lifetime Management" box of paper Figure 1).
+//
+// WSRF's WS-ResourceLifetime gives resources scheduled termination times
+// that services manipulate (the Grid-in-a-Box ReservationService "claim"
+// extends them). WS-Transfer has no such concept, so its Grid-in-a-Box
+// manages reservation lifetime manually — and leaks when clients forget
+// (a finding this repository's tests assert).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace gs::container {
+
+/// Registry of scheduled destructions. Services register a termination
+/// time and an on-destroy callback per resource; the container sweeps on
+/// each request (and tests sweep manually with a ManualClock).
+class LifetimeManager {
+ public:
+  using Handle = std::uint64_t;
+  static constexpr common::TimeMs kNever =
+      std::numeric_limits<common::TimeMs>::max();
+
+  explicit LifetimeManager(const common::Clock& clock) : clock_(clock) {}
+
+  /// Schedules destruction at `termination_time` (kNever = only explicit).
+  Handle schedule(common::TimeMs termination_time, std::function<void()> on_destroy);
+
+  /// Moves the termination time (the ReservationService "claim" path).
+  /// Returns false for an unknown/destroyed handle.
+  bool set_termination_time(Handle handle, common::TimeMs termination_time);
+  std::optional<common::TimeMs> termination_time(Handle handle) const;
+
+  /// Destroys now: runs the callback and unregisters. False when unknown.
+  bool destroy(Handle handle);
+  /// Unregisters without running the callback.
+  bool cancel(Handle handle);
+
+  /// Destroys every entry whose termination time has passed.
+  /// Returns the number destroyed.
+  size_t sweep();
+
+  size_t active() const;
+  const common::Clock& clock() const noexcept { return clock_; }
+
+ private:
+  struct Entry {
+    common::TimeMs termination_time;
+    std::function<void()> on_destroy;
+  };
+
+  const common::Clock& clock_;
+  mutable std::mutex mu_;
+  std::map<Handle, Entry> entries_;
+  Handle next_ = 1;
+};
+
+}  // namespace gs::container

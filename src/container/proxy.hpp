@@ -1,0 +1,68 @@
+// Client-side proxy base.
+//
+// "From a client perspective, engaging either counter service is similar to
+// invoking web methods on any other Web service -- via a Web service proxy
+// object" (paper §4.1.3). Concrete proxies (counter clients, Grid-in-a-Box
+// clients, WSRF/WST/WSN/WSE operation proxies) derive from this: it owns
+// the addressing, optional request signing, response verification, and
+// fault-to-exception translation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/clock.hpp"
+#include "container/service.hpp"
+#include "net/virtual_network.hpp"
+#include "security/xmlsig.hpp"
+#include "soap/addressing.hpp"
+
+namespace gs::container {
+
+/// Per-proxy security configuration.
+struct ProxySecurity {
+  /// Signs every request when set.
+  const security::Credential* credential = nullptr;
+  /// Verifies every response signature when set.
+  const security::Certificate* anchor = nullptr;
+  const common::Clock* clock = &common::RealClock::instance();
+};
+
+class ProxyBase {
+ public:
+  ProxyBase(net::SoapCaller& caller, soap::EndpointReference target,
+            ProxySecurity security = {})
+      : caller_(caller), target_(std::move(target)), security_(security) {}
+
+  const soap::EndpointReference& target() const noexcept { return target_; }
+  void retarget(soap::EndpointReference epr) { target_ = std::move(epr); }
+
+ protected:
+  /// Sends `payload` with the given action to the target EPR. Applies
+  /// signing/verification per the security config, throws SoapFault on a
+  /// fault response, and returns the response envelope.
+  soap::Envelope invoke(const std::string& action,
+                        std::unique_ptr<xml::Element> payload) const;
+  /// As `invoke`, but with an empty body (operations with no input).
+  soap::Envelope invoke(const std::string& action) const {
+    return invoke(action, nullptr);
+  }
+  /// As `invoke`, with an extra ReplyTo header (subscriptions carry the
+  /// notification sink this way in some dialects).
+  soap::Envelope invoke_with_reply_to(const std::string& action,
+                                      std::unique_ptr<xml::Element> payload,
+                                      const soap::EndpointReference& reply_to) const;
+
+  net::SoapCaller& caller() const noexcept { return caller_; }
+
+ private:
+  soap::Envelope do_invoke(const std::string& action,
+                           std::unique_ptr<xml::Element> payload,
+                           const soap::EndpointReference* reply_to) const;
+
+  net::SoapCaller& caller_;
+  soap::EndpointReference target_;
+  ProxySecurity security_;
+};
+
+}  // namespace gs::container

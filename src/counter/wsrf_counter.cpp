@@ -1,0 +1,157 @@
+#include "counter/wsrf_counter.hpp"
+
+namespace gs::counter {
+
+namespace {
+xml::QName counter_qn(const char* local) { return {soap::ns::kCounter, local}; }
+}  // namespace
+
+xml::QName cv_qname() { return counter_qn("cv"); }
+xml::QName double_value_qname() { return counter_qn("DoubleValue"); }
+
+const std::string& wsrf_counter_create_action() {
+  static const std::string action = std::string(soap::ns::kCounter) + "/Create";
+  return action;
+}
+
+WsrfCounterDeployment::WsrfCounterDeployment(Params params)
+    : address_base_(params.address_base),
+      db_(std::move(params.backend),
+          {.write_through_cache = params.write_through_cache}),
+      container_(params.container) {
+  counter_home_ = std::make_unique<wsrf::ResourceHome>(db_, "counters",
+                                                       &container_.lifetime());
+  subscription_home_ = std::make_unique<wsrf::ResourceHome>(
+      db_, "counter-subscriptions", &container_.lifetime());
+
+  manager_ = std::make_unique<wsn::SubscriptionManagerService>(
+      *subscription_home_, manager_address());
+
+  // The counter's property schema: the stored value plus the computed
+  // DoubleValue from the paper's code fragment.
+  wsrf::PropertySet props;
+  props.declare_stored(cv_qname());
+  props.declare_computed(
+      double_value_qname(), [](const xml::Element& state) {
+        std::vector<std::unique_ptr<xml::Element>> out;
+        int v = 0;
+        if (const xml::Element* cv = state.child(cv_qname())) {
+          v = std::stoi(cv->text());
+        }
+        auto el = std::make_unique<xml::Element>(double_value_qname());
+        el->set_text(std::to_string(v * 2));
+        out.push_back(std::move(el));
+        return out;
+      });
+
+  service_ = std::make_unique<wsrf::WsrfService>("Counter", *counter_home_,
+                                                 std::move(props),
+                                                 counter_address());
+  service_->import_resource_properties();
+  service_->import_query_resource_properties();
+  service_->import_resource_lifetime();
+
+  // The single author-defined WebMethod: create.
+  service_->register_operation(
+      wsrf_counter_create_action(), [this](container::RequestContext& ctx) {
+        auto state = std::make_unique<xml::Element>(counter_qn("Counter"));
+        state->append_element(cv_qname()).set_text("0");
+        soap::EndpointReference epr = service_->create_resource(std::move(state));
+        soap::Envelope response = container::make_response(
+            ctx, wsrf_counter_create_action() + "Response");
+        response.body().append(epr.to_xml(counter_qn("CounterEPR")));
+        return response;
+      });
+
+  producer_ = std::make_unique<wsn::NotificationProducer>(
+      wsn::NotificationProducer::Config{params.notification_sink,
+                                        counter_address(), manager_.get(),
+                                        params.container.clock},
+      [] {
+        wsn::TopicNamespace topics;
+        topics.add(kValueChangedTopic);
+        return topics;
+      }());
+  producer_->register_into(*service_);
+
+  // Publish CounterValueChanged whenever cv is set. The message carries
+  // the counter EPR so a client with many counters can tell which fired.
+  service_->on_property_changed(
+      [this](const std::string& id, const xml::QName& prop) {
+        if (prop != cv_qname()) return;
+        if (manager_->count() == 0) return;  // nobody listening: skip
+        auto state = counter_home_->try_load(id);
+        if (!state) return;
+        xml::Element event(counter_qn(kValueChangedTopic));
+        const xml::Element* cv = state->child(cv_qname());
+        event.append_element(counter_qn("Value"))
+            .set_text(cv ? cv->text() : "");
+        event.append(counter_home_->epr_for(id, counter_address())
+                         .to_xml(counter_qn("CounterEPR")));
+        producer_->notify(kValueChangedTopic, event);
+      });
+
+  container_.deploy("/Counter", *service_);
+  container_.deploy("/CounterSubscriptions", *manager_);
+}
+
+WsrfCounterClient::WsrfCounterClient(net::SoapCaller& caller,
+                                     std::string counter_address,
+                                     container::ProxySecurity security)
+    : caller_(caller),
+      counter_address_(std::move(counter_address)),
+      security_(security),
+      resource_(caller_, soap::EndpointReference(counter_address_), security_) {}
+
+soap::EndpointReference WsrfCounterClient::create() {
+  // The create call goes to the bare service (no resource header yet).
+  class CreateProxy : public container::ProxyBase {
+   public:
+    using container::ProxyBase::ProxyBase;
+    soap::EndpointReference run(const std::string& action) {
+      soap::Envelope response = invoke(action);
+      const xml::Element* epr = response.payload();
+      if (!epr) throw soap::SoapFault("Receiver", "create returned no EPR");
+      return soap::EndpointReference::from_xml(*epr);
+    }
+  };
+  CreateProxy proxy(caller_, soap::EndpointReference(counter_address_), security_);
+  soap::EndpointReference epr = proxy.run(wsrf_counter_create_action());
+  attach(epr);
+  return epr;
+}
+
+void WsrfCounterClient::attach(soap::EndpointReference epr) {
+  resource_.retarget(std::move(epr));
+}
+
+int WsrfCounterClient::get() {
+  return std::stoi(resource_.get_property_text(cv_qname()));
+}
+
+void WsrfCounterClient::set(int value) {
+  resource_.update_property_text(cv_qname(), std::to_string(value));
+}
+
+int WsrfCounterClient::double_value() {
+  return std::stoi(resource_.get_property_text(double_value_qname()));
+}
+
+void WsrfCounterClient::destroy() { resource_.destroy(); }
+
+wsn::SubscriptionProxy WsrfCounterClient::subscribe(
+    const soap::EndpointReference& consumer) {
+  wsn::NotificationProducerProxy producer(caller_, resource_.target(), security_);
+  wsn::Filter filter;
+  filter.set_topic(wsn::TopicExpression::parse(
+      wsn::TopicExpression::Dialect::kConcrete, kValueChangedTopic));
+  // Per-resource subscription: a MessageContent filter pins the
+  // subscription to this counter's id (the event carries the counter EPR).
+  if (auto id = resource_.target().reference_property(wsrf::resource_id_qname())) {
+    filter.set_message_content("//ResourceID[. = '" + *id + "']");
+  }
+  soap::EndpointReference sub_epr = producer.subscribe(consumer, filter);
+  return wsn::SubscriptionProxy(caller_, sub_epr, security_);
+}
+
+}  // namespace gs::counter

@@ -1,0 +1,99 @@
+// The "hello world" counter service on the WSRF/WS-Notification stack.
+//
+// Exactly the paper's design (§4.1.1): the resource is one stored value
+// "cv"; the service author writes a single Create WebMethod that calls the
+// library ServiceBase.Create() to place `cv = 0` in the backing store; all
+// other behaviour — get/set via WS-ResourceProperties, destroy via
+// WS-ResourceLifetime — is inherited from the imported port types. The
+// paper's [ResourceProperty] code fragment (DoubleValue => v * 2) is also
+// reproduced as a computed property. A CounterValueChanged topic notifies
+// subscribers whenever cv changes.
+#pragma once
+
+#include <memory>
+
+#include "container/container.hpp"
+#include "soap/namespaces.hpp"
+#include "wsn/client.hpp"
+#include "wsn/producer.hpp"
+#include "wsrf/client.hpp"
+#include "wsrf/service.hpp"
+
+namespace gs::counter {
+
+/// Property and topic names.
+xml::QName cv_qname();           // the stored counter value
+xml::QName double_value_qname(); // computed: cv * 2
+inline constexpr const char* kValueChangedTopic = "CounterValueChanged";
+
+/// The author-defined create action (WSRF has no spec create — this is the
+/// service's own interface, the interoperability gap the paper flags).
+const std::string& wsrf_counter_create_action();
+
+/// Everything server-side for one WSRF counter deployment: database homes,
+/// the counter service with its imported port types, the subscription
+/// manager, and the notification producer — wired into a container.
+class WsrfCounterDeployment {
+ public:
+  struct Params {
+    std::unique_ptr<xmldb::Backend> backend;  // required
+    bool write_through_cache = true;          // the WSRF.NET optimization
+    container::ContainerConfig container;
+    net::SoapCaller* notification_sink = nullptr;  // required
+    /// Base URL, e.g. "http://vo.example"; services mount under it.
+    std::string address_base;
+  };
+
+  explicit WsrfCounterDeployment(Params params);
+
+  container::Container& container() noexcept { return container_; }
+  wsrf::WsrfService& service() noexcept { return *service_; }
+  wsn::NotificationProducer& producer() noexcept { return *producer_; }
+  xmldb::XmlDatabase& db() noexcept { return db_; }
+
+  std::string counter_address() const { return address_base_ + "/Counter"; }
+  std::string manager_address() const {
+    return address_base_ + "/CounterSubscriptions";
+  }
+
+ private:
+  std::string address_base_;
+  xmldb::XmlDatabase db_;
+  container::Container container_;
+  std::unique_ptr<wsrf::ResourceHome> counter_home_;
+  std::unique_ptr<wsrf::ResourceHome> subscription_home_;
+  std::unique_ptr<wsn::SubscriptionManagerService> manager_;
+  std::unique_ptr<wsrf::WsrfService> service_;
+  std::unique_ptr<wsn::NotificationProducer> producer_;
+};
+
+/// Typed client for the WSRF counter ("the WSRF.NET proxies are able to
+/// automatically deserialize the XML into run-time objects").
+class WsrfCounterClient {
+ public:
+  WsrfCounterClient(net::SoapCaller& caller, std::string counter_address,
+                    container::ProxySecurity security = {});
+
+  /// Calls the service's author-defined create; retargets this client at
+  /// the new resource and returns its EPR.
+  soap::EndpointReference create();
+  /// Attaches to an existing counter resource.
+  void attach(soap::EndpointReference epr);
+
+  int get();
+  void set(int value);
+  int double_value();  // the computed property
+  void destroy();
+
+  /// Subscribes `consumer` to CounterValueChanged for this counter;
+  /// returns a proxy managing the subscription.
+  wsn::SubscriptionProxy subscribe(const soap::EndpointReference& consumer);
+
+ private:
+  net::SoapCaller& caller_;
+  std::string counter_address_;
+  container::ProxySecurity security_;
+  wsrf::WsResourceProxy resource_;
+};
+
+}  // namespace gs::counter

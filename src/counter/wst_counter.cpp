@@ -1,0 +1,119 @@
+#include "counter/wst_counter.hpp"
+
+#include "counter/wsrf_counter.hpp"  // shared QNames and topic name
+
+namespace gs::counter {
+
+namespace {
+xml::QName counter_qn(const char* local) { return {soap::ns::kCounter, local}; }
+
+std::unique_ptr<xml::Element> counter_document(int value) {
+  auto doc = std::make_unique<xml::Element>(counter_qn("Counter"));
+  doc->append_element(cv_qname()).set_text(std::to_string(value));
+  return doc;
+}
+}  // namespace
+
+WstCounterDeployment::WstCounterDeployment(Params params)
+    : address_base_(params.address_base),
+      db_(std::move(params.backend), {.write_through_cache = false}),
+      container_(params.container) {
+  store_ = params.subscription_file.empty()
+               ? std::make_unique<wse::SubscriptionStore>()
+               : std::make_unique<wse::SubscriptionStore>(params.subscription_file);
+  manager_ = std::make_unique<wse::WseSubscriptionManagerService>(
+      *store_, manager_address(), *params.container.clock);
+  source_ = std::make_unique<wse::EventSourceService>(
+      "CounterEvents", *store_, *manager_, *params.container.clock);
+  notifier_ = std::make_unique<wse::NotificationManager>(
+      *store_, *params.notification_sink, *params.container.clock);
+
+  wst::TransferService::Hooks hooks;
+  // Put is read-modify-write per the paper: fetch the stored document,
+  // replace cv with the incoming value, store it back — one extra database
+  // read that the WSRF.NET cache never pays.
+  hooks.on_put = [this](const std::string& id, const xml::Element& replacement,
+                        container::RequestContext&)
+      -> std::unique_ptr<xml::Element> {
+    auto current = db_.load("counters", id);
+    if (!current) {
+      throw soap::SoapFault("Sender", "unknown resource '" + id + "'");
+    }
+    const xml::Element* new_cv = replacement.child(cv_qname());
+    if (!new_cv) {
+      // The out-of-band schema contract was violated; WS-Transfer itself
+      // cannot catch this earlier (no input schema).
+      throw soap::SoapFault("Sender", "replacement document has no cv element");
+    }
+    if (xml::Element* cv = current->child(cv_qname())) {
+      cv->set_text(new_cv->text());
+    } else {
+      current->append_element(cv_qname()).set_text(new_cv->text());
+    }
+    db_.store("counters", id, *current);
+
+    // Trigger the CounterValueChanged event via the Notification Manager.
+    xml::Element event(counter_qn(kValueChangedTopic));
+    event.append_element(counter_qn("Value")).set_text(new_cv->text());
+    event.append(service_->epr_for(id).to_xml(counter_qn("CounterEPR")));
+    notifier_->notify(kValueChangedTopic, event,
+                      std::string(soap::ns::kCounter) + "/" + kValueChangedTopic);
+    return nullptr;
+  };
+
+  service_ = std::make_unique<wst::TransferService>(
+      "Counter", db_, "counters", counter_address(), std::move(hooks));
+
+  container_.deploy("/Counter", *service_);
+  container_.deploy("/CounterEvents", *source_);
+  container_.deploy("/CounterEventSubscriptions", *manager_);
+}
+
+WstCounterClient::WstCounterClient(net::SoapCaller& caller,
+                                   std::string counter_address,
+                                   std::string source_address,
+                                   container::ProxySecurity security)
+    : caller_(caller),
+      source_address_(std::move(source_address)),
+      security_(security),
+      resource_(caller_, soap::EndpointReference(counter_address), security_) {}
+
+soap::EndpointReference WstCounterClient::create() {
+  wst::TransferProxy::CreateResult result = resource_.create(counter_document(0));
+  resource_.retarget(result.resource);
+  return result.resource;
+}
+
+void WstCounterClient::attach(soap::EndpointReference epr) {
+  resource_.retarget(std::move(epr));
+}
+
+int WstCounterClient::get() {
+  std::unique_ptr<xml::Element> doc = resource_.get();
+  // The schema is hard-coded client-side: <Counter><cv>N</cv></Counter>.
+  const xml::Element* cv = doc->child(cv_qname());
+  if (!cv) throw soap::SoapFault("Receiver", "counter document has no cv");
+  return std::stoi(cv->text());
+}
+
+void WstCounterClient::set(int value) { resource_.put(counter_document(value)); }
+
+void WstCounterClient::remove() { resource_.remove(); }
+
+wse::EventSourceProxy::SubscriptionHandle WstCounterClient::subscribe(
+    const soap::EndpointReference& notify_to) {
+  wse::EventSourceProxy source(
+      caller_, soap::EndpointReference(source_address_), security_);
+  // WS-Eventing subscriptions attach to the service, not a resource; the
+  // per-counter scoping the paper describes ("a filter can be used for
+  // registering a subscription per resource") is an XPath filter over the
+  // event content, which carries the counter EPR.
+  if (auto id = resource_.target().reference_property(wst::transfer_id_qname())) {
+    return source.subscribe(notify_to, wse::FilterDialect::kXPath,
+                            "//ResourceID[. = '" + *id + "']");
+  }
+  return source.subscribe(notify_to, wse::FilterDialect::kTopic,
+                          kValueChangedTopic);
+}
+
+}  // namespace gs::counter

@@ -1,0 +1,87 @@
+// The "hello world" counter on the WS-Transfer/WS-Eventing stack.
+//
+// Exactly the paper's design (§4.1.2): counter operations map onto the four
+// CRUD verbs — Create stores the client's XML document unmodified, Get
+// returns it untouched (the client must already know its schema: the
+// WS-Transfer <xsd:any> gap), Put updates it, Delete removes it. Matching
+// the paper's measured behaviour, Put is read-modify-write: "the old
+// representation of the counter's resource [is] read from the database and
+// updated with the new value before being stored" — the extra read the
+// WSRF.NET resource cache avoids. WS-Eventing delivers CounterValueChanged
+// over the TCP sink.
+#pragma once
+
+#include <memory>
+
+#include "container/container.hpp"
+#include "soap/namespaces.hpp"
+#include "wse/client.hpp"
+#include "wse/service.hpp"
+#include "wst/client.hpp"
+#include "wst/service.hpp"
+
+namespace gs::counter {
+
+/// Server side: the transfer service, event source, subscription manager
+/// and notification manager wired into a container.
+class WstCounterDeployment {
+ public:
+  struct Params {
+    std::unique_ptr<xmldb::Backend> backend;  // required
+    container::ContainerConfig container;
+    net::SoapCaller* notification_sink = nullptr;  // required (TCP caller)
+    std::string address_base;
+    /// Flat-XML subscription file (Plumbwork behaviour); empty = memory.
+    std::filesystem::path subscription_file;
+  };
+
+  explicit WstCounterDeployment(Params params);
+
+  container::Container& container() noexcept { return container_; }
+  wst::TransferService& service() noexcept { return *service_; }
+  xmldb::XmlDatabase& db() noexcept { return db_; }
+
+  std::string counter_address() const { return address_base_ + "/Counter"; }
+  std::string source_address() const { return address_base_ + "/CounterEvents"; }
+  std::string manager_address() const {
+    return address_base_ + "/CounterEventSubscriptions";
+  }
+
+ private:
+  std::string address_base_;
+  xmldb::XmlDatabase db_;
+  container::Container container_;
+  std::unique_ptr<wse::SubscriptionStore> store_;
+  std::unique_ptr<wse::WseSubscriptionManagerService> manager_;
+  std::unique_ptr<wse::EventSourceService> source_;
+  std::unique_ptr<wse::NotificationManager> notifier_;
+  std::unique_ptr<wst::TransferService> service_;
+};
+
+/// Client for the WS-Transfer counter. Note the shape: every call moves
+/// raw XML elements whose schema is hard-coded on both sides.
+class WstCounterClient {
+ public:
+  WstCounterClient(net::SoapCaller& caller, std::string counter_address,
+                   std::string source_address,
+                   container::ProxySecurity security = {});
+
+  soap::EndpointReference create();
+  void attach(soap::EndpointReference epr);
+
+  int get();
+  void set(int value);
+  void remove();
+
+  /// Subscribes `notify_to` to CounterValueChanged events (topic filter).
+  wse::EventSourceProxy::SubscriptionHandle subscribe(
+      const soap::EndpointReference& notify_to);
+
+ private:
+  net::SoapCaller& caller_;
+  std::string source_address_;
+  container::ProxySecurity security_;
+  wst::TransferProxy resource_;
+};
+
+}  // namespace gs::counter

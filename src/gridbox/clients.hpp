@@ -1,0 +1,152 @@
+// Grid-in-a-Box clients: the grid user and the admin, one pair per stack.
+//
+// These drive the paper's Figure 5 workflow end to end: discover available
+// resources, reserve, stage data in, start the job, receive the completion
+// notification, fetch output, clean up.
+#pragma once
+
+#include <optional>
+
+#include "gridbox/wsrf_gridbox.hpp"
+#include "gridbox/wst_gridbox.hpp"
+#include "wsn/client.hpp"
+#include "wse/client.hpp"
+#include "wsrf/client.hpp"
+#include "wst/client.hpp"
+
+namespace gs::gridbox {
+
+/// Client identity: a DN plus optional signing credential. When unsigned,
+/// the DN travels as the OnBehalfOf header.
+struct ClientIdentity {
+  std::string dn;
+  container::ProxySecurity security;
+};
+
+/// Stamps the identity fallback header onto an EPR (no-op when signing —
+/// the header is ignored server-side in favour of the signature, but
+/// harmless).
+soap::EndpointReference with_identity(soap::EndpointReference epr,
+                                      const ClientIdentity& id);
+
+// ---------------------------------------------------------------------------
+// WSRF stack clients
+// ---------------------------------------------------------------------------
+
+class WsrfAdminClient {
+ public:
+  WsrfAdminClient(net::SoapCaller& caller, const WsrfGridDeployment& grid,
+                  ClientIdentity identity);
+
+  void add_account(const std::string& dn,
+                   const std::vector<std::string>& privileges);
+  void remove_account(const std::string& dn);
+  void register_site(const SiteInfo& site);
+  void unregister_site(const std::string& host);
+
+ private:
+  net::SoapCaller& caller_;
+  std::string account_address_;
+  std::string allocation_address_;
+  ClientIdentity identity_;
+};
+
+class WsrfUserClient {
+ public:
+  WsrfUserClient(net::SoapCaller& caller, const WsrfGridDeployment& grid,
+                 ClientIdentity identity);
+
+  /// Step 1: what resources are available for my application?
+  std::vector<SiteInfo> get_available_resources(const std::string& application);
+  /// Step 4: reserve a host; returns the reservation EPR.
+  soap::EndpointReference make_reservation(const std::string& host);
+  /// Step 5: create a new data (directory) resource on a host.
+  soap::EndpointReference create_directory(const std::string& data_address);
+  /// Step 7: stage-in data.
+  void upload(const soap::EndpointReference& directory, const std::string& name,
+              const std::string& content);
+  std::vector<std::string> list_files(const soap::EndpointReference& directory);
+  std::string download(const soap::EndpointReference& directory,
+                       const std::string& name);
+  void delete_file(const soap::EndpointReference& directory,
+                   const std::string& name);
+  /// Step 9: start the application; returns the job EPR.
+  soap::EndpointReference start_job(const std::string& exec_address,
+                                    const std::string& command,
+                                    const soap::EndpointReference& reservation,
+                                    const soap::EndpointReference& directory);
+  /// Poll job status ("running" / "exited" / "killed").
+  std::string job_status(const soap::EndpointReference& job);
+  std::optional<int> job_exit_code(const soap::EndpointReference& job);
+  /// Step 10a: subscribe for the completion notification.
+  wsn::SubscriptionProxy subscribe_completion(
+      const std::string& exec_address, const soap::EndpointReference& consumer);
+  /// Step 11: cleanup.
+  void destroy(const soap::EndpointReference& resource);
+
+ private:
+  net::SoapCaller& caller_;
+  std::string allocation_address_;
+  ClientIdentity identity_;
+};
+
+// ---------------------------------------------------------------------------
+// WS-Transfer stack clients
+// ---------------------------------------------------------------------------
+
+class WstAdminClient {
+ public:
+  WstAdminClient(net::SoapCaller& caller, const WstGridDeployment& grid,
+                 ClientIdentity identity);
+
+  void add_account(const std::string& dn,
+                   const std::vector<std::string>& privileges);
+  void remove_account(const std::string& dn);
+  void register_site(const SiteInfo& site);
+  void unregister_site(const std::string& host);
+
+ private:
+  net::SoapCaller& caller_;
+  std::string account_address_;
+  std::string allocation_address_;
+  ClientIdentity identity_;
+};
+
+class WstUserClient {
+ public:
+  WstUserClient(net::SoapCaller& caller, const WstGridDeployment& grid,
+                ClientIdentity identity);
+
+  std::vector<SiteInfo> get_available_resources(const std::string& application);
+  /// Reserve a host (Put mode 'R').
+  void make_reservation(const std::string& host);
+  /// Manual unreserve (Put mode 'U') — forgetting this leaks the host.
+  void unreserve(const std::string& host);
+  /// Upload = Create on the Data service; resource id becomes DN/name.
+  soap::EndpointReference upload(const std::string& data_address,
+                                 const std::string& name,
+                                 const std::string& content);
+  std::vector<std::string> list_files(const std::string& data_address);
+  std::string download(const std::string& data_address, const std::string& name);
+  void delete_file(const std::string& data_address, const std::string& name);
+  /// Instantiate a job = Create on the Exec service.
+  soap::EndpointReference start_job(const std::string& exec_address,
+                                    const std::string& command);
+  std::string job_status(const soap::EndpointReference& job);
+  std::optional<int> job_exit_code(const soap::EndpointReference& job);
+  wse::EventSourceProxy::SubscriptionHandle subscribe_completion(
+      const std::string& event_source_address,
+      const soap::EndpointReference& notify_to);
+  /// Delete on any WS-Transfer resource EPR.
+  void remove(const soap::EndpointReference& resource);
+
+ private:
+  soap::EndpointReference file_epr(const std::string& data_address,
+                                   const std::string& id) const;
+
+  net::SoapCaller& caller_;
+  std::string allocation_address_;
+  ClientIdentity identity_;
+};
+
+}  // namespace gs::gridbox

@@ -1,0 +1,483 @@
+#include "gridbox/wst_gridbox.hpp"
+
+#include "common/encoding.hpp"
+#include "common/uuid.hpp"
+#include "wst/client.hpp"
+
+namespace gs::gridbox {
+namespace {
+
+// Proxy used by services to probe the unified allocation service for a
+// reservation holder ("This mode is used by the Data service and the
+// Execution service to make sure that the user ... has a reservation").
+std::string reservation_holder(net::SoapCaller& caller,
+                               const container::ProxySecurity& security,
+                               const std::string& allocation_address,
+                               const std::string& host) {
+  soap::EndpointReference epr(allocation_address);
+  epr.add_reference_property(wst::transfer_id_qname(), host);
+  wst::TransferProxy proxy(caller, epr, security);
+  std::unique_ptr<xml::Element> info = proxy.get();
+  const xml::Element* owner = info->child(gb("Owner"));
+  return owner ? owner->text() : "none";
+}
+
+std::string account_privileges_or_fault(net::SoapCaller& caller,
+                                        const container::ProxySecurity& security,
+                                        const std::string& account_address,
+                                        const std::string& dn) {
+  soap::EndpointReference epr(account_address);
+  epr.add_reference_property(wst::transfer_id_qname(), dn);
+  wst::TransferProxy proxy(caller, epr, security);
+  std::unique_ptr<xml::Element> doc = proxy.get();  // faults when unknown
+  std::string out;
+  for (const xml::Element* p : doc->children_named(gb("Privilege"))) {
+    if (!out.empty()) out += ",";
+    out += p->text();
+  }
+  return out;
+}
+
+}  // namespace
+
+struct WstGridDeployment::Impl {
+  Params params;
+  xmldb::XmlDatabase central_db;
+  container::Container central;
+  std::unique_ptr<wst::TransferService> account;
+  std::unique_ptr<wst::TransferService> allocation;
+
+  Impl(Params p)
+      : params(std::move(p)),
+        central_db(std::move(params.backend), {.write_through_cache = false}),
+        central(params.central_container) {
+    make_account();
+    make_allocation();
+    central.deploy("/Account", *account);
+    central.deploy("/ResourceAllocation", *allocation);
+  }
+
+  void make_account() {
+    wst::TransferService::Hooks hooks;
+    // Create: admin stores an account; the resource id IS the user's DN
+    // ("the EPR containing the X509 DN of the user").
+    hooks.on_create = [this](const xml::Element& representation,
+                             container::RequestContext& ctx) {
+      require_admin(ctx);
+      const xml::Element* dn = representation.child(gb("DN"));
+      if (!dn) throw soap::SoapFault("Sender", "account document needs a DN");
+      return std::make_pair(dn->text(), representation.clone_element());
+    };
+    hooks.on_delete = [this](const std::string& id,
+                             container::RequestContext& ctx) {
+      require_admin(ctx);
+      return central_db.remove("accounts", id);
+    };
+    account = std::make_unique<wst::TransferService>(
+        "Account", central_db, "accounts", params.central_base + "/Account",
+        std::move(hooks));
+  }
+
+  void make_allocation() {
+    wst::TransferService::Hooks hooks;
+    // Create: a new computing site, id = host.
+    hooks.on_create = [this](const xml::Element& representation,
+                             container::RequestContext& ctx) {
+      require_admin(ctx);
+      const xml::Element* host = representation.child(gb("Host"));
+      if (!host) throw soap::SoapFault("Sender", "site document needs a Host");
+      return std::make_pair(host->text(), representation.clone_element());
+    };
+    hooks.on_delete = [this](const std::string& id,
+                             container::RequestContext& ctx) {
+      require_admin(ctx);
+      return central_db.remove("sites", id);
+    };
+    // Get: two modes on the id's first character.
+    hooks.on_get = [this](const std::string& id, container::RequestContext& ctx)
+        -> std::unique_ptr<xml::Element> {
+      if (!id.empty() && id[0] == kModeAvailable) {
+        // "1<application>": all unreserved sites offering the application.
+        // Outcall: grid clients must hold a VO account to browse resources
+        // (Get on the account service faults for unknown DNs).
+        account_privileges_or_fault(*params.outcall_caller,
+                                    params.outcall_security,
+                                    params.central_base + "/Account",
+                                    resolve_caller(ctx));
+        std::string app = id.substr(1);
+        auto out = std::make_unique<xml::Element>(gb("AvailableResources"));
+        for (const std::string& host : central_db.ids("sites")) {
+          auto site = central_db.load("sites", host);
+          if (!site) continue;
+          const xml::Element* reserved = site->child(gb("ReservedBy"));
+          if (reserved && !reserved->text().empty()) continue;
+          bool has_app = false;
+          for (const xml::Element* a : site->children_named(gb("Application"))) {
+            if (a->text() == app) has_app = true;
+          }
+          if (!has_app) continue;
+          out->append(site->clone());
+        }
+        return out;
+      }
+      // Otherwise: who has a reservation on this site?
+      auto site = central_db.load("sites", id);
+      if (!site) return nullptr;
+      auto info = std::make_unique<xml::Element>(gb("ReservationInfo"));
+      const xml::Element* reserved = site->child(gb("ReservedBy"));
+      info->append_element(gb("Owner"))
+          .set_text(reserved && !reserved->text().empty() ? reserved->text()
+                                                          : "none");
+      if (const xml::Element* until = site->child(gb("ReservedUntil"))) {
+        info->append_element(gb("Until")).set_text(until->text());
+      }
+      return info;
+    };
+    // Put: three modes on the id's initial symbol.
+    hooks.on_put = [this](const std::string& id, const xml::Element& replacement,
+                          container::RequestContext& ctx)
+        -> std::unique_ptr<xml::Element> {
+      if (id.empty()) throw soap::SoapFault("Sender", "empty allocation id");
+      char mode = id[0];
+      std::string host = id.substr(1);
+      auto site = central_db.load("sites", host);
+      if (!site) throw soap::SoapFault("Sender", "unknown site '" + host + "'");
+
+      auto set_child = [&](const xml::QName& name, const std::string& value) {
+        if (xml::Element* el = site->child(name)) {
+          el->set_text(value);
+        } else {
+          site->append_element(name).set_text(value);
+        }
+      };
+      const xml::Element* reserved = site->child(gb("ReservedBy"));
+      std::string holder = reserved ? reserved->text() : "";
+      std::string caller_dn = resolve_caller(ctx);
+
+      switch (mode) {
+        case kModeReserve: {
+          // Outcall: only VO members may reserve (Get on the account
+          // service faults for unknown DNs).
+          account_privileges_or_fault(*params.outcall_caller,
+                                      params.outcall_security,
+                                      params.central_base + "/Account",
+                                      caller_dn);
+          if (!holder.empty()) {
+            throw soap::SoapFault("Sender",
+                                  "site '" + host + "' is already reserved");
+          }
+          set_child(gb("ReservedBy"), caller_dn);
+          set_child(gb("ReservedUntil"),
+                    std::to_string(params.central_container.clock->now() +
+                                   params.reservation_ttl_ms));
+          break;
+        }
+        case kModeUnreserve: {
+          if (holder.empty()) {
+            throw soap::SoapFault("Sender", "site '" + host + "' is not reserved");
+          }
+          if (holder != caller_dn) {
+            throw soap::SoapFault(
+                "Sender", "reservation on '" + host + "' belongs to " + holder);
+          }
+          set_child(gb("ReservedBy"), "");
+          set_child(gb("ReservedUntil"), "");
+          break;
+        }
+        case kModeRetime: {
+          if (holder != caller_dn) {
+            throw soap::SoapFault("Sender", "no reservation to retime");
+          }
+          const xml::Element* until = replacement.child(gb("Until"));
+          if (!until) throw soap::SoapFault("Sender", "retime needs Until");
+          set_child(gb("ReservedUntil"), until->text());
+          break;
+        }
+        default:
+          throw soap::SoapFault("Sender",
+                                std::string("unknown Put mode '") + mode + "'");
+      }
+      central_db.store("sites", host, *site);
+      return nullptr;
+    };
+    allocation = std::make_unique<wst::TransferService>(
+        "ResourceAllocation", central_db, "sites",
+        params.central_base + "/ResourceAllocation", std::move(hooks));
+  }
+
+  void require_admin(const container::RequestContext& ctx) {
+    std::string caller_dn = resolve_caller(ctx);
+    if (caller_dn != params.admin_dn) {
+      throw soap::SoapFault("Sender", "operation is admin-only");
+    }
+  }
+
+  // --- hosts -----------------------------------------------------------------
+
+  struct Host {
+    std::string name;
+    std::string base;
+    xmldb::XmlDatabase db;
+    container::Container container;
+    std::unique_ptr<FileStore> files;
+    std::unique_ptr<JobRunner> runner;
+    std::unique_ptr<wse::SubscriptionStore> store;
+    std::unique_ptr<wse::WseSubscriptionManagerService> manager;
+    std::unique_ptr<wse::EventSourceService> source;
+    std::unique_ptr<wse::NotificationManager> notifier;
+    std::unique_ptr<wst::TransferService> data;
+    std::unique_ptr<wst::TransferService> exec;
+
+    Host(HostParams p, Impl& owner)
+        : name(p.host),
+          base(p.base),
+          db(std::move(p.backend), {.write_through_cache = false}),
+          container(p.container) {
+      files = std::make_unique<FileStore>(p.file_root);
+      runner = std::make_unique<JobRunner>(*p.container.clock);
+      store = p.subscription_file.empty()
+                  ? std::make_unique<wse::SubscriptionStore>()
+                  : std::make_unique<wse::SubscriptionStore>(p.subscription_file);
+      manager = std::make_unique<wse::WseSubscriptionManagerService>(
+          *store, base + "/JobEventSubscriptions", *p.container.clock);
+      source = std::make_unique<wse::EventSourceService>(
+          "JobEvents", *store, *manager, *p.container.clock);
+      notifier = std::make_unique<wse::NotificationManager>(
+          *store, *owner.params.notification_sink, *p.container.clock);
+
+      make_data(owner);
+      make_exec(owner);
+      container.deploy("/Data", *data);
+      container.deploy("/Exec", *exec);
+      container.deploy("/JobEvents", *source);
+      container.deploy("/JobEventSubscriptions", *manager);
+    }
+
+    void make_data(Impl& owner) {
+      wst::TransferService::Hooks hooks;
+      // Create: upload. Resource id is "<DN>/<filename>" — a non-opaque,
+      // client-legible name; the backing directory is a hash of the DN,
+      // created automatically on first upload.
+      hooks.on_create = [this, &owner](const xml::Element& representation,
+                                       container::RequestContext& ctx) {
+        std::string dn = resolve_caller(ctx);
+        // Outcall: uploads need a reservation on this host.
+        std::string holder = reservation_holder(
+            *owner.params.outcall_caller, owner.params.outcall_security,
+            owner.params.central_base + "/ResourceAllocation", name);
+        if (holder != dn) {
+          throw soap::SoapFault("Sender",
+                                "no reservation on '" + name + "' for " + dn);
+        }
+        std::string filename = representation.attr("name").value_or("");
+        if (filename.empty()) {
+          throw soap::SoapFault("Sender", "file document needs a name attribute");
+        }
+        const xml::Element* content = representation.child(gb("Content"));
+        auto bytes =
+            common::base64_decode(content ? content->text() : std::string());
+        if (!bytes) throw soap::SoapFault("Sender", "Content is not valid base64");
+        files->put(FileStore::hash_dn(dn), filename,
+                   std::string(bytes->begin(), bytes->end()));
+        // The database keeps only a stub (the bytes live on the
+        // filesystem — "the only exception is the Data Service").
+        auto stub = std::make_unique<xml::Element>(gb("File"));
+        stub->set_attr("name", filename);
+        return std::make_pair(dn + "/" + filename, std::move(stub));
+      };
+      hooks.on_get = [this](const std::string& id, container::RequestContext& ctx)
+          -> std::unique_ptr<xml::Element> {
+        std::string dn = resolve_caller(ctx);
+        std::string dir = FileStore::hash_dn(dn);
+        if (id.ends_with("/")) {
+          // Directory listing.
+          auto listing = std::make_unique<xml::Element>(gb("Listing"));
+          for (const std::string& f : files->list(dir)) {
+            listing->append_element(gb("File")).set_attr("name", f);
+          }
+          return listing;
+        }
+        size_t slash = id.rfind('/');
+        std::string filename = slash == std::string::npos ? id : id.substr(slash + 1);
+        std::optional<std::string> content = files->get(dir, filename);
+        if (!content) return nullptr;
+        auto doc = std::make_unique<xml::Element>(gb("File"));
+        doc->set_attr("name", filename);
+        doc->append_element(gb("Content"))
+            .set_text(common::base64_encode(common::as_bytes(*content)));
+        return doc;
+      };
+      hooks.on_put = [this](const std::string& id, const xml::Element& replacement,
+                            container::RequestContext& ctx)
+          -> std::unique_ptr<xml::Element> {
+        std::string dn = resolve_caller(ctx);
+        size_t slash = id.rfind('/');
+        std::string filename = slash == std::string::npos ? id : id.substr(slash + 1);
+        const xml::Element* content = replacement.child(gb("Content"));
+        auto bytes =
+            common::base64_decode(content ? content->text() : std::string());
+        if (!bytes) throw soap::SoapFault("Sender", "Content is not valid base64");
+        files->put(FileStore::hash_dn(dn), filename,
+                   std::string(bytes->begin(), bytes->end()));
+        return nullptr;
+      };
+      hooks.on_delete = [this](const std::string& id,
+                               container::RequestContext& ctx) {
+        std::string dn = resolve_caller(ctx);
+        size_t slash = id.rfind('/');
+        std::string filename = slash == std::string::npos ? id : id.substr(slash + 1);
+        db.remove("files", id);
+        return files->remove(FileStore::hash_dn(dn), filename);
+      };
+      data = std::make_unique<wst::TransferService>("Data", db, "files",
+                                                    base + "/Data",
+                                                    std::move(hooks));
+    }
+
+    void make_exec(Impl& owner) {
+      wst::TransferService::Hooks hooks;
+      // Create: instantiate a job. A running process is an *active*
+      // resource: its stored representation can outlive the process
+      // itself (the resource-vs-representation ambiguity the paper hit).
+      hooks.on_create = [this, &owner](const xml::Element& representation,
+                                       container::RequestContext& ctx) {
+        runner->poll();
+        std::string dn = resolve_caller(ctx);
+        const xml::Element* command = representation.child(gb("Command"));
+        if (!command) throw soap::SoapFault("Sender", "job document needs Command");
+
+        // Single outcall: the unified allocation service answers both
+        // "is it reserved" and "by whom" in one Get.
+        std::string holder = reservation_holder(
+            *owner.params.outcall_caller, owner.params.outcall_security,
+            owner.params.central_base + "/ResourceAllocation", name);
+        if (holder != dn) {
+          throw soap::SoapFault("Sender",
+                                "no reservation on '" + name + "' for " + dn);
+        }
+
+        std::string id = common::new_uuid();
+        soap::EndpointReference job_epr(base + "/Exec");
+        job_epr.add_reference_property(wst::transfer_id_qname(), id);
+
+        std::string working_dir = files->path_of(FileStore::hash_dn(dn)).string();
+        std::string pid = runner->spawn(
+            command->text(), working_dir,
+            [this, job_epr](const std::string&, const JobRunner::Status& status) {
+              xml::Element event(gb(kJobCompletedTopic));
+              event.append(job_epr.to_xml(gb("JobEPR")));
+              event.append_element(gb("ExitCode"))
+                  .set_text(std::to_string(status.exit_code));
+              notifier->notify(kJobCompletedTopic, event,
+                               std::string(soap::ns::kGridBox) + "/" +
+                                   kJobCompletedTopic);
+            });
+
+        auto doc = std::make_unique<xml::Element>(gb("Job"));
+        doc->append_element(gb("Owner")).set_text(dn);
+        doc->append_element(gb("Command")).set_text(command->text());
+        doc->append_element(gb("Pid")).set_text(pid);
+        return std::make_pair(std::move(id), std::move(doc));
+      };
+      hooks.on_get = [this](const std::string& id, container::RequestContext&)
+          -> std::unique_ptr<xml::Element> {
+        runner->poll();
+        auto doc = db.load("jobs", id);
+        if (!doc) return nullptr;
+        // Augment the stored representation with live process state.
+        const xml::Element* pid = doc->child(gb("Pid"));
+        std::optional<JobRunner::Status> status;
+        if (pid) status = runner->status(pid->text());
+        std::string state = "unknown";
+        if (status) {
+          switch (status->state) {
+            case JobRunner::State::kRunning: state = "running"; break;
+            case JobRunner::State::kExited: state = "exited"; break;
+            case JobRunner::State::kKilled: state = "killed"; break;
+          }
+        }
+        doc->append_element(gb("Status")).set_text(state);
+        if (status && status->state != JobRunner::State::kRunning) {
+          doc->append_element(gb("ExitCode"))
+              .set_text(std::to_string(status->exit_code));
+        }
+        return doc;
+      };
+      // Delete: the WS-Transfer ambiguity the paper calls out — we chose
+      // "terminate the process AND delete the representation".
+      hooks.on_delete = [this](const std::string& id,
+                               container::RequestContext&) {
+        runner->poll();
+        if (auto doc = db.load("jobs", id)) {
+          if (const xml::Element* pid = doc->child(gb("Pid"))) {
+            runner->kill(pid->text());
+            runner->reap(pid->text());
+          }
+        }
+        return db.remove("jobs", id);
+      };
+      exec = std::make_unique<wst::TransferService>("Exec", db, "jobs",
+                                                    base + "/Exec",
+                                                    std::move(hooks));
+    }
+  };
+
+  std::vector<std::unique_ptr<Host>> hosts;
+};
+
+WstGridDeployment::WstGridDeployment(Params params)
+    : impl_(std::make_unique<Impl>(std::move(params))) {}
+WstGridDeployment::~WstGridDeployment() = default;
+
+void WstGridDeployment::add_host(HostParams params) {
+  impl_->hosts.push_back(std::make_unique<Impl::Host>(std::move(params), *impl_));
+}
+
+container::Container& WstGridDeployment::central_container() {
+  return impl_->central;
+}
+
+container::Container& WstGridDeployment::host_container(const std::string& host) {
+  for (auto& h : impl_->hosts) {
+    if (h->name == host) return h->container;
+  }
+  throw std::out_of_range("unknown host " + host);
+}
+
+JobRunner& WstGridDeployment::job_runner(const std::string& host) {
+  for (auto& h : impl_->hosts) {
+    if (h->name == host) return *h->runner;
+  }
+  throw std::out_of_range("unknown host " + host);
+}
+
+std::string WstGridDeployment::account_address() const {
+  return impl_->params.central_base + "/Account";
+}
+std::string WstGridDeployment::allocation_address() const {
+  return impl_->params.central_base + "/ResourceAllocation";
+}
+std::string WstGridDeployment::data_address(const std::string& host) const {
+  for (auto& h : impl_->hosts) {
+    if (h->name == host) return h->base + "/Data";
+  }
+  throw std::out_of_range("unknown host " + host);
+}
+std::string WstGridDeployment::exec_address(const std::string& host) const {
+  for (auto& h : impl_->hosts) {
+    if (h->name == host) return h->base + "/Exec";
+  }
+  throw std::out_of_range("unknown host " + host);
+}
+std::string WstGridDeployment::event_source_address(const std::string& host) const {
+  for (auto& h : impl_->hosts) {
+    if (h->name == host) return h->base + "/JobEvents";
+  }
+  throw std::out_of_range("unknown host " + host);
+}
+
+const WstGridDeployment::Params& WstGridDeployment::params() const {
+  return impl_->params;
+}
+
+}  // namespace gs::gridbox

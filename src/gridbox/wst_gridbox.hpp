@@ -1,0 +1,97 @@
+// Grid-in-a-Box on the WS-Transfer / WS-Eventing stack (paper §4.2.2).
+//
+// Four services and "an explicit design decision ... to map onto the CRUD
+// operations as much as possible":
+//   * Account            — Create stores an account whose EPR carries the
+//                          user's X.509 DN; Get answers privilege queries;
+//                          Delete removes all privileges. Create/Delete are
+//                          administrative.
+//   * Data               — Create uploads a file; the resource id is the
+//                          deliberately *non-opaque* "<DN>/<filename>",
+//                          stored under a directory that is a hash of the
+//                          DN. Get returns a directory listing when the id
+//                          ends in "/", otherwise the file. Put overwrites;
+//                          Delete removes.
+//   * ResourceAllocation — unified allocation + reservation service: sites
+//                          AND reservations coexist in one service
+//                          (WS-Transfer permits multiple resource types per
+//                          service). Get dispatches on the id's first
+//                          character ('1' + app = available-resources
+//                          query; otherwise a who-holds-this-reservation
+//                          probe). Put has three modes by initial symbol:
+//                          'R' make, 'U' remove, 'T' retime a reservation.
+//                          Reservation lifetime is manual — forgetting to
+//                          unreserve leaks the resource (a WSRF lifetime
+//                          feature WS-Transfer lacks; tests assert the
+//                          leak).
+//   * Exec               — Create instantiates a job (verifying the
+//                          caller's reservation via one outcall to the
+//                          unified allocation service); Get polls status;
+//                          Delete kills. Completion is published through
+//                          WS-Eventing.
+#pragma once
+
+#include <memory>
+
+#include "container/container.hpp"
+#include "container/proxy.hpp"
+#include "gridbox/common.hpp"
+#include "wse/service.hpp"
+#include "wst/service.hpp"
+#include "xmldb/database.hpp"
+
+namespace gs::gridbox {
+
+/// Put-mode prefixes on the unified allocation service.
+inline constexpr char kModeReserve = 'R';
+inline constexpr char kModeUnreserve = 'U';
+inline constexpr char kModeRetime = 'T';
+/// Get-mode prefix for the available-resources query.
+inline constexpr char kModeAvailable = '1';
+
+class WstGridDeployment {
+ public:
+  struct Params {
+    std::unique_ptr<xmldb::Backend> backend;
+    container::ContainerConfig central_container;
+    net::SoapCaller* outcall_caller = nullptr;
+    container::ProxySecurity outcall_security;
+    /// TCP caller for WS-Eventing delivery.
+    net::SoapCaller* notification_sink = nullptr;
+    std::string central_base;
+    common::TimeMs reservation_ttl_ms = 4LL * 3600 * 1000;
+    std::string admin_dn = "CN=admin,O=VO";
+  };
+
+  struct HostParams {
+    std::string host;
+    std::string base;
+    std::unique_ptr<xmldb::Backend> backend;
+    container::ContainerConfig container;
+    std::filesystem::path file_root;
+    std::filesystem::path subscription_file;  // empty = in-memory
+  };
+
+  explicit WstGridDeployment(Params params);
+  ~WstGridDeployment();
+
+  void add_host(HostParams params);
+
+  container::Container& central_container();
+  container::Container& host_container(const std::string& host);
+  JobRunner& job_runner(const std::string& host);
+
+  std::string account_address() const;
+  std::string allocation_address() const;
+  std::string data_address(const std::string& host) const;
+  std::string exec_address(const std::string& host) const;
+  std::string event_source_address(const std::string& host) const;
+
+  const Params& params() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gs::gridbox

@@ -1,0 +1,168 @@
+#include "net/http.hpp"
+
+#include <charconv>
+
+namespace gs::net {
+namespace {
+
+// Splits header block lines; returns false on malformed framing.
+bool parse_headers(std::string_view block, std::map<std::string, std::string>& out) {
+  size_t pos = 0;
+  while (pos < block.size()) {
+    size_t eol = block.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = block.size();
+    std::string_view line = block.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    std::string name(line.substr(0, colon));
+    size_t vstart = colon + 1;
+    while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+    out[name] = std::string(line.substr(vstart));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HttpRequest::serialize() const {
+  std::string out = method + " " + path + " HTTP/1.1\r\n";
+  out += "Host: " + host + "\r\n";
+  for (const auto& [name, value] : headers) out += name + ": " + value + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::optional<HttpRequest> HttpRequest::parse(std::string_view wire) {
+  size_t line_end = wire.find("\r\n");
+  if (line_end == std::string_view::npos) return std::nullopt;
+  std::string_view request_line = wire.substr(0, line_end);
+
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return std::nullopt;
+
+  HttpRequest req;
+  req.method = std::string(request_line.substr(0, sp1));
+  req.path = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+
+  size_t headers_end = wire.find("\r\n\r\n", line_end);
+  if (headers_end == std::string_view::npos) return std::nullopt;
+  if (!parse_headers(wire.substr(line_end + 2, headers_end - line_end - 2),
+                     req.headers)) {
+    return std::nullopt;
+  }
+  if (auto it = req.headers.find("Host"); it != req.headers.end()) {
+    req.host = it->second;
+    req.headers.erase(it);
+  }
+  std::string_view body = wire.substr(headers_end + 4);
+  if (auto it = req.headers.find("Content-Length"); it != req.headers.end()) {
+    size_t len = 0;
+    auto [p, ec] = std::from_chars(it->second.data(),
+                                   it->second.data() + it->second.size(), len);
+    if (ec != std::errc() || body.size() < len) return std::nullopt;
+    body = body.substr(0, len);
+    req.headers.erase(it);
+  }
+  req.body = std::string(body);
+  return req;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  for (const auto& [name, value] : headers) out += name + ": " + value + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::optional<HttpResponse> HttpResponse::parse(std::string_view wire) {
+  size_t line_end = wire.find("\r\n");
+  if (line_end == std::string_view::npos) return std::nullopt;
+  std::string_view status_line = wire.substr(0, line_end);
+  if (!status_line.starts_with("HTTP/1.1 ")) return std::nullopt;
+
+  HttpResponse resp;
+  std::string_view rest = status_line.substr(9);
+  size_t sp = rest.find(' ');
+  std::string_view code = sp == std::string_view::npos ? rest : rest.substr(0, sp);
+  auto [p, ec] = std::from_chars(code.data(), code.data() + code.size(), resp.status);
+  if (ec != std::errc()) return std::nullopt;
+  if (sp != std::string_view::npos) resp.reason = std::string(rest.substr(sp + 1));
+
+  size_t headers_end = wire.find("\r\n\r\n", line_end);
+  if (headers_end == std::string_view::npos) return std::nullopt;
+  if (!parse_headers(wire.substr(line_end + 2, headers_end - line_end - 2),
+                     resp.headers)) {
+    return std::nullopt;
+  }
+  std::string_view body = wire.substr(headers_end + 4);
+  if (auto it = resp.headers.find("Content-Length"); it != resp.headers.end()) {
+    size_t len = 0;
+    auto [p2, ec2] = std::from_chars(it->second.data(),
+                                     it->second.data() + it->second.size(), len);
+    if (ec2 != std::errc() || body.size() < len) return std::nullopt;
+    body = body.substr(0, len);
+    resp.headers.erase(it);
+  }
+  resp.body = std::string(body);
+  return resp;
+}
+
+HttpResponse HttpResponse::ok(std::string body, std::string content_type) {
+  HttpResponse resp;
+  resp.headers["Content-Type"] = std::move(content_type);
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse HttpResponse::error(int status, std::string reason, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.reason = std::move(reason);
+  resp.body = std::move(body);
+  return resp;
+}
+
+std::string Url::authority() const {
+  if (port == 0) return host;
+  return host + ":" + std::to_string(port);
+}
+
+std::string Url::to_string() const {
+  return scheme + "://" + authority() + path;
+}
+
+std::optional<Url> Url::parse(std::string_view url) {
+  size_t scheme_end = url.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) return std::nullopt;
+  Url out;
+  out.scheme = std::string(url.substr(0, scheme_end));
+  std::string_view rest = url.substr(scheme_end + 3);
+  size_t path_start = rest.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  if (authority.empty()) return std::nullopt;
+  out.path = path_start == std::string_view::npos
+                 ? "/"
+                 : std::string(rest.substr(path_start));
+  size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    std::string_view port_text = authority.substr(colon + 1);
+    int port = 0;
+    auto [p, ec] =
+        std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc() || port <= 0 || port > 65535) return std::nullopt;
+    out.port = port;
+    out.host = std::string(authority.substr(0, colon));
+  } else {
+    out.host = std::string(authority);
+  }
+  if (out.host.empty()) return std::nullopt;
+  return out;
+}
+
+}  // namespace gs::net

@@ -1,0 +1,56 @@
+// HTTP/1.1 message framing.
+//
+// Real request/response serialization — the byte counts the simulated wire
+// charges for are the actual octets an HTTP transport would move, and the
+// same framing drives the real TCP server used by the examples.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace gs::net {
+
+struct HttpRequest {
+  std::string method = "POST";
+  std::string path = "/";
+  std::string host;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Full request octets (adds Host/Content-Length automatically).
+  std::string serialize() const;
+  /// Parses a complete request; nullopt on malformed input.
+  static std::optional<HttpRequest> parse(std::string_view wire);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string serialize() const;
+  static std::optional<HttpResponse> parse(std::string_view wire);
+
+  static HttpResponse ok(std::string body, std::string content_type = "application/soap+xml");
+  static HttpResponse error(int status, std::string reason, std::string body = "");
+};
+
+/// URL split into scheme/host/port/path.
+struct Url {
+  std::string scheme;  // "http", "https", "soap.tcp"
+  std::string host;
+  int port = 0;  // 0 = scheme default
+  std::string path = "/";
+
+  /// "host" or "host:port" as used for connection pooling keys.
+  std::string authority() const;
+  std::string to_string() const;
+
+  /// Parses e.g. "http://exec.vo.example:8080/ExecService";
+  /// nullopt on malformed input.
+  static std::optional<Url> parse(std::string_view url);
+};
+
+}  // namespace gs::net

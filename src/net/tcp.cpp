@@ -1,0 +1,159 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace gs::net {
+namespace {
+
+// Reads one HTTP message (headers + Content-Length body) from a socket.
+// Returns the raw octets, or empty on EOF/error.
+std::string read_http_message(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  size_t body_needed = std::string::npos;
+  size_t headers_end = std::string::npos;
+  for (;;) {
+    if (headers_end != std::string::npos &&
+        buffer.size() >= headers_end + 4 + body_needed) {
+      return buffer.substr(0, headers_end + 4 + body_needed);
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return buffer;  // EOF or error: return what we have
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (headers_end == std::string::npos) {
+      headers_end = buffer.find("\r\n\r\n");
+      if (headers_end != std::string::npos) {
+        body_needed = 0;
+        size_t cl = buffer.find("Content-Length:");
+        if (cl != std::string::npos && cl < headers_end) {
+          body_needed = static_cast<size_t>(
+              std::strtoul(buffer.c_str() + cl + 15, nullptr, 10));
+        }
+      }
+    }
+  }
+}
+
+bool send_all(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Endpoint& endpoint, std::uint16_t port, unsigned workers)
+    : endpoint_(endpoint), workers_(workers) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw NetworkError("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    throw NetworkError("bind() failed on port " + std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    throw NetworkError("listen() failed");
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+std::string HttpServer::base_url() const {
+  return "http://127.0.0.1:" + std::to_string(port_);
+}
+
+void HttpServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  workers_.drain();
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    workers_.submit([this, fd] { serve_connection(fd); });
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  std::string wire = read_http_message(fd);
+  if (!wire.empty()) {
+    HttpResponse response;
+    if (auto request = HttpRequest::parse(wire)) {
+      response = endpoint_.handle(*request);
+    } else {
+      response = HttpResponse::error(400, "Bad Request");
+    }
+    send_all(fd, response.serialize());
+  }
+  ::close(fd);
+}
+
+soap::Envelope TcpSoapCaller::call(const std::string& address,
+                                   const soap::Envelope& request) {
+  auto url = Url::parse(address);
+  if (!url) throw NetworkError("malformed address: " + address);
+  int port = url->port == 0 ? 80 : url->port;
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetworkError("socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, url->host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw NetworkError("unsupported host (use a dotted-quad address): " + url->host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw NetworkError("connect() to " + address + " failed");
+  }
+
+  HttpRequest http;
+  http.host = url->authority();
+  http.path = url->path;
+  http.headers["Content-Type"] = "application/soap+xml";
+  http.body = request.to_xml();
+  if (!send_all(fd, http.serialize())) {
+    ::close(fd);
+    throw NetworkError("send to " + address + " failed");
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string wire = read_http_message(fd);
+  ::close(fd);
+
+  auto response = HttpResponse::parse(wire);
+  if (!response) throw NetworkError("malformed HTTP response from " + address);
+  return soap::Envelope::from_xml(response->body);
+}
+
+}  // namespace gs::net

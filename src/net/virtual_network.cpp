@@ -1,0 +1,190 @@
+#include "net/virtual_network.hpp"
+
+#include "common/clock.hpp"
+#include "common/encoding.hpp"
+
+namespace gs::net {
+
+void VirtualNetwork::bind(const std::string& authority, Endpoint& endpoint) {
+  std::lock_guard lock(mu_);
+  endpoints_[authority] = &endpoint;
+}
+
+void VirtualNetwork::unbind(const std::string& authority) {
+  std::lock_guard lock(mu_);
+  endpoints_.erase(authority);
+}
+
+Endpoint* VirtualNetwork::resolve(const std::string& authority) const {
+  std::lock_guard lock(mu_);
+  auto it = endpoints_.find(authority);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+void VirtualNetwork::charge_message(WireMeter* meter, std::size_t bytes) const {
+  if (!meter) return;
+  meter->add_message(bytes);
+  meter->charge_ms(profile_.one_way_ms +
+                   profile_.per_kb_ms * (static_cast<double>(bytes) / 1024.0));
+}
+
+void VirtualNetwork::charge_connect(WireMeter* meter) const {
+  if (!meter) return;
+  meter->add_connect();
+  meter->charge_ms(profile_.connect_ms);
+}
+
+VirtualCaller::VirtualCaller(VirtualNetwork& net, Options options)
+    : net_(net), options_(options), rng_(options.rng_seed) {}
+
+void VirtualCaller::reset_connections() {
+  std::lock_guard lock(mu_);
+  connected_.clear();
+  tls_.clear();
+  session_cache_.clear();
+}
+
+soap::Envelope VirtualCaller::call(const std::string& address,
+                                   const soap::Envelope& request) {
+  auto url = Url::parse(address);
+  if (!url) throw NetworkError("malformed address: " + address);
+
+  std::string response_octets;
+  switch (options_.transport) {
+    case TransportKind::kHttp:
+    case TransportKind::kHttps: {
+      HttpRequest http;
+      http.host = url->authority();
+      http.path = url->path;
+      http.headers["Content-Type"] = "application/soap+xml";
+      http.body = request.to_xml();
+      std::string wire = exchange_octets(*url, http.serialize());
+      auto response = HttpResponse::parse(wire);
+      if (!response) throw NetworkError("malformed HTTP response from " + address);
+      if (response->status != 200 && response->body.empty()) {
+        throw NetworkError("HTTP " + std::to_string(response->status) + " " +
+                           response->reason + " from " + address);
+      }
+      response_octets = std::move(response->body);
+      break;
+    }
+    case TransportKind::kSoapTcp: {
+      // 4-byte length prefix, then the envelope octets — no HTTP headers.
+      std::string body = request.to_xml();
+      std::string frame;
+      frame.reserve(4 + body.size());
+      std::uint32_t len = static_cast<std::uint32_t>(body.size());
+      for (int i = 0; i < 4; ++i)
+        frame.push_back(static_cast<char>((len >> (i * 8)) & 0xFF));
+      frame += body;
+      std::string wire = exchange_octets(*url, frame);
+      if (wire.size() < 4) throw NetworkError("short SOAP/TCP frame");
+      response_octets = wire.substr(4);
+      break;
+    }
+  }
+  return soap::Envelope::from_xml(response_octets);
+}
+
+std::string VirtualCaller::exchange_octets(const Url& url,
+                                           const std::string& octets) {
+  Endpoint* endpoint = net_.resolve(url.authority());
+  if (!endpoint) throw NetworkError("no endpoint bound at " + url.authority());
+
+  const std::string& authority = url.authority();
+  bool https = options_.transport == TransportKind::kHttps;
+
+  // Connection management: charge a connect when no pooled connection
+  // exists (or pooling is disabled). For HTTPS a new connection also means
+  // a TLS handshake (full or resumed).
+  TlsState* tls = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    bool have_connection =
+        options_.keep_alive && connected_.contains(authority);
+    if (!have_connection) {
+      net_.charge_connect(options_.meter);
+      connected_.insert(authority);
+      if (https) tls_.erase(authority);  // new connection: re-handshake
+    }
+    if (https) {
+      auto it = tls_.find(authority);
+      if (it == tls_.end()) {
+        const security::Credential* cred = endpoint->tls_credential();
+        if (!cred) {
+          throw NetworkError("endpoint " + authority + " does not support TLS");
+        }
+        if (!options_.anchor) {
+          throw NetworkError("https transport requires a trust anchor");
+        }
+        security::TlsHandshake hs = security::TlsHandshake::run(
+            *options_.anchor, session_cache_, *cred, authority,
+            common::RealClock::instance().now(), rng_);
+        if (options_.meter) {
+          options_.meter->add_handshake();
+          // Handshake wire cost: round trips plus the octets moved.
+          options_.meter->charge_ms(net_.profile().one_way_ms * 2 *
+                                    hs.round_trips);
+          net_.charge_message(options_.meter, hs.handshake_bytes);
+        }
+        auto state = std::make_unique<TlsState>();
+        state->client = std::move(hs.client);
+        state->server = std::move(hs.server);
+        it = tls_.emplace(authority, std::move(state)).first;
+      }
+      tls = it->second.get();
+    }
+  }
+
+  if (!https) {
+    net_.charge_message(options_.meter, octets.size());
+    HttpResponse response;
+    if (options_.transport == TransportKind::kHttp) {
+      auto request = HttpRequest::parse(octets);
+      if (!request) throw NetworkError("malformed HTTP request");
+      response = endpoint->handle(*request);
+      std::string wire = response.serialize();
+      net_.charge_message(options_.meter, wire.size());
+      return wire;
+    }
+    // kSoapTcp: strip framing, synthesize an HTTP request for the endpoint,
+    // frame the response back.
+    if (octets.size() < 4) throw NetworkError("short SOAP/TCP frame");
+    HttpRequest request;
+    request.host = authority;
+    request.path = url.path;
+    request.body = octets.substr(4);
+    response = endpoint->handle(request);
+    std::string frame;
+    std::uint32_t len = static_cast<std::uint32_t>(response.body.size());
+    for (int i = 0; i < 4; ++i)
+      frame.push_back(static_cast<char>((len >> (i * 8)) & 0xFF));
+    frame += response.body;
+    net_.charge_message(options_.meter, frame.size());
+    return frame;
+  }
+
+  // HTTPS: seal on the client, open on the server, handle, seal the
+  // response, open on the client. All four crypto passes actually run.
+  // Only this authority's channel is locked, so the endpoint may call out
+  // to other authorities through this same caller while handling.
+  std::lock_guard lock(tls->mu);
+  std::vector<std::uint8_t> sealed =
+      tls->client.seal(common::as_bytes(octets));
+  net_.charge_message(options_.meter, sealed.size());
+  std::vector<std::uint8_t> plain_request = tls->server.open(sealed);
+
+  auto request = HttpRequest::parse(
+      std::string_view(reinterpret_cast<const char*>(plain_request.data()),
+                       plain_request.size()));
+  if (!request) throw NetworkError("malformed HTTPS request");
+  HttpResponse response = endpoint->handle(*request);
+  std::string response_wire = response.serialize();
+  std::vector<std::uint8_t> sealed_response =
+      tls->server.seal(common::as_bytes(response_wire));
+  net_.charge_message(options_.meter, sealed_response.size());
+  std::vector<std::uint8_t> plain_response = tls->client.open(sealed_response);
+  return std::string(plain_response.begin(), plain_response.end());
+}
+
+}  // namespace gs::net

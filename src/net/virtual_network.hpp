@@ -1,0 +1,148 @@
+// In-process virtual network: named endpoints, metered wire, and SOAP
+// callers over three transports (HTTP, HTTPS/TLS-lite, raw SOAP-over-TCP).
+//
+// Endpoints are bound by authority ("exec.vo.example" or "hostB:8443").
+// Every exchange serializes the request to real octets, charges the wire
+// model, and re-parses on the far side, so both stacks pay genuine
+// marshaling costs on every hop — including service-to-service outcalls in
+// Grid-in-a-Box, which is what Figure 6 turns on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <set>
+#include <string>
+
+#include "net/http.hpp"
+#include "net/wire.hpp"
+#include "security/tls.hpp"
+#include "soap/envelope.hpp"
+
+namespace gs::net {
+
+/// A server bound into the network.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual HttpResponse handle(const HttpRequest& request) = 0;
+  /// Credential presented for TLS; nullptr disables the https transport.
+  virtual const security::Credential* tls_credential() const { return nullptr; }
+};
+
+/// Adapts a lambda to an Endpoint (notification sinks, test doubles).
+class LambdaEndpoint final : public Endpoint {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  explicit LambdaEndpoint(Handler handler, const security::Credential* cred = nullptr)
+      : handler_(std::move(handler)), cred_(cred) {}
+  HttpResponse handle(const HttpRequest& request) override { return handler_(request); }
+  const security::Credential* tls_credential() const override { return cred_; }
+
+ private:
+  Handler handler_;
+  const security::Credential* cred_;
+};
+
+class NetworkError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The in-process network fabric.
+class VirtualNetwork {
+ public:
+  explicit VirtualNetwork(NetworkProfile profile = NetworkProfile::colocated())
+      : profile_(profile) {}
+
+  void bind(const std::string& authority, Endpoint& endpoint);
+  void unbind(const std::string& authority);
+  Endpoint* resolve(const std::string& authority) const;
+
+  const NetworkProfile& profile() const noexcept { return profile_; }
+  void set_profile(NetworkProfile p) { profile_ = p; }
+
+  /// Charges one message of `bytes` octets on the meter (if any).
+  void charge_message(WireMeter* meter, std::size_t bytes) const;
+  void charge_connect(WireMeter* meter) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Endpoint*> endpoints_;
+  NetworkProfile profile_;
+};
+
+/// Wire transports for SOAP exchange.
+enum class TransportKind {
+  kHttp,     // plain HTTP/1.1 POST
+  kHttps,    // TLS-lite channel with session caching
+  kSoapTcp,  // length-prefixed SOAP frames on a persistent TCP connection
+};
+
+/// Client-side SOAP request/response interface. Service proxies talk to
+/// this; implementations exist for the virtual network and real sockets.
+class SoapCaller {
+ public:
+  virtual ~SoapCaller() = default;
+  /// Sends `request` to `address` (a URL) and returns the response
+  /// envelope. Throws NetworkError on transport failure; faults come back
+  /// as envelopes for the proxy to inspect.
+  virtual soap::Envelope call(const std::string& address,
+                              const soap::Envelope& request) = 0;
+};
+
+/// SOAP caller over the virtual network.
+///
+/// Connection behaviour models the toolkits in the paper:
+///  * kHttp / kHttps pool one connection per authority; `keep_alive=false`
+///    reconnects per message (WSRF.NET's notification sink behaviour).
+///  * kHttps performs the TLS-lite handshake on first contact and resumes
+///    from the session cache afterwards.
+///  * kSoapTcp uses one persistent connection per authority with 4-byte
+///    length framing (the Plumbwork Orange WSE SoapReceiver behaviour).
+class VirtualCaller final : public SoapCaller {
+ public:
+  struct Options {
+    TransportKind transport = TransportKind::kHttp;
+    bool keep_alive = true;
+    WireMeter* meter = nullptr;
+    /// Trust anchor for server certificates (required for kHttps).
+    const security::Certificate* anchor = nullptr;
+    /// Entropy for TLS randoms; defaults to a fixed seed for determinism.
+    std::uint64_t rng_seed = 0x5eed;
+  };
+
+  VirtualCaller(VirtualNetwork& net, Options options);
+
+  soap::Envelope call(const std::string& address,
+                      const soap::Envelope& request) override;
+
+  /// Drops pooled connections and cached TLS sessions (tests/ablations).
+  void reset_connections();
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  // Per-authority channel state with its own lock, so a service handling a
+  // request may make nested calls to *other* authorities through the same
+  // caller without self-deadlock.
+  struct TlsState {
+    security::TlsConnection client;
+    security::TlsConnection server;
+    std::mutex mu;
+  };
+
+  std::string exchange_octets(const Url& url, const std::string& octets);
+
+  VirtualNetwork& net_;
+  Options options_;
+  std::mutex mu_;
+  std::set<std::string> connected_;  // authorities with open TCP
+  std::map<std::string, std::unique_ptr<TlsState>> tls_;  // TLS channels
+  security::TlsSessionCache session_cache_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace gs::net

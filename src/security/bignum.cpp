@@ -1,0 +1,452 @@
+#include "security/bignum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gs::security {
+
+BigUint::BigUint(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_bytes(std::span<const std::uint8_t> bytes) {
+  BigUint out;
+  for (std::uint8_t b : bytes) {
+    out = (out << 8) + BigUint(b);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> BigUint::to_bytes() const {
+  if (is_zero()) return {0};
+  std::vector<std::uint8_t> out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      out.push_back(static_cast<std::uint8_t>(limbs_[i] >> shift));
+    }
+  }
+  size_t skip = 0;
+  while (skip + 1 < out.size() && out[skip] == 0) ++skip;
+  out.erase(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(skip));
+  return out;
+}
+
+BigUint BigUint::from_hex(std::string_view hex) {
+  BigUint out;
+  for (char c : hex) {
+    int v;
+    if (c >= '0' && c <= '9') v = c - '0';
+    else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+    else throw std::invalid_argument("invalid hex digit");
+    out = (out << 4) + BigUint(static_cast<std::uint64_t>(v));
+  }
+  return out;
+}
+
+std::string BigUint::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out += kHex[(limbs_[i] >> shift) & 0xF];
+    }
+  }
+  size_t skip = out.find_first_not_of('0');
+  return out.substr(skip == std::string::npos ? out.size() - 1 : skip);
+}
+
+size_t BigUint::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUint::bit(size_t i) const noexcept {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+int BigUint::compare(const BigUint& other) const noexcept {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUint operator+(const BigUint& a, const BigUint& b) {
+  BigUint out;
+  size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n);
+  std::uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigUint operator-(const BigUint& a, const BigUint& b) {
+  if (a < b) throw std::underflow_error("BigUint subtraction underflow");
+  BigUint out;
+  out.limbs_.resize(a.limbs_.size());
+  std::int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow -
+                        (i < b.limbs_.size() ? b.limbs_[i] : 0);
+    if (diff < 0) {
+      diff += (1LL << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+BigUint operator*(const BigUint& a, const BigUint& b) {
+  if (a.is_zero() || b.is_zero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      std::uint64_t cur = out.limbs_[i + j] +
+                          static_cast<std::uint64_t>(a.limbs_[i]) * b.limbs_[j] +
+                          carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.limbs_.size();
+    while (carry) {
+      std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::operator<<(size_t bits) const {
+  if (is_zero()) return BigUint();
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::operator>>(size_t bits) const {
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+std::pair<BigUint, BigUint> BigUint::divmod(const BigUint& a, const BigUint& b) {
+  if (b.is_zero()) throw std::domain_error("BigUint division by zero");
+  if (a < b) return {BigUint(), a};
+
+  // Bitwise long division: adequate because divisions are off the RSA hot
+  // path (Montgomery handles the modexp inner loop).
+  BigUint quotient;
+  size_t shift = a.bit_length() - b.bit_length();
+  BigUint divisor = b << shift;
+  BigUint remainder = a;
+  quotient.limbs_.assign((shift + 32) / 32, 0);
+  for (size_t i = shift + 1; i-- > 0;) {
+    if (remainder >= divisor) {
+      remainder = remainder - divisor;
+      quotient.limbs_[i / 32] |= (1u << (i % 32));
+    }
+    divisor = divisor >> 1;
+  }
+  quotient.trim();
+  return {std::move(quotient), std::move(remainder)};
+}
+
+namespace {
+
+// Montgomery (CIOS) context for an odd modulus.
+class Montgomery {
+ public:
+  explicit Montgomery(const BigUint& n) : n_(n.limbs()), k_(n.limbs().size()) {
+    // n0inv = -n^{-1} mod 2^32 via Newton iteration.
+    std::uint32_t x = n_[0];
+    std::uint32_t inv = x;  // 3 bits correct
+    for (int i = 0; i < 5; ++i) inv *= 2 - x * inv;
+    n0inv_ = ~inv + 1;  // negate mod 2^32
+
+    // R^2 mod n where R = 2^(32k), computed via shifting.
+    BigUint r2 = BigUint(1) << (64 * k_);
+    r2_ = (r2 % n).limbs();
+    r2_.resize(k_, 0);
+  }
+
+  // Montgomery product: a*b*R^{-1} mod n. Inputs/outputs are k-limb vectors.
+  std::vector<std::uint32_t> mul(const std::vector<std::uint32_t>& a,
+                                 const std::vector<std::uint32_t>& b) const {
+    std::vector<std::uint64_t> t(k_ + 2, 0);
+    for (size_t i = 0; i < k_; ++i) {
+      std::uint64_t carry = 0;
+      std::uint64_t ai = a[i];
+      for (size_t j = 0; j < k_; ++j) {
+        std::uint64_t cur = t[j] + ai * b[j] + carry;
+        t[j] = cur & 0xFFFFFFFFULL;
+        carry = cur >> 32;
+      }
+      std::uint64_t cur = t[k_] + carry;
+      t[k_] = cur & 0xFFFFFFFFULL;
+      t[k_ + 1] = cur >> 32;
+
+      std::uint32_t m = static_cast<std::uint32_t>(t[0]) * n0inv_;
+      carry = 0;
+      std::uint64_t first = t[0] + static_cast<std::uint64_t>(m) * n_[0];
+      carry = first >> 32;
+      for (size_t j = 1; j < k_; ++j) {
+        std::uint64_t cur2 = t[j] + static_cast<std::uint64_t>(m) * n_[j] + carry;
+        t[j - 1] = cur2 & 0xFFFFFFFFULL;
+        carry = cur2 >> 32;
+      }
+      std::uint64_t cur2 = t[k_] + carry;
+      t[k_ - 1] = cur2 & 0xFFFFFFFFULL;
+      t[k_] = t[k_ + 1] + (cur2 >> 32);
+      t[k_ + 1] = 0;
+    }
+    std::vector<std::uint32_t> out(k_);
+    for (size_t i = 0; i < k_; ++i) out[i] = static_cast<std::uint32_t>(t[i]);
+    // Conditional final subtraction.
+    bool ge = t[k_] != 0;
+    if (!ge) {
+      ge = true;
+      for (size_t i = k_; i-- > 0;) {
+        if (out[i] != n_[i]) {
+          ge = out[i] > n_[i];
+          break;
+        }
+      }
+    }
+    if (ge) {
+      std::int64_t borrow = 0;
+      for (size_t i = 0; i < k_; ++i) {
+        std::int64_t diff = static_cast<std::int64_t>(out[i]) - n_[i] - borrow;
+        if (diff < 0) {
+          diff += (1LL << 32);
+          borrow = 1;
+        } else {
+          borrow = 0;
+        }
+        out[i] = static_cast<std::uint32_t>(diff);
+      }
+    }
+    return out;
+  }
+
+  // base^exp mod n (left-to-right square-and-multiply in the Montgomery
+  // domain).
+  BigUint pow(const BigUint& base, const BigUint& exp) const {
+    std::vector<std::uint32_t> b = (base % to_big(n_)).limbs();
+    b.resize(k_, 0);
+    std::vector<std::uint32_t> bm = mul(b, r2_);  // to Montgomery domain
+
+    // one = R mod n = mont(1, R^2).
+    std::vector<std::uint32_t> one(k_, 0);
+    one[0] = 1;
+    std::vector<std::uint32_t> acc = mul(one, r2_);
+
+    size_t bits = exp.bit_length();
+    for (size_t i = bits; i-- > 0;) {
+      acc = mul(acc, acc);
+      if (exp.bit(i)) acc = mul(acc, bm);
+    }
+    acc = mul(acc, one);  // out of Montgomery domain (multiply by 1)
+    BigUint out = to_big(acc);
+    return out;
+  }
+
+ private:
+  static BigUint to_big(const std::vector<std::uint32_t>& limbs) {
+    BigUint out = BigUint();
+    std::vector<std::uint8_t> bytes;
+    for (size_t i = limbs.size(); i-- > 0;) {
+      for (int shift = 24; shift >= 0; shift -= 8) {
+        bytes.push_back(static_cast<std::uint8_t>(limbs[i] >> shift));
+      }
+    }
+    return BigUint::from_bytes(bytes);
+  }
+
+  std::vector<std::uint32_t> n_;
+  size_t k_;
+  std::uint32_t n0inv_;
+  std::vector<std::uint32_t> r2_;
+};
+
+}  // namespace
+
+BigUint BigUint::mod_exp(const BigUint& base, const BigUint& exp,
+                         const BigUint& modulus) {
+  if (modulus.is_zero()) throw std::domain_error("mod_exp modulus is zero");
+  if (modulus == BigUint(1)) return BigUint();
+  if (exp.is_zero()) return BigUint(1);
+  if (modulus.is_odd()) {
+    return Montgomery(modulus).pow(base, exp);
+  }
+  // Fallback: plain square-and-multiply (rare path; RSA moduli are odd).
+  BigUint result(1);
+  BigUint b = base % modulus;
+  for (size_t i = exp.bit_length(); i-- > 0;) {
+    result = (result * result) % modulus;
+    if (exp.bit(i)) result = (result * b) % modulus;
+  }
+  return result;
+}
+
+BigUint BigUint::mod_inverse(const BigUint& a, const BigUint& m) {
+  // Extended Euclid with signed coefficients tracked as (magnitude, sign).
+  struct Signed {
+    BigUint mag;
+    bool neg = false;
+  };
+  auto sub = [](const Signed& x, const Signed& y) -> Signed {
+    if (x.neg == y.neg) {
+      if (x.mag >= y.mag) return {x.mag - y.mag, x.neg};
+      return {y.mag - x.mag, !x.neg};
+    }
+    return {x.mag + y.mag, x.neg};
+  };
+  auto mul_big = [](const Signed& x, const BigUint& q) -> Signed {
+    return {x.mag * q, x.neg};
+  };
+
+  BigUint r0 = m, r1 = a % m;
+  Signed t0{BigUint(), false}, t1{BigUint(1), false};
+  while (!r1.is_zero()) {
+    auto [q, r] = divmod(r0, r1);
+    Signed t2 = sub(t0, mul_big(t1, q));
+    r0 = std::move(r1);
+    r1 = std::move(r);
+    t0 = std::move(t1);
+    t1 = std::move(t2);
+  }
+  if (r0 != BigUint(1)) throw std::domain_error("mod_inverse: not coprime");
+  if (t0.neg) return m - (t0.mag % m);
+  return t0.mag % m;
+}
+
+BigUint BigUint::random_bits(size_t bits, std::mt19937_64& rng) {
+  if (bits == 0) return BigUint();
+  BigUint out;
+  out.limbs_.resize((bits + 31) / 32);
+  for (auto& limb : out.limbs_) limb = static_cast<std::uint32_t>(rng());
+  size_t top_bit = (bits - 1) % 32;
+  std::uint32_t mask = top_bit == 31 ? 0xFFFFFFFFu : ((1u << (top_bit + 1)) - 1);
+  out.limbs_.back() &= mask;
+  out.limbs_.back() |= (1u << top_bit);  // force exact bit length
+  return out;
+}
+
+BigUint BigUint::random_below(const BigUint& bound, std::mt19937_64& rng) {
+  if (bound.is_zero()) throw std::domain_error("random_below: zero bound");
+  size_t bits = bound.bit_length();
+  for (;;) {
+    BigUint candidate;
+    candidate.limbs_.resize((bits + 31) / 32);
+    for (auto& limb : candidate.limbs_) limb = static_cast<std::uint32_t>(rng());
+    size_t extra = candidate.limbs_.size() * 32 - bits;
+    if (extra > 0) candidate.limbs_.back() >>= extra;
+    candidate.trim();
+    if (candidate < bound) return candidate;
+  }
+}
+
+bool BigUint::is_probable_prime(const BigUint& n, int rounds,
+                                std::mt19937_64& rng) {
+  if (n < BigUint(2)) return false;
+  static const std::uint32_t kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19,
+                                               23, 29, 31, 37, 41, 43, 47};
+  for (std::uint32_t p : kSmallPrimes) {
+    if (n == BigUint(p)) return true;
+    if ((n % BigUint(p)).is_zero()) return false;
+  }
+  // n - 1 = d * 2^s with d odd.
+  BigUint n_minus_1 = n - BigUint(1);
+  BigUint d = n_minus_1;
+  size_t s = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    BigUint a = BigUint(2) + random_below(n - BigUint(4), rng);
+    BigUint x = mod_exp(a, d, n);
+    if (x == BigUint(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (size_t i = 1; i < s; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigUint BigUint::random_prime(size_t bits, std::mt19937_64& rng) {
+  for (;;) {
+    BigUint candidate = random_bits(bits, rng);
+    if (!candidate.is_odd()) candidate = candidate + BigUint(1);
+    if (is_probable_prime(candidate, 20, rng)) return candidate;
+  }
+}
+
+std::uint64_t BigUint::to_u64() const {
+  std::uint64_t out = 0;
+  if (!limbs_.empty()) out = limbs_[0];
+  if (limbs_.size() > 1) out |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return out;
+}
+
+}  // namespace gs::security

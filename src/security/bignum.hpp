@@ -1,0 +1,101 @@
+// Arbitrary-precision unsigned integers and modular arithmetic for RSA.
+//
+// Little-endian 32-bit limbs, schoolbook multiplication, bitwise long
+// division for the occasional reduction, and Montgomery (CIOS)
+// exponentiation for the hot path (sign/verify). Sized for the RSA-1024
+// keys the paper's WSE X.509 profile used.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gs::security {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  BigUint(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal init
+
+  /// Big-endian byte import/export (minimal-length export).
+  static BigUint from_bytes(std::span<const std::uint8_t> bytes);
+  std::vector<std::uint8_t> to_bytes() const;
+
+  static BigUint from_hex(std::string_view hex);
+  std::string to_hex() const;
+
+  bool is_zero() const noexcept { return limbs_.empty(); }
+  bool is_odd() const noexcept { return !limbs_.empty() && (limbs_[0] & 1); }
+  size_t bit_length() const noexcept;
+  bool bit(size_t i) const noexcept;
+
+  int compare(const BigUint& other) const noexcept;
+  friend bool operator==(const BigUint& a, const BigUint& b) {
+    return a.compare(b) == 0;
+  }
+  friend bool operator<(const BigUint& a, const BigUint& b) {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const BigUint& a, const BigUint& b) {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const BigUint& a, const BigUint& b) {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const BigUint& a, const BigUint& b) {
+    return a.compare(b) >= 0;
+  }
+  friend bool operator!=(const BigUint& a, const BigUint& b) {
+    return a.compare(b) != 0;
+  }
+
+  friend BigUint operator+(const BigUint& a, const BigUint& b);
+  /// Requires a >= b; throws std::underflow_error otherwise.
+  friend BigUint operator-(const BigUint& a, const BigUint& b);
+  friend BigUint operator*(const BigUint& a, const BigUint& b);
+  BigUint operator<<(size_t bits) const;
+  BigUint operator>>(size_t bits) const;
+
+  /// {quotient, remainder}; throws std::domain_error on division by zero.
+  static std::pair<BigUint, BigUint> divmod(const BigUint& a, const BigUint& b);
+  friend BigUint operator/(const BigUint& a, const BigUint& b) {
+    return divmod(a, b).first;
+  }
+  friend BigUint operator%(const BigUint& a, const BigUint& b) {
+    return divmod(a, b).second;
+  }
+
+  /// base^exp mod modulus. Uses Montgomery exponentiation when the modulus
+  /// is odd (the RSA case), plain square-and-multiply otherwise.
+  static BigUint mod_exp(const BigUint& base, const BigUint& exp,
+                         const BigUint& modulus);
+
+  /// Modular inverse (extended Euclid); throws std::domain_error when
+  /// gcd(a, m) != 1.
+  static BigUint mod_inverse(const BigUint& a, const BigUint& m);
+
+  /// Uniform random integer with exactly `bits` bits (msb set).
+  static BigUint random_bits(size_t bits, std::mt19937_64& rng);
+  /// Uniform random integer in [0, bound).
+  static BigUint random_below(const BigUint& bound, std::mt19937_64& rng);
+
+  /// Miller-Rabin probable-prime test with `rounds` random bases.
+  static bool is_probable_prime(const BigUint& n, int rounds,
+                                std::mt19937_64& rng);
+  /// Random probable prime with exactly `bits` bits.
+  static BigUint random_prime(size_t bits, std::mt19937_64& rng);
+
+  std::uint64_t to_u64() const;  // low 64 bits
+
+  const std::vector<std::uint32_t>& limbs() const noexcept { return limbs_; }
+
+ private:
+  void trim();
+  // Little-endian limbs; empty == zero.
+  std::vector<std::uint32_t> limbs_;
+};
+
+}  // namespace gs::security

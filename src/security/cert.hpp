@@ -1,0 +1,84 @@
+// X.509-lite certificates and a small certificate authority.
+//
+// The paper's scenarios 2 and 5 sign requests/responses with X.509
+// credentials processed by WSE. This module provides the equivalent trust
+// machinery: a CA issues certificates binding a subject DN to an RSA public
+// key; verification checks the issuer signature and the validity window.
+// Certificates serialize to XML (this stack's wire format everywhere).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "security/rsa.hpp"
+#include "xml/node.hpp"
+
+namespace gs::security {
+
+class SecurityError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A certificate: subject identity + public key, signed by an issuer.
+struct Certificate {
+  std::string subject_dn;   // e.g. "CN=alice,O=VO"
+  std::string issuer_dn;    // e.g. "CN=GridCA"
+  RsaPublicKey subject_key;
+  common::TimeMs not_before = 0;
+  common::TimeMs not_after = 0;
+  std::vector<std::uint8_t> signature;  // issuer's signature over tbs()
+
+  /// Deterministic serialization of the to-be-signed fields.
+  std::string tbs() const;
+
+  std::unique_ptr<xml::Element> to_xml() const;
+  static Certificate from_xml(const xml::Element& el);
+
+  /// Compact transport form (base64 of the XML) for BinarySecurityToken.
+  std::string to_token() const;
+  static Certificate from_token(std::string_view token);
+};
+
+/// A certificate plus the matching private key — what a client or service
+/// authenticates with.
+struct Credential {
+  Certificate cert;
+  RsaKeyPair key;
+};
+
+/// Issues certificates under a self-signed root.
+class CertificateAuthority {
+ public:
+  /// Creates a CA with a fresh `bits`-bit key.
+  static CertificateAuthority create(std::string dn, size_t bits,
+                                     std::mt19937_64& rng);
+
+  /// Issues a credential for `subject_dn` with a fresh subject key.
+  Credential issue(const std::string& subject_dn, size_t bits,
+                   std::mt19937_64& rng, common::TimeMs not_before,
+                   common::TimeMs not_after) const;
+
+  /// Signs an externally-generated public key into a certificate.
+  Certificate certify(const std::string& subject_dn, const RsaPublicKey& key,
+                      common::TimeMs not_before, common::TimeMs not_after) const;
+
+  /// The CA's self-signed certificate (the trust anchor).
+  const Certificate& root() const noexcept { return root_; }
+
+ private:
+  CertificateAuthority(std::string dn, RsaKeyPair key);
+  std::string dn_;
+  RsaKeyPair key_;
+  Certificate root_;
+};
+
+/// Verifies `cert` against the trust anchor: issuer DN matches, the issuer
+/// signature is valid, and `now` lies within the validity window.
+/// Throws SecurityError with a specific reason on failure.
+void verify_certificate(const Certificate& cert, const Certificate& anchor,
+                        common::TimeMs now);
+
+}  // namespace gs::security

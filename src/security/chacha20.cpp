@@ -1,0 +1,77 @@
+#include "security/chacha20.hpp"
+
+namespace gs::security {
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline std::uint32_t load32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(std::span<const std::uint8_t, 32> key,
+                   std::span<const std::uint8_t, 12> nonce, std::uint32_t counter) {
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[static_cast<size_t>(4 + i)] = load32(key.data() + i * 4);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[static_cast<size_t>(13 + i)] = load32(nonce.data() + i * 4);
+}
+
+void ChaCha20::refill() {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (size_t i = 0; i < 16; ++i) {
+    std::uint32_t v = x[i] + state_[i];
+    block_[i * 4] = static_cast<std::uint8_t>(v);
+    block_[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
+    block_[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
+    block_[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  ++state_[12];
+  used_ = 0;
+}
+
+void ChaCha20::apply(std::span<std::uint8_t> data) {
+  for (std::uint8_t& b : data) {
+    if (used_ == 64) refill();
+    b ^= block_[used_++];
+  }
+}
+
+std::vector<std::uint8_t> ChaCha20::crypt(std::span<const std::uint8_t, 32> key,
+                                          std::span<const std::uint8_t, 12> nonce,
+                                          std::span<const std::uint8_t> data,
+                                          std::uint32_t counter) {
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  ChaCha20 cipher(key, nonce, counter);
+  cipher.apply(out);
+  return out;
+}
+
+}  // namespace gs::security

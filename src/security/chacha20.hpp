@@ -1,0 +1,36 @@
+// ChaCha20 stream cipher (RFC 8439 core).
+//
+// Used as the record cipher in the TLS-lite channel. Encryption and
+// decryption are the same keystream XOR.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gs::security {
+
+class ChaCha20 {
+ public:
+  ChaCha20(std::span<const std::uint8_t, 32> key,
+           std::span<const std::uint8_t, 12> nonce, std::uint32_t counter = 0);
+
+  /// XORs the keystream into `data` in place (encrypt == decrypt).
+  void apply(std::span<std::uint8_t> data);
+
+  /// One-shot convenience.
+  static std::vector<std::uint8_t> crypt(std::span<const std::uint8_t, 32> key,
+                                         std::span<const std::uint8_t, 12> nonce,
+                                         std::span<const std::uint8_t> data,
+                                         std::uint32_t counter = 0);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> block_;
+  size_t used_ = 64;  // force refill on first use
+};
+
+}  // namespace gs::security

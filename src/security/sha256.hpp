@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gs::security {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+  /// Finalizes and returns the digest; the object must be reset() before reuse.
+  Digest256 finish();
+
+  /// One-shot digest.
+  static Digest256 digest(std::span<const std::uint8_t> data);
+  static Digest256 digest(std::string_view text);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_ = 0;
+  size_t buffered_ = 0;
+};
+
+/// HMAC-SHA-256 (RFC 2104).
+Digest256 hmac_sha256(std::span<const std::uint8_t> key,
+                      std::span<const std::uint8_t> message);
+
+}  // namespace gs::security

@@ -1,0 +1,181 @@
+#include "security/tls.hpp"
+
+#include <cstring>
+
+#include "security/chacha20.hpp"
+#include "security/sha256.hpp"
+
+namespace gs::security {
+namespace {
+
+std::array<std::uint8_t, 32> derive(std::span<const std::uint8_t> secret,
+                                    std::string_view label) {
+  Digest256 d = hmac_sha256(
+      secret, std::span<const std::uint8_t>(
+                  reinterpret_cast<const std::uint8_t*>(label.data()), label.size()));
+  std::array<std::uint8_t, 32> out;
+  std::copy(d.begin(), d.end(), out.begin());
+  return out;
+}
+
+std::array<std::uint8_t, 12> nonce_for(std::uint64_t seq) {
+  std::array<std::uint8_t, 12> nonce{};
+  for (int i = 0; i < 8; ++i) nonce[static_cast<size_t>(i)] = static_cast<std::uint8_t>(seq >> (i * 8));
+  return nonce;
+}
+
+void fill_random(std::span<std::uint8_t> out, std::mt19937_64& rng) {
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+}
+
+}  // namespace
+
+void TlsHandshake::key_connections(TlsConnection& client, TlsConnection& server,
+                                   std::span<const std::uint8_t> master) {
+  auto c2s_key = derive(master, "client-write-key");
+  auto s2c_key = derive(master, "server-write-key");
+  auto c2s_mac = derive(master, "client-write-mac");
+  auto s2c_mac = derive(master, "server-write-mac");
+  client.send_key_ = c2s_key;
+  client.recv_key_ = s2c_key;
+  client.send_mac_ = c2s_mac;
+  client.recv_mac_ = s2c_mac;
+  server.send_key_ = s2c_key;
+  server.recv_key_ = c2s_key;
+  server.send_mac_ = s2c_mac;
+  server.recv_mac_ = c2s_mac;
+}
+
+std::vector<std::uint8_t> TlsConnection::seal(std::span<const std::uint8_t> plaintext) {
+  std::vector<std::uint8_t> ct(plaintext.begin(), plaintext.end());
+  ChaCha20 cipher(send_key_, nonce_for(send_seq_));
+  cipher.apply(ct);
+
+  // MAC over seq || ciphertext.
+  std::vector<std::uint8_t> mac_input(8);
+  for (int i = 0; i < 8; ++i)
+    mac_input[static_cast<size_t>(i)] = static_cast<std::uint8_t>(send_seq_ >> (i * 8));
+  mac_input.insert(mac_input.end(), ct.begin(), ct.end());
+  Digest256 tag = hmac_sha256(send_mac_, mac_input);
+  ++send_seq_;
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + ct.size() + tag.size());
+  std::uint32_t len = static_cast<std::uint32_t>(ct.size());
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<std::uint8_t>(len >> (i * 8)));
+  frame.insert(frame.end(), ct.begin(), ct.end());
+  frame.insert(frame.end(), tag.begin(), tag.end());
+  return frame;
+}
+
+std::vector<std::uint8_t> TlsConnection::open(std::span<const std::uint8_t> record) {
+  if (record.size() < 4 + 32) throw SecurityError("TLS record truncated");
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(record[static_cast<size_t>(i)]) << (i * 8);
+  if (record.size() != 4 + len + 32) throw SecurityError("TLS record length mismatch");
+
+  std::span<const std::uint8_t> ct = record.subspan(4, len);
+  std::span<const std::uint8_t> tag = record.subspan(4 + len, 32);
+
+  std::vector<std::uint8_t> mac_input(8);
+  for (int i = 0; i < 8; ++i)
+    mac_input[static_cast<size_t>(i)] = static_cast<std::uint8_t>(recv_seq_ >> (i * 8));
+  mac_input.insert(mac_input.end(), ct.begin(), ct.end());
+  Digest256 expected = hmac_sha256(recv_mac_, mac_input);
+  if (!std::equal(expected.begin(), expected.end(), tag.begin())) {
+    throw SecurityError("TLS record authentication failed");
+  }
+
+  std::vector<std::uint8_t> pt(ct.begin(), ct.end());
+  ChaCha20 cipher(recv_key_, nonce_for(recv_seq_));
+  cipher.apply(pt);
+  ++recv_seq_;
+  return pt;
+}
+
+void TlsSessionCache::put(const std::string& address,
+                          std::array<std::uint8_t, 32> master) {
+  std::lock_guard lock(mu_);
+  sessions_[address] = master;
+}
+
+std::optional<std::array<std::uint8_t, 32>> TlsSessionCache::get(
+    const std::string& address) const {
+  std::lock_guard lock(mu_);
+  auto it = sessions_.find(address);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TlsSessionCache::clear() {
+  std::lock_guard lock(mu_);
+  sessions_.clear();
+}
+
+size_t TlsSessionCache::size() const {
+  std::lock_guard lock(mu_);
+  return sessions_.size();
+}
+
+TlsHandshake TlsHandshake::run(const Certificate& anchor, TlsSessionCache& cache,
+                               const Credential& server_credential,
+                               const std::string& server_address,
+                               common::TimeMs now, std::mt19937_64& rng) {
+  TlsHandshake hs;
+
+  if (auto master = cache.get(server_address)) {
+    // Abbreviated handshake: hello + confirm, no certificates, no RSA.
+    // Fresh randoms still refresh the record keys.
+    std::array<std::uint8_t, 64> randoms;
+    fill_random(randoms, rng);
+    std::vector<std::uint8_t> secret(master->begin(), master->end());
+    secret.insert(secret.end(), randoms.begin(), randoms.end());
+    auto session = derive(secret, "resumed-session");
+    key_connections(hs.client, hs.server, session);
+    hs.resumed = true;
+    hs.round_trips = 1;
+    hs.handshake_bytes = randoms.size() + 32;  // hellos + confirm
+    return hs;
+  }
+
+  // Full handshake.
+  std::array<std::uint8_t, 32> client_random, server_random, pre_master;
+  fill_random(client_random, rng);
+  fill_random(server_random, rng);
+  fill_random(pre_master, rng);
+  pre_master[0] = 0;  // keep the pre-master below the RSA modulus
+
+  // Client verifies the server certificate (the expensive part besides RSA).
+  verify_certificate(server_credential.cert, anchor, now);
+
+  // Key exchange: client encrypts the pre-master to the server key; the
+  // server decrypts. Both RSA operations actually run.
+  std::vector<std::uint8_t> encrypted =
+      rsa_encrypt(server_credential.cert.subject_key, pre_master);
+  std::vector<std::uint8_t> decrypted = rsa_decrypt(server_credential.key, encrypted);
+  // Normalize leading zeros (BigUint round-trips drop them).
+  while (decrypted.size() < pre_master.size()) {
+    decrypted.insert(decrypted.begin(), 0);
+  }
+  if (!std::equal(pre_master.begin(), pre_master.end(), decrypted.begin())) {
+    throw SecurityError("TLS key exchange failed");
+  }
+
+  // master = HMAC(pre_master, client_random || server_random)
+  std::vector<std::uint8_t> seed(client_random.begin(), client_random.end());
+  seed.insert(seed.end(), server_random.begin(), server_random.end());
+  Digest256 master_digest = hmac_sha256(pre_master, seed);
+  std::array<std::uint8_t, 32> master;
+  std::copy(master_digest.begin(), master_digest.end(), master.begin());
+
+  key_connections(hs.client, hs.server, master);
+  cache.put(server_address, master);
+  hs.resumed = false;
+  hs.round_trips = 2;
+  hs.handshake_bytes = client_random.size() + server_random.size() +
+                       server_credential.cert.to_token().size() + encrypted.size();
+  return hs;
+}
+
+}  // namespace gs::security

@@ -1,0 +1,83 @@
+// TLS-lite: the transport security channel for the paper's "https" scenarios.
+//
+// Full handshake: the client verifies the server certificate, RSA-encrypts
+// a pre-master secret to the server key, and both sides derive record keys
+// via HMAC-SHA-256. Records are ChaCha20-encrypted and HMAC-tagged with a
+// per-direction sequence number. A client-side session cache keyed by server
+// address allows resumption — skipping certificate verification and both
+// RSA operations — which is the "socket caching" effect the paper credits
+// for HTTPS being much cheaper than per-message X.509 signing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "security/cert.hpp"
+
+namespace gs::security {
+
+/// One direction of an established TLS-lite connection.
+class TlsConnection {
+ public:
+  /// Encrypts and tags a record. Frame: [u32 length][ciphertext][32-byte tag].
+  std::vector<std::uint8_t> seal(std::span<const std::uint8_t> plaintext);
+  /// Verifies and decrypts a frame produced by the peer's `seal`.
+  /// Throws SecurityError on truncation or tag mismatch.
+  std::vector<std::uint8_t> open(std::span<const std::uint8_t> record);
+
+ private:
+  friend struct TlsHandshake;
+  std::array<std::uint8_t, 32> send_key_{};
+  std::array<std::uint8_t, 32> recv_key_{};
+  std::array<std::uint8_t, 32> send_mac_{};
+  std::array<std::uint8_t, 32> recv_mac_{};
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+};
+
+/// Client-side session cache: server address -> master secret.
+class TlsSessionCache {
+ public:
+  void put(const std::string& address, std::array<std::uint8_t, 32> master);
+  /// Returns the cached master secret, or nullopt.
+  std::optional<std::array<std::uint8_t, 32>> get(const std::string& address) const;
+  void clear();
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::array<std::uint8_t, 32>> sessions_;
+};
+
+/// Outcome of a handshake: paired connections plus the cost profile the
+/// simulated wire charges for.
+struct TlsHandshake {
+  TlsConnection client;
+  TlsConnection server;
+  bool resumed = false;        // session-cache hit: no RSA, one round trip
+  int round_trips = 0;         // wire round trips consumed by the handshake
+  size_t handshake_bytes = 0;  // octets exchanged during the handshake
+
+  /// Performs a handshake between a client that trusts `anchor` (using
+  /// `cache` for resumption) and a server presenting `server_credential` at
+  /// `server_address`. Throws SecurityError if the server certificate does
+  /// not verify at time `now`.
+  static TlsHandshake run(const Certificate& anchor, TlsSessionCache& cache,
+                          const Credential& server_credential,
+                          const std::string& server_address, common::TimeMs now,
+                          std::mt19937_64& rng);
+
+ private:
+  static void key_connections(TlsConnection& client, TlsConnection& server,
+                              std::span<const std::uint8_t> master);
+};
+
+}  // namespace gs::security

@@ -1,0 +1,153 @@
+#include "soap/envelope.hpp"
+
+#include "soap/namespaces.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace gs::soap {
+
+namespace {
+xml::QName env_name(const char* local) { return {ns::kEnvelope, local}; }
+xml::QName wsa_name(const char* local) { return {ns::kAddressing, local}; }
+}  // namespace
+
+Envelope::Envelope() : root_(std::make_unique<xml::Element>(env_name("Envelope"))) {
+  root_->declare_prefix("soap", ns::kEnvelope);
+  root_->declare_prefix("wsa", ns::kAddressing);
+  root_->append_element(env_name("Header"));
+  root_->append_element(env_name("Body"));
+}
+
+Envelope& Envelope::operator=(const Envelope& other) {
+  if (this != &other) root_ = other.root_->clone_element();
+  return *this;
+}
+
+xml::Element& Envelope::header() {
+  xml::Element* h = root_->child(env_name("Header"));
+  if (!h) h = &root_->append_element(env_name("Header"));
+  return *h;
+}
+
+const xml::Element& Envelope::header() const {
+  return const_cast<Envelope*>(this)->header();
+}
+
+xml::Element& Envelope::body() {
+  xml::Element* b = root_->child(env_name("Body"));
+  if (!b) b = &root_->append_element(env_name("Body"));
+  return *b;
+}
+
+const xml::Element& Envelope::body() const {
+  return const_cast<Envelope*>(this)->body();
+}
+
+const xml::Element* Envelope::payload() const {
+  auto kids = body().child_elements();
+  return kids.empty() ? nullptr : kids.front();
+}
+
+xml::Element* Envelope::payload() {
+  auto kids = body().child_elements();
+  return kids.empty() ? nullptr : kids.front();
+}
+
+xml::Element& Envelope::add_payload(xml::QName name) {
+  return body().append_element(std::move(name));
+}
+
+void Envelope::add_payload(std::unique_ptr<xml::Element> el) {
+  body().append(std::move(el));
+}
+
+void Envelope::write_addressing(const MessageInfo& info) {
+  xml::Element& h = header();
+  if (!info.to.empty()) h.append_element(wsa_name("To")).set_text(info.to);
+  if (!info.action.empty()) h.append_element(wsa_name("Action")).set_text(info.action);
+  if (!info.message_id.empty())
+    h.append_element(wsa_name("MessageID")).set_text(info.message_id);
+  if (!info.relates_to.empty())
+    h.append_element(wsa_name("RelatesTo")).set_text(info.relates_to);
+  if (!info.reply_to.empty()) h.append(info.reply_to.to_xml(wsa_name("ReplyTo")));
+  for (const auto& rh : info.reference_headers) h.append(rh->clone());
+}
+
+MessageInfo Envelope::read_addressing() const {
+  MessageInfo info;
+  const xml::Element& h = header();
+  if (const auto* e = h.child(wsa_name("To"))) info.to = e->text();
+  if (const auto* e = h.child(wsa_name("Action"))) info.action = e->text();
+  if (const auto* e = h.child(wsa_name("MessageID"))) info.message_id = e->text();
+  if (const auto* e = h.child(wsa_name("RelatesTo"))) info.relates_to = e->text();
+  if (const auto* e = h.child(wsa_name("ReplyTo")))
+    info.reply_to = EndpointReference::from_xml(*e);
+  for (const auto* e : h.child_elements()) {
+    if (e->name().ns() == ns::kAddressing || e->name().ns() == ns::kSecurity ||
+        e->name().ns() == ns::kDsig) {
+      continue;  // addressing and security headers are not reference headers
+    }
+    info.reference_headers.push_back(e->clone_element());
+  }
+  return info;
+}
+
+bool Envelope::is_fault() const {
+  const xml::Element* p = payload();
+  return p && p->name() == env_name("Fault");
+}
+
+Fault Envelope::fault() const {
+  if (!is_fault()) throw std::runtime_error("envelope is not a fault");
+  const xml::Element& f = *payload();
+  Fault out;
+  if (const auto* code = f.child(env_name("Code"))) {
+    if (const auto* value = code->child(env_name("Value"))) {
+      std::string v = value->text();
+      // Strip any prefix; we only keep the local code name.
+      if (auto colon = v.find(':'); colon != std::string::npos) v = v.substr(colon + 1);
+      out.code = v;
+    }
+    if (const auto* sub = code->child(env_name("Subcode"))) {
+      if (const auto* value = sub->child(env_name("Value"))) out.subcode = value->text();
+    }
+  }
+  if (const auto* reason = f.child(env_name("Reason"))) {
+    if (const auto* text = reason->child(env_name("Text"))) out.reason = text->text();
+  }
+  if (const auto* detail = f.child(env_name("Detail"))) out.detail = detail->text();
+  return out;
+}
+
+Envelope Envelope::make_fault(const Fault& f) {
+  Envelope env;
+  xml::Element& fault = env.add_payload(env_name("Fault"));
+  xml::Element& code = fault.append_element(env_name("Code"));
+  code.append_element(env_name("Value")).set_text("soap:" + f.code);
+  if (!f.subcode.empty()) {
+    code.append_element(env_name("Subcode"))
+        .append_element(env_name("Value"))
+        .set_text(f.subcode);
+  }
+  fault.append_element(env_name("Reason"))
+      .append_element(env_name("Text"))
+      .set_text(f.reason);
+  if (!f.detail.empty()) fault.append_element(env_name("Detail")).set_text(f.detail);
+  return env;
+}
+
+void Envelope::throw_if_fault() const {
+  if (is_fault()) throw SoapFault(fault());
+}
+
+std::string Envelope::to_xml() const { return xml::write(*root_); }
+
+Envelope Envelope::from_xml(std::string_view wire) {
+  auto root = xml::parse_element(wire);
+  if (root->name() != env_name("Envelope")) {
+    throw std::runtime_error("not a SOAP envelope: " + root->name().clark());
+  }
+  return Envelope(std::move(root));
+}
+
+}  // namespace gs::soap

@@ -1,0 +1,93 @@
+// SOAP 1.2 envelopes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "soap/addressing.hpp"
+#include "xml/node.hpp"
+
+namespace gs::soap {
+
+/// A SOAP fault (SOAP 1.2 shape: Code/Value, Reason/Text, Detail).
+struct Fault {
+  std::string code = "Receiver";  // SOAP fault code local name
+  std::string reason;
+  std::string detail;       // serialized detail payload (may be empty)
+  std::string subcode;      // spec-defined subcode (e.g. WS-BaseFaults type)
+};
+
+/// Thrown by client proxies when a call returns a fault, and by service code
+/// to produce one.
+class SoapFault : public std::runtime_error {
+ public:
+  explicit SoapFault(Fault fault)
+      : std::runtime_error(fault.reason), fault_(std::move(fault)) {}
+  SoapFault(std::string code, std::string reason)
+      : SoapFault(Fault{std::move(code), std::move(reason), "", ""}) {}
+
+  const Fault& fault() const noexcept { return fault_; }
+
+ private:
+  Fault fault_;
+};
+
+/// A SOAP envelope: Header + Body, with WS-Addressing accessors.
+///
+/// The envelope owns an XML tree and is what actually crosses the simulated
+/// wire (serialized with `to_xml`, re-parsed with `from_xml`), so every
+/// request/response in both stacks pays real serialization costs.
+class Envelope {
+ public:
+  /// An empty envelope with Header and Body.
+  Envelope();
+  Envelope(Envelope&&) noexcept = default;
+  Envelope& operator=(Envelope&&) noexcept = default;
+  Envelope(const Envelope& other) : root_(other.root_->clone_element()) {}
+  Envelope& operator=(const Envelope& other);
+
+  xml::Element& root() noexcept { return *root_; }
+  const xml::Element& root() const noexcept { return *root_; }
+  xml::Element& header();
+  const xml::Element& header() const;
+  xml::Element& body();
+  const xml::Element& body() const;
+
+  /// First child element of the Body (the operation payload), or nullptr.
+  const xml::Element* payload() const;
+  xml::Element* payload();
+  /// Appends a payload element to the Body and returns it.
+  xml::Element& add_payload(xml::QName name);
+  void add_payload(std::unique_ptr<xml::Element> el);
+
+  // --- WS-Addressing ---------------------------------------------------------
+
+  /// Writes To/Action/MessageID/RelatesTo/ReplyTo headers plus the raw
+  /// reference headers from `info`.
+  void write_addressing(const MessageInfo& info);
+  /// Reads the addressing headers back out (inverse of write_addressing).
+  MessageInfo read_addressing() const;
+
+  // --- Faults -----------------------------------------------------------------
+
+  bool is_fault() const;
+  /// Parses the Body fault; throws std::runtime_error when not a fault.
+  Fault fault() const;
+  /// An envelope whose Body is the given fault.
+  static Envelope make_fault(const Fault& f);
+  /// Throws SoapFault when this envelope is a fault (client-side check).
+  void throw_if_fault() const;
+
+  // --- Wire form ---------------------------------------------------------------
+
+  std::string to_xml() const;
+  static Envelope from_xml(std::string_view wire);
+
+ private:
+  explicit Envelope(std::unique_ptr<xml::Element> root) : root_(std::move(root)) {}
+  std::unique_ptr<xml::Element> root_;
+};
+
+}  // namespace gs::soap

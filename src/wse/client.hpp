@@ -1,0 +1,39 @@
+// WS-Eventing client proxies.
+#pragma once
+
+#include "container/proxy.hpp"
+#include "wse/service.hpp"
+
+namespace gs::wse {
+
+class EventSourceProxy : public container::ProxyBase {
+ public:
+  using container::ProxyBase::ProxyBase;
+
+  struct SubscriptionHandle {
+    soap::EndpointReference manager;  // target for Renew/GetStatus/Unsubscribe
+    common::TimeMs expires = WseSubscription::kNever;
+  };
+
+  /// Subscribes `notify_to` for push delivery. `duration_ms` < 0 requests
+  /// an unbounded subscription. Filters are optional.
+  SubscriptionHandle subscribe(const soap::EndpointReference& notify_to,
+                               FilterDialect dialect = FilterDialect::kNone,
+                               const std::string& filter = "",
+                               std::int64_t duration_ms = -1,
+                               const soap::EndpointReference& end_to = {});
+};
+
+class WseSubscriptionProxy : public container::ProxyBase {
+ public:
+  using container::ProxyBase::ProxyBase;
+
+  /// Extends the subscription by `duration_ms` from now; returns the new
+  /// absolute expiry (kNever for "infinite").
+  common::TimeMs renew(std::int64_t duration_ms);
+  /// Current absolute expiry.
+  common::TimeMs get_status();
+  void unsubscribe();
+};
+
+}  // namespace gs::wse

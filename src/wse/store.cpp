@@ -1,0 +1,189 @@
+#include "wse/store.hpp"
+
+#include <fstream>
+
+#include "soap/namespaces.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace gs::wse {
+
+namespace {
+xml::QName wse(const char* local) { return {soap::ns::kEventing, local}; }
+
+constexpr const char* kXPathUri = "http://www.w3.org/TR/1999/REC-xpath-19991116";
+constexpr const char* kTopicUri = "http://gridstacks.dev/wse/topic";
+}  // namespace
+
+const char* dialect_uri(FilterDialect dialect) {
+  switch (dialect) {
+    case FilterDialect::kNone: return "";
+    case FilterDialect::kXPath: return kXPathUri;
+    case FilterDialect::kTopic: return kTopicUri;
+  }
+  return "";
+}
+
+FilterDialect dialect_from_uri(const std::string& uri) {
+  if (uri.empty()) return FilterDialect::kNone;
+  if (uri == kXPathUri) return FilterDialect::kXPath;
+  if (uri == kTopicUri) return FilterDialect::kTopic;
+  throw std::invalid_argument("unsupported WS-Eventing filter dialect: " + uri);
+}
+
+bool WseSubscription::accepts(const std::string& topic,
+                              const xml::Element& event) const {
+  switch (dialect) {
+    case FilterDialect::kNone:
+      return true;
+    case FilterDialect::kTopic:
+      return filter == topic;
+    case FilterDialect::kXPath:
+      try {
+        return xml::XPathExpr::compile(filter).matches(event);
+      } catch (const xml::XPathError&) {
+        return false;  // unparsable filter never matches
+      }
+  }
+  return false;
+}
+
+SubscriptionStore::SubscriptionStore(std::filesystem::path path)
+    : path_(std::move(path)) {
+  load();
+}
+
+std::string SubscriptionStore::add(WseSubscription sub) {
+  std::lock_guard lock(mu_);
+  sub.id = "wse-sub-" + std::to_string(next_id_++);
+  std::string id = sub.id;
+  subs_.push_back(std::move(sub));
+  persist_locked();
+  return id;
+}
+
+bool SubscriptionStore::remove(const std::string& id) {
+  std::lock_guard lock(mu_);
+  for (auto it = subs_.begin(); it != subs_.end(); ++it) {
+    if (it->id == id) {
+      subs_.erase(it);
+      persist_locked();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<WseSubscription> SubscriptionStore::get(const std::string& id) const {
+  std::lock_guard lock(mu_);
+  for (const auto& sub : subs_) {
+    if (sub.id == id) return sub;
+  }
+  return std::nullopt;
+}
+
+bool SubscriptionStore::renew(const std::string& id, common::TimeMs new_expires) {
+  std::lock_guard lock(mu_);
+  for (auto& sub : subs_) {
+    if (sub.id == id) {
+      sub.expires = new_expires;
+      persist_locked();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<WseSubscription> SubscriptionStore::active(common::TimeMs now) const {
+  std::lock_guard lock(mu_);
+  std::vector<WseSubscription> out;
+  for (const auto& sub : subs_) {
+    if (sub.expires == WseSubscription::kNever || sub.expires > now) {
+      out.push_back(sub);
+    }
+  }
+  return out;
+}
+
+std::vector<WseSubscription> SubscriptionStore::purge_expired(common::TimeMs now) {
+  std::lock_guard lock(mu_);
+  std::vector<WseSubscription> expired;
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    if (it->expires != WseSubscription::kNever && it->expires <= now) {
+      expired.push_back(std::move(*it));
+      it = subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!expired.empty()) persist_locked();
+  return expired;
+}
+
+size_t SubscriptionStore::size() const {
+  std::lock_guard lock(mu_);
+  return subs_.size();
+}
+
+void SubscriptionStore::persist_locked() const {
+  if (path_.empty()) return;
+  xml::Element doc(wse("Subscriptions"));
+  for (const auto& sub : subs_) {
+    xml::Element& el = doc.append_element(wse("Subscription"));
+    el.set_attr("id", sub.id);
+    el.append(sub.notify_to.to_xml(wse("NotifyTo")));
+    if (!sub.end_to.empty()) el.append(sub.end_to.to_xml(wse("EndTo")));
+    if (sub.dialect != FilterDialect::kNone) {
+      xml::Element& f = el.append_element(wse("Filter"));
+      f.set_attr("Dialect", dialect_uri(sub.dialect));
+      f.set_text(sub.filter);
+    }
+    el.append_element(wse("Expires"))
+        .set_text(sub.expires == WseSubscription::kNever
+                      ? "infinite"
+                      : std::to_string(sub.expires));
+    if (!sub.delivery_mode.empty()) {
+      el.append_element(wse("Mode")).set_text(sub.delivery_mode);
+    }
+  }
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out << xml::write(doc, {.pretty = true, .declaration = true});
+}
+
+void SubscriptionStore::load() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;
+  std::string octets(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>{});
+  if (octets.empty()) return;
+  auto doc = xml::parse_element(octets);
+  for (const xml::Element* el : doc->children_named(wse("Subscription"))) {
+    WseSubscription sub;
+    sub.id = el->attr("id").value_or("");
+    if (const xml::Element* n = el->child(wse("NotifyTo"))) {
+      sub.notify_to = soap::EndpointReference::from_xml(*n);
+    }
+    if (const xml::Element* e = el->child(wse("EndTo"))) {
+      sub.end_to = soap::EndpointReference::from_xml(*e);
+    }
+    if (const xml::Element* f = el->child(wse("Filter"))) {
+      sub.dialect = dialect_from_uri(f->attr("Dialect").value_or(""));
+      sub.filter = f->text();
+    }
+    if (const xml::Element* x = el->child(wse("Expires"))) {
+      sub.expires = x->text() == "infinite" ? WseSubscription::kNever
+                                            : std::stoll(x->text());
+    }
+    if (const xml::Element* m = el->child(wse("Mode"))) {
+      sub.delivery_mode = m->text();
+    }
+    // Keep next_id_ ahead of loaded ids.
+    if (sub.id.starts_with("wse-sub-")) {
+      std::uint64_t n = std::stoull(sub.id.substr(8));
+      if (n >= next_id_) next_id_ = n + 1;
+    }
+    subs_.push_back(std::move(sub));
+  }
+}
+
+}  // namespace gs::wse

@@ -1,0 +1,80 @@
+// WS-Eventing subscription store.
+//
+// The Plumbwork Orange implementation the paper used "maintains the
+// subscription lists in a flat XML file" — reproduced here: every mutation
+// rewrites one XML document to disk (or keeps it in memory when no path is
+// given). Unlike WS-Notification, a subscription is "not associated with a
+// resource, but only with a service"; per-resource subscriptions are
+// expressed through filters.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "soap/addressing.hpp"
+#include "xml/xpath.hpp"
+
+namespace gs::wse {
+
+/// Filter dialects supported by this implementation.
+enum class FilterDialect {
+  kNone,
+  kXPath,  // evaluated against the event document
+  kTopic,  // exact match on the event's topic string (topic-based pub/sub
+           // via filters, as the paper describes)
+};
+
+const char* dialect_uri(FilterDialect dialect);
+FilterDialect dialect_from_uri(const std::string& uri);
+
+struct WseSubscription {
+  std::string id;
+  soap::EndpointReference notify_to;          // push delivery sink
+  soap::EndpointReference end_to;             // SubscriptionEnd sink (optional)
+  FilterDialect dialect = FilterDialect::kNone;
+  std::string filter;                         // expression text
+  common::TimeMs expires = 0;                 // absolute; kNever = no expiry
+  std::string delivery_mode;                  // recorded mode URI
+
+  static constexpr common::TimeMs kNever =
+      std::numeric_limits<common::TimeMs>::max();
+
+  /// True when the filter admits an event with the given topic/document.
+  bool accepts(const std::string& topic, const xml::Element& event) const;
+};
+
+class SubscriptionStore {
+ public:
+  /// In-memory store.
+  SubscriptionStore() = default;
+  /// File-backed store: loads `path` if present, rewrites it on mutation.
+  explicit SubscriptionStore(std::filesystem::path path);
+
+  std::string add(WseSubscription sub);  // assigns and returns the id
+  bool remove(const std::string& id);
+  std::optional<WseSubscription> get(const std::string& id) const;
+  bool renew(const std::string& id, common::TimeMs new_expires);
+
+  /// Subscriptions live at `now` (expired ones are skipped, not purged).
+  std::vector<WseSubscription> active(common::TimeMs now) const;
+  /// Removes expired subscriptions, returning them (the event source sends
+  /// SubscriptionEnd to their EndTo sinks).
+  std::vector<WseSubscription> purge_expired(common::TimeMs now);
+
+  size_t size() const;
+
+ private:
+  void persist_locked() const;
+  void load();
+
+  mutable std::mutex mu_;
+  std::vector<WseSubscription> subs_;
+  std::filesystem::path path_;  // empty = memory only
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace gs::wse

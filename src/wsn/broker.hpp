@@ -1,0 +1,76 @@
+// WS-BrokeredNotification: the notification broker.
+//
+// The broker stands between publishers and consumers: publishers register
+// (RegisterPublisher), the broker subscribes back to them, receives their
+// Notify traffic, and re-publishes to its own subscribers. With
+// demand-based publishing the broker pauses its publisher-side
+// subscription whenever no consumer subscription covers the registered
+// topics, and resumes it when one appears — the spec behaviour the paper
+// singles out as involving "as many as six separate Web services" and an
+// order of magnitude more messages than anything else in the specs.
+#pragma once
+
+#include <memory>
+
+#include "wsn/client.hpp"
+#include "wsn/producer.hpp"
+#include "wsn/subscription_manager.hpp"
+
+namespace gs::wsn {
+
+namespace broker_actions {
+const std::string kRegisterPublisher =
+    std::string(soap::ns::kWsnBroker) + "/RegisterPublisher";
+}  // namespace broker_actions
+
+/// The broker service. Its WSRF resource type is the publisher
+/// registration (destroy a registration EPR to deregister); its consumer
+/// subscriptions live in the SubscriptionManagerService it is wired to.
+class BrokerService : public wsrf::WsrfService {
+ public:
+  struct Config {
+    /// Caller for broker -> publisher control traffic (subscribe, pause,
+    /// resume) and broker -> consumer delivery.
+    net::SoapCaller* caller = nullptr;
+    /// The broker's own address (what publishers deliver to).
+    std::string address;
+    /// Subscription manager for the broker's consumers.
+    SubscriptionManagerService* manager = nullptr;
+    const common::Clock* clock = &common::RealClock::instance();
+  };
+
+  BrokerService(Config config, wsrf::ResourceHome& registrations,
+                TopicNamespace topics);
+
+  /// The broker's outbound producer (tests inspect demand state here).
+  NotificationProducer& producer() noexcept { return producer_; }
+
+  /// Re-evaluates demand for every demand-based registration, pausing or
+  /// resuming publisher-side subscriptions as needed. Called automatically
+  /// after Subscribe; call manually after destroying consumer
+  /// subscriptions (the spec leaves that signal to the implementation —
+  /// one of the paper's complexity complaints).
+  void recheck_demand();
+
+ private:
+  void handle_notify(container::RequestContext& ctx);
+  void handle_register(container::RequestContext& ctx, soap::Envelope& response);
+
+  Config config_;
+  NotificationProducer producer_;
+};
+
+/// Client proxy for publisher registration.
+class BrokerProxy : public container::ProxyBase {
+ public:
+  using container::ProxyBase::ProxyBase;
+
+  /// Registers a publisher. `publisher_producer` is the EPR of the
+  /// publisher's NotificationProducer service (the broker subscribes to it
+  /// there). Returns the registration EPR (destroy it to deregister).
+  soap::EndpointReference register_publisher(
+      const soap::EndpointReference& publisher_producer,
+      const std::vector<std::string>& topics, bool demand_based);
+};
+
+}  // namespace gs::wsn

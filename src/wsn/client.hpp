@@ -1,0 +1,43 @@
+// Client proxies for WS-Notification.
+#pragma once
+
+#include "container/proxy.hpp"
+#include "wsn/filter.hpp"
+#include "wsn/subscription_manager.hpp"
+#include "wsrf/client.hpp"
+
+namespace gs::wsn {
+
+/// Talks to any service that imported the NotificationProducer port type.
+class NotificationProducerProxy : public container::ProxyBase {
+ public:
+  using container::ProxyBase::ProxyBase;
+
+  /// Subscribes `consumer` with `filter`; returns the subscription EPR
+  /// (pointing at the producer's SubscriptionManager).
+  /// `initial_lifetime_ms` < 0 means unbounded.
+  soap::EndpointReference subscribe(const soap::EndpointReference& consumer,
+                                    const Filter& filter,
+                                    std::int64_t initial_lifetime_ms = -1,
+                                    bool use_raw = false);
+
+  /// GetCurrentMessage: the last message published on `topic` (pull-style
+  /// catch-up for late subscribers). Throws SoapFault when the topic is
+  /// unsupported or nothing was published yet.
+  std::unique_ptr<xml::Element> get_current_message(const std::string& topic);
+};
+
+/// Manages one subscription: pause/resume are WSN operations; unsubscribe
+/// and lifetime control come from the inherited WS-ResourceLifetime proxy
+/// (destroy / set_termination_time).
+class SubscriptionProxy : public wsrf::WsResourceProxy {
+ public:
+  using wsrf::WsResourceProxy::WsResourceProxy;
+
+  void pause();
+  void resume();
+  /// Unsubscribing is destroying the subscription resource.
+  void unsubscribe() { destroy(); }
+};
+
+}  // namespace gs::wsn

@@ -1,0 +1,53 @@
+// Notification consumer endpoint.
+//
+// The client-side sink that receives Notify messages — the counterpart of
+// WSRF.NET's "custom HTTP server that clients include". It mounts on the
+// virtual network (or the real HttpServer) and records everything received;
+// tests and clients poll or block on `wait_for`.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/virtual_network.hpp"
+#include "soap/addressing.hpp"
+#include "xml/node.hpp"
+
+namespace gs::wsn {
+
+/// One received notification (wrapped form decoded; raw form keeps only
+/// the payload — there is no topic to decode, which is the point the paper
+/// makes about raw delivery).
+struct ReceivedNotification {
+  std::string topic;  // empty for raw delivery
+  std::string producer_address;
+  std::unique_ptr<xml::Element> payload;
+  bool raw = false;
+};
+
+class NotificationConsumer final : public net::Endpoint {
+ public:
+  NotificationConsumer() = default;
+
+  net::HttpResponse handle(const net::HttpRequest& request) override;
+
+  /// Number received so far.
+  size_t count() const;
+  /// Snapshot of everything received (cloned).
+  std::vector<ReceivedNotification> received() const;
+  /// Blocks until at least `n` notifications arrived or `timeout_ms`
+  /// passed; returns whether the target was reached.
+  bool wait_for(size_t n, int timeout_ms) const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::vector<ReceivedNotification> received_;
+};
+
+}  // namespace gs::wsn

@@ -1,0 +1,113 @@
+#include "wsn/subscription_manager.hpp"
+
+#include "wsrf/base_faults.hpp"
+
+namespace gs::wsn {
+
+namespace {
+xml::QName wsnt(const char* local) { return {soap::ns::kWsnBase, local}; }
+}  // namespace
+
+std::unique_ptr<xml::Element> subscription_to_xml(const Subscription& sub) {
+  auto el = std::make_unique<xml::Element>(wsnt("Subscription"));
+  el->append(sub.consumer.to_xml(wsnt("ConsumerReference")));
+  el->append(sub.filter.to_xml(wsnt("Filter")));
+  el->append_element(wsnt("Paused")).set_text(sub.paused ? "true" : "false");
+  el->append_element(wsnt("UseRaw")).set_text(sub.use_raw ? "true" : "false");
+  return el;
+}
+
+Subscription subscription_from_xml(const std::string& id, const xml::Element& el) {
+  Subscription sub;
+  sub.id = id;
+  if (const xml::Element* c = el.child(wsnt("ConsumerReference"))) {
+    sub.consumer = soap::EndpointReference::from_xml(*c);
+  }
+  if (const xml::Element* f = el.child(wsnt("Filter"))) {
+    sub.filter = Filter::from_xml(*f);
+  }
+  if (const xml::Element* p = el.child(wsnt("Paused"))) {
+    sub.paused = p->text() == "true";
+  }
+  if (const xml::Element* r = el.child(wsnt("UseRaw"))) {
+    sub.use_raw = r->text() == "true";
+  }
+  return sub;
+}
+
+SubscriptionManagerService::SubscriptionManagerService(wsrf::ResourceHome& home,
+                                                       std::string address)
+    : wsrf::WsrfService("SubscriptionManager", home, wsrf::PropertySet{},
+                        std::move(address)) {
+  import_resource_properties();
+  import_resource_lifetime();  // Destroy == unsubscribe; termination times work
+
+  // Keep the live count in step with unsubscribes and expirations.
+  home.on_destroyed([this](const std::string&) {
+    count_.fetch_sub(1, std::memory_order_relaxed);
+  });
+
+  register_operation(actions::kPauseSubscription,
+                     [this](container::RequestContext& ctx) {
+                       std::string id = resolve_resource(ctx);
+                       if (!set_paused(id, true)) {
+                         wsrf::throw_base_fault(wsrf::FaultType::kResourceUnknown,
+                                                "no subscription '" + id + "'");
+                       }
+                       soap::Envelope response = container::make_response(
+                           ctx, actions::kPauseSubscription + "Response");
+                       response.add_payload(wsnt("PauseSubscriptionResponse"));
+                       return response;
+                     });
+
+  register_operation(actions::kResumeSubscription,
+                     [this](container::RequestContext& ctx) {
+                       std::string id = resolve_resource(ctx);
+                       if (!set_paused(id, false)) {
+                         wsrf::throw_base_fault(wsrf::FaultType::kResourceUnknown,
+                                                "no subscription '" + id + "'");
+                       }
+                       soap::Envelope response = container::make_response(
+                           ctx, actions::kResumeSubscription + "Response");
+                       response.add_payload(wsnt("ResumeSubscriptionResponse"));
+                       return response;
+                     });
+}
+
+soap::EndpointReference SubscriptionManagerService::store(
+    Subscription sub, common::TimeMs termination_time) {
+  std::string id = home().create(subscription_to_xml(sub), termination_time);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  return home().epr_for(id, address());
+}
+
+std::vector<Subscription> SubscriptionManagerService::subscriptions() const {
+  std::vector<Subscription> out;
+  // const_cast-free access: home() is non-const on the base; go through the
+  // stored reference.
+  auto& self = const_cast<SubscriptionManagerService&>(*this);
+  for (const std::string& id : self.home().ids()) {
+    auto state = self.home().try_load(id);
+    if (state) out.push_back(subscription_from_xml(id, *state));
+  }
+  return out;
+}
+
+std::optional<Subscription> SubscriptionManagerService::find(
+    const std::string& id) const {
+  auto& self = const_cast<SubscriptionManagerService&>(*this);
+  auto state = self.home().try_load(id);
+  if (!state) return std::nullopt;
+  return subscription_from_xml(id, *state);
+}
+
+bool SubscriptionManagerService::set_paused(const std::string& id, bool paused) {
+  auto state = home().try_load(id);
+  if (!state) return false;
+  Subscription sub = subscription_from_xml(id, *state);
+  sub.paused = paused;
+  home().save(id, *subscription_to_xml(sub));
+  return true;
+}
+
+}  // namespace gs::wsn

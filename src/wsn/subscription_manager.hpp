@@ -1,0 +1,75 @@
+// WS-BaseNotification SubscriptionManager service.
+//
+// "Each subscription is managed by a Subscription Manager Service (which
+// may be the same as the Notification Producer)." Subscriptions are
+// WS-Resources: the manager is a WSRF service whose resource type is the
+// subscription, so unsubscribe is WS-ResourceLifetime Destroy and clients
+// can bound subscription lifetime with InitialTerminationTime /
+// SetTerminationTime. Pause/Resume are the WSN-specific additions.
+//
+// Note the paper's observation: WSN has no standard *create* for
+// subscriptions — they come into existence only through the producer's
+// Subscribe, an idiosyncratic interface the spec does not pin down.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <string>
+
+#include "soap/addressing.hpp"
+#include "wsn/filter.hpp"
+#include "wsrf/service.hpp"
+
+namespace gs::wsn {
+
+namespace actions {
+const std::string kSubscribe = std::string(soap::ns::kWsnBase) + "/Subscribe";
+const std::string kNotify = std::string(soap::ns::kWsnBase) + "/Notify";
+const std::string kPauseSubscription =
+    std::string(soap::ns::kWsnBase) + "/PauseSubscription";
+const std::string kResumeSubscription =
+    std::string(soap::ns::kWsnBase) + "/ResumeSubscription";
+const std::string kGetCurrentMessage =
+    std::string(soap::ns::kWsnBase) + "/GetCurrentMessage";
+}  // namespace actions
+
+/// A subscription materialized from its resource document.
+struct Subscription {
+  std::string id;
+  soap::EndpointReference consumer;
+  Filter filter;
+  bool paused = false;
+  bool use_raw = false;  // "raw" delivery: payload without the Notify wrapper
+};
+
+/// Serializes a subscription to its resource document / back.
+std::unique_ptr<xml::Element> subscription_to_xml(const Subscription& sub);
+Subscription subscription_from_xml(const std::string& id, const xml::Element& el);
+
+class SubscriptionManagerService : public wsrf::WsrfService {
+ public:
+  SubscriptionManagerService(wsrf::ResourceHome& home, std::string address);
+
+  /// Stores a new subscription (invoked by producers' Subscribe). Returns
+  /// the subscription EPR.
+  soap::EndpointReference store(Subscription sub, common::TimeMs termination_time);
+
+  /// All live subscriptions (producers iterate this to deliver).
+  std::vector<Subscription> subscriptions() const;
+  std::optional<Subscription> find(const std::string& id) const;
+
+  /// Flips the paused flag server-side (the wire ops use this too).
+  bool set_paused(const std::string& id, bool paused);
+
+  /// Cheap live-subscription count (maintained, not scanned) — producers
+  /// use it to skip event construction entirely when nobody listens, one
+  /// of the WSRF.NET-side optimizations the paper credits.
+  size_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<size_t> count_{0};
+};
+
+}  // namespace gs::wsn

@@ -1,0 +1,137 @@
+#include "wsn/topics.hpp"
+
+#include <algorithm>
+
+namespace gs::wsn {
+
+std::vector<std::string> split_topic(const std::string& path) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t slash = path.find('/', start);
+    if (slash == std::string::npos) slash = path.size();
+    std::string segment = path.substr(start, slash - start);
+    if (segment.empty()) throw TopicError("empty segment in topic '" + path + "'");
+    out.push_back(std::move(segment));
+    if (slash == path.size()) break;
+    start = slash + 1;
+  }
+  if (out.empty()) throw TopicError("empty topic path");
+  return out;
+}
+
+const char* TopicExpression::dialect_uri(Dialect dialect) {
+  switch (dialect) {
+    case Dialect::kSimple:
+      return "http://docs.oasis-open.org/wsn/t-1/TopicExpression/Simple";
+    case Dialect::kConcrete:
+      return "http://docs.oasis-open.org/wsn/t-1/TopicExpression/Concrete";
+    case Dialect::kFull:
+      return "http://docs.oasis-open.org/wsn/t-1/TopicExpression/Full";
+  }
+  return "";
+}
+
+TopicExpression::Dialect TopicExpression::dialect_from_uri(const std::string& uri) {
+  if (uri == dialect_uri(Dialect::kSimple)) return Dialect::kSimple;
+  if (uri == dialect_uri(Dialect::kConcrete)) return Dialect::kConcrete;
+  if (uri == dialect_uri(Dialect::kFull)) return Dialect::kFull;
+  throw TopicError("unknown topic expression dialect: " + uri);
+}
+
+TopicExpression TopicExpression::parse(Dialect dialect, const std::string& text) {
+  if (text.empty()) throw TopicError("empty topic expression");
+
+  std::vector<std::string> segments;
+  switch (dialect) {
+    case Dialect::kSimple:
+      if (text.find('/') != std::string::npos) {
+        throw TopicError("simple dialect admits only root topic names: " + text);
+      }
+      if (text == "*") throw TopicError("wildcards need the full dialect");
+      segments.push_back(text);
+      break;
+    case Dialect::kConcrete:
+      segments = split_topic(text);
+      for (const auto& s : segments) {
+        if (s == "*") throw TopicError("wildcards need the full dialect");
+      }
+      break;
+    case Dialect::kFull: {
+      // Translate '//' (separator + any-depth + separator) into a "**"
+      // segment, then split.
+      std::string normalized;
+      for (size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+          normalized += "/**/";
+          ++i;
+        } else {
+          normalized += text[i];
+        }
+      }
+      if (normalized.starts_with("/")) normalized = normalized.substr(1);
+      segments = split_topic(normalized);
+      break;
+    }
+  }
+  return TopicExpression(dialect, text, std::move(segments));
+}
+
+bool TopicExpression::match_segments(const std::vector<std::string>& pattern,
+                                     size_t pi,
+                                     const std::vector<std::string>& topic,
+                                     size_t ti) {
+  if (pi == pattern.size()) return ti == topic.size();
+  if (pattern[pi] == "**") {
+    // Any number of segments (including zero).
+    for (size_t skip = ti; skip <= topic.size(); ++skip) {
+      if (match_segments(pattern, pi + 1, topic, skip)) return true;
+    }
+    return false;
+  }
+  if (ti == topic.size()) return false;
+  if (pattern[pi] != "*" && pattern[pi] != topic[ti]) return false;
+  return match_segments(pattern, pi + 1, topic, ti + 1);
+}
+
+bool TopicExpression::matches(const std::string& concrete_topic) const {
+  std::vector<std::string> topic = split_topic(concrete_topic);
+  switch (dialect_) {
+    case Dialect::kSimple:
+      // A simple expression names a root topic; it matches that topic and
+      // the whole subtree under it.
+      return topic.front() == segments_.front();
+    case Dialect::kConcrete:
+      return segments_ == topic;
+    case Dialect::kFull:
+      return match_segments(segments_, 0, topic, 0);
+  }
+  return false;
+}
+
+void TopicNamespace::add(const std::string& topic_path) {
+  std::vector<std::string> segments = split_topic(topic_path);
+  std::string prefix;
+  for (const auto& segment : segments) {
+    prefix = prefix.empty() ? segment : prefix + "/" + segment;
+    topics_.insert(prefix);
+  }
+}
+
+bool TopicNamespace::contains(const std::string& topic_path) const {
+  return topics_.contains(topic_path);
+}
+
+std::vector<std::string> TopicNamespace::topics() const {
+  return {topics_.begin(), topics_.end()};
+}
+
+std::vector<std::string> TopicNamespace::expand(const TopicExpression& expr) const {
+  std::vector<std::string> out;
+  for (const auto& topic : topics_) {
+    if (expr.matches(topic)) out.push_back(topic);
+  }
+  return out;
+}
+
+}  // namespace gs::wsn

@@ -1,0 +1,78 @@
+// WS-Topics: topic trees and the three topic-expression dialects.
+//
+// Topics are hierarchical paths ("job/status/completed"). The spec's three
+// dialects are all supported:
+//   * Simple   — a single root topic name, no path separators;
+//   * Concrete — a full path naming exactly one topic;
+//   * Full     — paths with wildcards: '*' matches exactly one path segment,
+//                '//' (leading or interior) matches any number of segments.
+#pragma once
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gs::wsn {
+
+class TopicError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed topic expression that can be matched against concrete topics.
+class TopicExpression {
+ public:
+  enum class Dialect { kSimple, kConcrete, kFull };
+
+  /// Validates `text` under `dialect` and compiles it. Throws TopicError on
+  /// a malformed expression (e.g. wildcards in the concrete dialect).
+  static TopicExpression parse(Dialect dialect, const std::string& text);
+
+  /// Dialect URIs on the wire.
+  static const char* dialect_uri(Dialect dialect);
+  /// Parses a dialect URI; throws TopicError for unknown URIs.
+  static Dialect dialect_from_uri(const std::string& uri);
+
+  bool matches(const std::string& concrete_topic) const;
+
+  const std::string& text() const noexcept { return text_; }
+  Dialect dialect() const noexcept { return dialect_; }
+
+ private:
+  TopicExpression(Dialect dialect, std::string text,
+                  std::vector<std::string> segments)
+      : dialect_(dialect), text_(std::move(text)), segments_(std::move(segments)) {}
+
+  static bool match_segments(const std::vector<std::string>& pattern, size_t pi,
+                             const std::vector<std::string>& topic, size_t ti);
+
+  Dialect dialect_;
+  std::string text_;
+  // Segment "**" encodes '//' (any depth); "*" one segment; else literal.
+  std::vector<std::string> segments_;
+};
+
+/// The set of topics a notification producer supports (its topic space).
+class TopicNamespace {
+ public:
+  /// Registers a concrete topic path; intermediate nodes become valid
+  /// topics too ("job/status/completed" also admits "job" and
+  /// "job/status").
+  void add(const std::string& topic_path);
+
+  bool contains(const std::string& topic_path) const;
+  /// All registered topics (including intermediates), sorted.
+  std::vector<std::string> topics() const;
+
+  /// Concrete topics matching an expression.
+  std::vector<std::string> expand(const TopicExpression& expr) const;
+
+ private:
+  std::set<std::string> topics_;
+};
+
+/// Splits a topic path on '/', rejecting empty segments.
+std::vector<std::string> split_topic(const std::string& path);
+
+}  // namespace gs::wsn

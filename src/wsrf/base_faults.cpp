@@ -1,0 +1,45 @@
+#include "wsrf/base_faults.hpp"
+
+#include "soap/namespaces.hpp"
+#include "xml/writer.hpp"
+
+namespace gs::wsrf {
+
+std::string fault_subcode(FaultType type) {
+  switch (type) {
+    case FaultType::kBaseFault: return "wsbf:BaseFault";
+    case FaultType::kResourceUnknown: return "wsbf:ResourceUnknownFault";
+    case FaultType::kInvalidResourcePropertyQName:
+      return "wsbf:InvalidResourcePropertyQNameFault";
+    case FaultType::kUnableToSetTerminationTime:
+      return "wsbf:UnableToSetTerminationTimeFault";
+    case FaultType::kQueryEvaluationError: return "wsbf:QueryEvaluationErrorFault";
+    case FaultType::kAddRefused: return "wsbf:AddRefusedFault";
+  }
+  return "wsbf:BaseFault";
+}
+
+void throw_base_fault(FaultType type, const std::string& description,
+                      const std::string& originator) {
+  // Detail: a serialized wsbf:BaseFault document.
+  xml::Element detail(xml::QName(soap::ns::kWsrfBf, "BaseFault"));
+  detail.append_element(soap::ns::kWsrfBf, "Timestamp")
+      .set_text(std::to_string(common::RealClock::instance().now()));
+  if (!originator.empty()) {
+    detail.append_element(soap::ns::kWsrfBf, "Originator").set_text(originator);
+  }
+  detail.append_element(soap::ns::kWsrfBf, "Description").set_text(description);
+
+  soap::Fault fault;
+  fault.code = "Sender";
+  fault.subcode = fault_subcode(type);
+  fault.reason = description;
+  fault.detail = xml::write(detail);
+  throw soap::SoapFault(std::move(fault));
+}
+
+bool is_base_fault(const soap::SoapFault& fault, FaultType type) {
+  return fault.fault().subcode == fault_subcode(type);
+}
+
+}  // namespace gs::wsrf

@@ -1,0 +1,35 @@
+// WS-BaseFaults: the standard exception-reporting format of the WSRF family.
+//
+// Every WSRF-side fault carries a wsbf:BaseFault-shaped Detail (Timestamp,
+// Originator, ErrorCode, Description) and a subcode naming the spec fault
+// type (ResourceUnknownFault, InvalidResourcePropertyQNameFault, ...).
+#pragma once
+
+#include <string>
+
+#include "common/clock.hpp"
+#include "soap/envelope.hpp"
+
+namespace gs::wsrf {
+
+/// Spec-defined fault types used by this implementation.
+enum class FaultType {
+  kBaseFault,
+  kResourceUnknown,
+  kInvalidResourcePropertyQName,
+  kUnableToSetTerminationTime,
+  kQueryEvaluationError,
+  kAddRefused,  // WS-ServiceGroup content-rule rejection
+};
+
+/// The subcode string for a fault type (what goes on the wire).
+std::string fault_subcode(FaultType type);
+
+/// Builds and throws a SoapFault whose detail is a serialized BaseFault.
+[[noreturn]] void throw_base_fault(FaultType type, const std::string& description,
+                                   const std::string& originator = "");
+
+/// True when a caught SoapFault carries the given WS-BaseFaults subcode.
+bool is_base_fault(const soap::SoapFault& fault, FaultType type);
+
+}  // namespace gs::wsrf

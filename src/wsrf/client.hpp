@@ -1,0 +1,64 @@
+// Client proxy for WS-Resources.
+//
+// Because WSRF defines the message schemas in the service WSDL, this proxy
+// returns typed values where possible — the paper notes "the WSRF.NET
+// proxies are able to automatically deserialize the XML into C# run-time
+// objects", in contrast with the WS-Transfer proxy's raw XML arrays.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/proxy.hpp"
+#include "wsrf/service.hpp"
+
+namespace gs::wsrf {
+
+class WsResourceProxy : public container::ProxyBase {
+ public:
+  using container::ProxyBase::ProxyBase;
+
+  /// GetResourceProperty: all values of one property.
+  std::vector<std::unique_ptr<xml::Element>> get_property(const xml::QName& name);
+  /// Text of the first value (the common scalar-property case).
+  std::string get_property_text(const xml::QName& name);
+
+  /// GetMultipleResourceProperties.
+  std::vector<std::unique_ptr<xml::Element>> get_properties(
+      const std::vector<xml::QName>& names);
+
+  /// GetResourcePropertyDocument: the whole RP document.
+  std::unique_ptr<xml::Element> get_property_document();
+
+  /// SetResourceProperties/Update with element values.
+  void update_property(const xml::QName& name,
+                       std::vector<std::unique_ptr<xml::Element>> values);
+  /// Update a scalar property: `<name>text</name>`.
+  void update_property_text(const xml::QName& name, const std::string& text);
+  /// SetResourceProperties/Insert of one value.
+  void insert_property(std::unique_ptr<xml::Element> value);
+  /// SetResourceProperties/Delete.
+  void delete_property(const xml::QName& name);
+
+  /// QueryResourceProperties with the XPath dialect; returns the selected
+  /// elements (empty when the query selected a non-node-set value).
+  std::vector<std::unique_ptr<xml::Element>> query(const std::string& xpath);
+
+  /// WS-ResourceLifetime Destroy.
+  void destroy();
+  /// WS-ResourceLifetime SetTerminationTime; returns the granted time
+  /// (kNever for "infinity").
+  common::TimeMs set_termination_time(common::TimeMs t);
+
+  /// The multi-resource query extension: every resource of the service
+  /// whose state document the XPath selects, as (EPR, state) pairs.
+  /// Targets the service address; no resource header is needed.
+  struct ResourceMatch {
+    soap::EndpointReference epr;
+    std::unique_ptr<xml::Element> state;
+  };
+  std::vector<ResourceMatch> query_resources(const std::string& xpath);
+};
+
+}  // namespace gs::wsrf

@@ -1,0 +1,180 @@
+#include "wsrf/resource.hpp"
+
+#include "common/uuid.hpp"
+#include "wsrf/base_faults.hpp"
+
+namespace gs::wsrf {
+
+namespace {
+constexpr const char* kWsrfNetNs = "http://gridstacks.dev/wsrf";
+}  // namespace
+
+xml::QName resource_id_qname() { return {kWsrfNetNs, "ResourceID"}; }
+
+void PropertySet::declare_stored(xml::QName name) {
+  ResourceProperty prop;
+  prop.name = name;
+  prop.get = [name](const xml::Element& state) {
+    std::vector<std::unique_ptr<xml::Element>> out;
+    for (const xml::Element* child : state.children_named(name)) {
+      out.push_back(child->clone_element());
+    }
+    return out;
+  };
+  prop.set = [name](xml::Element& state,
+                    const std::vector<const xml::Element*>& values) {
+    // Replace all existing occurrences with the new values.
+    for (;;) {
+      xml::Element* existing = state.child(name);
+      if (!existing) break;
+      state.remove_child(*existing);
+    }
+    for (const xml::Element* v : values) state.append(v->clone());
+  };
+  props_.push_back(std::move(prop));
+}
+
+void PropertySet::declare_computed(xml::QName name,
+                                   ResourceProperty::Getter getter) {
+  props_.push_back({std::move(name), std::move(getter), nullptr});
+}
+
+void PropertySet::declare_computed_rw(xml::QName name,
+                                      ResourceProperty::Getter getter,
+                                      ResourceProperty::Setter setter) {
+  props_.push_back({std::move(name), std::move(getter), std::move(setter)});
+}
+
+const ResourceProperty* PropertySet::find(const xml::QName& name) const {
+  for (const auto& p : props_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<xml::Element> PropertySet::document(
+    const xml::Element& state, xml::QName document_name) const {
+  auto doc = std::make_unique<xml::Element>(std::move(document_name));
+  for (const auto& p : props_) {
+    for (auto& el : p.get(state)) doc->append(std::move(el));
+  }
+  return doc;
+}
+
+ResourceHome::ResourceHome(xmldb::XmlDatabase& db, std::string collection,
+                           container::LifetimeManager* lifetime)
+    : db_(db), collection_(std::move(collection)), lifetime_(lifetime) {}
+
+std::string ResourceHome::create(std::unique_ptr<xml::Element> initial_state,
+                                 common::TimeMs termination_time) {
+  std::string id = common::new_uuid();
+  create_with_id(id, std::move(initial_state), termination_time);
+  return id;
+}
+
+void ResourceHome::create_with_id(const std::string& id,
+                                  std::unique_ptr<xml::Element> initial_state,
+                                  common::TimeMs termination_time) {
+  db_.store(collection_, id, *initial_state);
+  register_lifetime(id, termination_time);
+}
+
+void ResourceHome::register_lifetime(const std::string& id,
+                                     common::TimeMs termination_time) {
+  if (!lifetime_) return;
+  container::LifetimeManager::Handle handle = lifetime_->schedule(
+      termination_time, [this, id] {
+        db_.remove(collection_, id);
+        std::vector<std::function<void(const std::string&)>> hooks;
+        {
+          std::lock_guard lock(mu_);
+          handles_.erase(id);
+          hooks = destroy_hooks_;
+        }
+        for (const auto& hook : hooks) hook(id);
+      });
+  std::lock_guard lock(mu_);
+  handles_[id] = handle;
+}
+
+std::unique_ptr<xml::Element> ResourceHome::load(const std::string& id) const {
+  auto state = db_.load(collection_, id);
+  if (!state) {
+    throw_base_fault(FaultType::kResourceUnknown,
+                     "no resource '" + id + "' in " + collection_);
+  }
+  return state;
+}
+
+std::unique_ptr<xml::Element> ResourceHome::try_load(const std::string& id) const {
+  return db_.load(collection_, id);
+}
+
+void ResourceHome::save(const std::string& id, const xml::Element& state) {
+  db_.store(collection_, id, state);
+}
+
+bool ResourceHome::destroy(const std::string& id) {
+  container::LifetimeManager::Handle handle = 0;
+  {
+    std::lock_guard lock(mu_);
+    auto it = handles_.find(id);
+    if (it != handles_.end()) {
+      handle = it->second;
+    }
+  }
+  if (handle != 0 && lifetime_) {
+    // destroy() runs the scheduled callback, which removes the document
+    // and fires the hooks.
+    return lifetime_->destroy(handle);
+  }
+  bool removed = db_.remove(collection_, id);
+  if (removed) {
+    std::vector<std::function<void(const std::string&)>> hooks;
+    {
+      std::lock_guard lock(mu_);
+      hooks = destroy_hooks_;
+    }
+    for (const auto& hook : hooks) hook(id);
+  }
+  return removed;
+}
+
+bool ResourceHome::exists(const std::string& id) const {
+  return db_.contains(collection_, id);
+}
+
+std::vector<std::string> ResourceHome::ids() const { return db_.ids(collection_); }
+
+bool ResourceHome::set_termination_time(const std::string& id, common::TimeMs t) {
+  std::lock_guard lock(mu_);
+  auto it = handles_.find(id);
+  if (it == handles_.end() || !lifetime_) return false;
+  return lifetime_->set_termination_time(it->second, t);
+}
+
+std::optional<common::TimeMs> ResourceHome::termination_time(
+    const std::string& id) const {
+  std::lock_guard lock(mu_);
+  auto it = handles_.find(id);
+  if (it == handles_.end() || !lifetime_) return std::nullopt;
+  return lifetime_->termination_time(it->second);
+}
+
+soap::EndpointReference ResourceHome::epr_for(const std::string& id,
+                                              const std::string& address) const {
+  soap::EndpointReference epr(address);
+  epr.add_reference_property(resource_id_qname(), id);
+  return epr;
+}
+
+std::optional<std::string> ResourceHome::id_from(const soap::MessageInfo& info) {
+  return info.reference_header(resource_id_qname());
+}
+
+void ResourceHome::on_destroyed(std::function<void(const std::string&)> hook) {
+  std::lock_guard lock(mu_);
+  destroy_hooks_.push_back(std::move(hook));
+}
+
+}  // namespace gs::wsrf

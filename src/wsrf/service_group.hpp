@@ -1,0 +1,55 @@
+// WS-ServiceGroup: represented, managed collections of Web services /
+// WS-Resources (registries, index services).
+//
+// Entries are themselves WS-Resources of the group service: Add() mints an
+// entry resource holding the member EPR and its content; the entry EPR
+// supports the imported WS-ResourceLifetime port type, so removing a member
+// is Destroy on the entry, and entries can be added with a bounded lifetime
+// (self-cleaning registries). Content rules restrict what content element
+// a member may register — Add violating them raises AddRefusedFault.
+#pragma once
+
+#include "container/proxy.hpp"
+#include "wsrf/service.hpp"
+
+namespace gs::wsrf {
+
+namespace sg_actions {
+const std::string kAdd = std::string(soap::ns::kWsrfSg) + "/Add";
+const std::string kGetEntries = std::string(soap::ns::kWsrfSg) + "/GetEntries";
+}  // namespace sg_actions
+
+class ServiceGroupService : public WsrfService {
+ public:
+  ServiceGroupService(std::string name, ResourceHome& home, std::string address);
+
+  /// Restricts entry content to elements with this name. No rules = any
+  /// content admitted.
+  void add_content_rule(xml::QName allowed_content_root);
+
+ private:
+  std::vector<xml::QName> content_rules_;
+};
+
+/// Client proxy for a service group.
+class ServiceGroupProxy : public container::ProxyBase {
+ public:
+  using container::ProxyBase::ProxyBase;
+
+  struct Entry {
+    soap::EndpointReference entry;   // the entry resource (destroy to remove)
+    soap::EndpointReference member;  // the registered service/resource
+    std::unique_ptr<xml::Element> content;
+  };
+
+  /// Registers a member; returns the new entry's EPR.
+  soap::EndpointReference add(const soap::EndpointReference& member,
+                              std::unique_ptr<xml::Element> content,
+                              common::TimeMs termination_time =
+                                  container::LifetimeManager::kNever);
+
+  /// Lists current entries.
+  std::vector<Entry> entries();
+};
+
+}  // namespace gs::wsrf

@@ -1,0 +1,51 @@
+#include "wst/client.hpp"
+
+namespace gs::wst {
+
+namespace {
+xml::QName wst(const char* local) { return {soap::ns::kTransfer, local}; }
+}  // namespace
+
+TransferProxy::CreateResult TransferProxy::create(
+    std::unique_ptr<xml::Element> representation) {
+  soap::Envelope response = invoke(actions::kCreate, std::move(representation));
+  const xml::Element* created = nullptr;
+  for (const xml::Element* el : response.body().child_elements()) {
+    if (el->name() == wst("ResourceCreated")) created = el;
+  }
+  if (!created) throw soap::SoapFault("Receiver", "malformed Create response");
+  const xml::Element* epr_el = created->child(wst("EndpointReference"));
+  if (!epr_el) throw soap::SoapFault("Receiver", "Create response has no EPR");
+
+  CreateResult result;
+  result.resource = soap::EndpointReference::from_xml(*epr_el);
+  for (const xml::Element* el : response.body().child_elements()) {
+    if (el->name() == wst("Representation")) {
+      auto kids = el->child_elements();
+      if (!kids.empty()) result.representation = kids.front()->clone_element();
+    }
+  }
+  return result;
+}
+
+std::unique_ptr<xml::Element> TransferProxy::get() {
+  soap::Envelope response = invoke(actions::kGet);
+  const xml::Element* payload = response.payload();
+  if (!payload) throw soap::SoapFault("Receiver", "empty Get response");
+  return payload->clone_element();
+}
+
+std::unique_ptr<xml::Element> TransferProxy::put(
+    std::unique_ptr<xml::Element> replacement) {
+  soap::Envelope response = invoke(actions::kPut, std::move(replacement));
+  const xml::Element* payload = response.payload();
+  if (payload && payload->name() == wst("Representation")) {
+    auto kids = payload->child_elements();
+    if (!kids.empty()) return kids.front()->clone_element();
+  }
+  return nullptr;
+}
+
+void TransferProxy::remove() { invoke(actions::kDelete); }
+
+}  // namespace gs::wst

@@ -1,0 +1,71 @@
+// WS-MetadataExchange (lite) for WS-Transfer services.
+//
+// The paper's third WS-Transfer implementation issue: "no elegant
+// mechanism by which the client could easily discover the schemas
+// (although emerging specifications like WS-MetadataExchange do seem
+// promising)". This module is that emerging mechanism: a service declares
+// the schema of each resource type it serves; GetMetadata returns the
+// declarations; clients fetch them once and validate documents instead of
+// relying on hard-coded expectations.
+//
+// Schema wire form (per resource type):
+//   <mex:MetadataSection Identifier="<type name>">
+//     <mex:Element name="{ns}local" content="integer|string|...">
+//       ... nested child declarations with minOccurs/maxOccurs ...
+//     </mex:Element>
+//   </mex:MetadataSection>
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "container/proxy.hpp"
+#include "wst/service.hpp"
+#include "xml/schema.hpp"
+
+namespace gs::wst {
+
+namespace mex {
+inline constexpr const char* kNs =
+    "http://schemas.xmlsoap.org/ws/2004/09/mex";
+const std::string kGetMetadataAction = std::string(kNs) + "/GetMetadata";
+}  // namespace mex
+
+/// Serializes an element declaration to the wire form / back.
+std::unique_ptr<xml::Element> schema_to_xml(const xml::ElementDecl& decl);
+xml::ElementDecl schema_from_xml(const xml::Element& el);
+
+/// Attaches GetMetadata to a WS-Transfer service, advertising one schema
+/// per resource type. `type_name` is the MetadataSection identifier
+/// ("Counter", "Site", ...).
+class MetadataExtension {
+ public:
+  explicit MetadataExtension(TransferService& service) : service_(service) {
+    register_operation();
+  }
+
+  /// Declares (or replaces) the schema for a resource type.
+  void declare(const std::string& type_name, xml::ElementDecl schema);
+
+ private:
+  void register_operation();
+
+  TransferService& service_;
+  std::map<std::string, std::unique_ptr<xml::ElementDecl>> schemas_;
+};
+
+/// Client side: fetch the advertised schemas from a service.
+class MetadataProxy : public container::ProxyBase {
+ public:
+  using container::ProxyBase::ProxyBase;
+
+  /// All advertised schemas, keyed by type name.
+  std::map<std::string, xml::Schema> get_metadata();
+
+  /// Fetches one type's schema; throws SoapFault when the service does not
+  /// advertise it.
+  xml::Schema get_schema(const std::string& type_name);
+};
+
+}  // namespace gs::wst

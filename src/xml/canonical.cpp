@@ -1,0 +1,97 @@
+#include "xml/canonical.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "xml/writer.hpp"
+
+namespace gs::xml {
+namespace {
+
+class Canonicalizer {
+ public:
+  std::string run(const Element& root) {
+    walk(root);
+    return std::move(out_);
+  }
+
+ private:
+  // Deterministic prefix for a namespace URI: assigned in first-use document
+  // order, so equal trees get equal prefixes regardless of source prefixes.
+  // First use also records the binding in `new_bindings` so the current
+  // element emits the xmlns declaration (equal trees allocate at the same
+  // positions, keeping the octet stream deterministic).
+  std::string prefix_for(const std::string& uri,
+                         std::vector<std::pair<std::string, std::string>>&
+                             new_bindings) {
+    auto [it, inserted] = prefixes_.try_emplace(uri, prefixes_.size());
+    std::string prefix = "ns" + std::to_string(it->second);
+    if (inserted) new_bindings.emplace_back(prefix, uri);
+    return prefix;
+  }
+
+  std::string qualified(const QName& name,
+                        std::vector<std::pair<std::string, std::string>>&
+                            new_bindings) {
+    if (name.ns().empty()) return name.local();
+    return prefix_for(name.ns(), new_bindings) + ":" + name.local();
+  }
+
+  void walk(const Element& el) {
+    std::vector<std::pair<std::string, std::string>> new_bindings;
+    std::string tag = qualified(el.name(), new_bindings);
+
+    // Attributes sorted by (URI, local), values escaped.
+    std::vector<Attribute> attrs(el.attributes());
+    std::sort(attrs.begin(), attrs.end(), [](const Attribute& a, const Attribute& b) {
+      return std::tie(a.name.ns(), a.name.local()) <
+             std::tie(b.name.ns(), b.name.local());
+    });
+    std::string attr_text;
+    for (const auto& a : attrs) {
+      attr_text += ' ';
+      attr_text += qualified(a.name, new_bindings);
+      attr_text += "=\"";
+      attr_text += escape_text(a.value, /*in_attribute=*/true);
+      attr_text += '"';
+    }
+
+    out_ += '<';
+    out_ += tag;
+    for (const auto& [prefix, uri] : new_bindings) {
+      out_ += " xmlns:";
+      out_ += prefix;
+      out_ += "=\"";
+      out_ += escape_text(uri, /*in_attribute=*/true);
+      out_ += '"';
+    }
+    out_ += attr_text;
+    out_ += '>';
+
+    for (const auto& c : el.children()) {
+      switch (c->kind()) {
+        case NodeKind::kElement:
+          walk(static_cast<const Element&>(*c));
+          break;
+        case NodeKind::kText:
+        case NodeKind::kCData:  // CDATA folds into text
+          out_ += escape_text(static_cast<const CharData&>(*c).text());
+          break;
+        case NodeKind::kComment:
+          break;  // comments are not signed
+      }
+    }
+    out_ += "</";
+    out_ += tag;
+    out_ += '>';
+  }
+
+  std::string out_;
+  std::map<std::string, size_t> prefixes_;
+};
+
+}  // namespace
+
+std::string canonicalize(const Element& root) { return Canonicalizer().run(root); }
+
+}  // namespace gs::xml

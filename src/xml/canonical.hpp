@@ -1,0 +1,22 @@
+// Canonical XML (c14n-lite).
+//
+// XML digital signatures must agree on one octet stream for a given logical
+// document. This canonicalizer produces a deterministic serialization:
+// attributes sorted by (namespace URI, local name), namespace bindings
+// rendered as deterministic `ns{n}` prefixes in first-use order, comments
+// stripped, CDATA folded into text, and text content passed through with
+// standard escaping. It intentionally trades full C14N 1.0 conformance for
+// a compact spec with the same essential property: logically-equal documents
+// canonicalize identically.
+#pragma once
+
+#include <string>
+
+#include "xml/node.hpp"
+
+namespace gs::xml {
+
+/// Canonical octet stream for the subtree rooted at `root`.
+std::string canonicalize(const Element& root);
+
+}  // namespace gs::xml

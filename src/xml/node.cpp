@@ -1,0 +1,198 @@
+#include "xml/node.hpp"
+
+#include <algorithm>
+
+namespace gs::xml {
+
+void Element::set_attr(QName name, std::string value) {
+  for (auto& a : attrs_) {
+    if (a.name == name) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  attrs_.push_back({std::move(name), std::move(value)});
+}
+
+std::optional<std::string> Element::attr(const QName& name) const {
+  for (const auto& a : attrs_) {
+    if (a.name == name) return a.value;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Element::attr(std::string_view local) const {
+  for (const auto& a : attrs_) {
+    if (a.name.local() == local) return a.value;
+  }
+  return std::nullopt;
+}
+
+bool Element::remove_attr(const QName& name) {
+  auto it = std::find_if(attrs_.begin(), attrs_.end(),
+                         [&](const Attribute& a) { return a.name == name; });
+  if (it == attrs_.end()) return false;
+  attrs_.erase(it);
+  return true;
+}
+
+Node& Element::append(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+Element& Element::append_element(QName name) {
+  auto el = std::make_unique<Element>(std::move(name));
+  return static_cast<Element&>(append(std::move(el)));
+}
+
+void Element::append_text(std::string text) {
+  // Keep the tree in the form serialization produces: empty text is not
+  // representable, and adjacent text nodes coalesce (they are
+  // indistinguishable on the wire).
+  if (text.empty()) return;
+  if (!children_.empty() && children_.back()->kind() == NodeKind::kText) {
+    auto* last = static_cast<CharData*>(children_.back().get());
+    last->set_text(last->text() + text);
+    return;
+  }
+  append(std::make_unique<CharData>(NodeKind::kText, std::move(text)));
+}
+
+bool Element::remove_child(const Node& child) {
+  auto it = std::find_if(
+      children_.begin(), children_.end(),
+      [&](const std::unique_ptr<Node>& n) { return n.get() == &child; });
+  if (it == children_.end()) return false;
+  children_.erase(it);
+  return true;
+}
+
+std::unique_ptr<Node> Element::detach_child(const Node& child) {
+  auto it = std::find_if(
+      children_.begin(), children_.end(),
+      [&](const std::unique_ptr<Node>& n) { return n.get() == &child; });
+  if (it == children_.end()) return nullptr;
+  std::unique_ptr<Node> out = std::move(*it);
+  children_.erase(it);
+  out->parent_ = nullptr;
+  return out;
+}
+
+Element* Element::child(const QName& name) {
+  for (auto& c : children_) {
+    if (c->kind() == NodeKind::kElement) {
+      auto* el = static_cast<Element*>(c.get());
+      if (el->name() == name) return el;
+    }
+  }
+  return nullptr;
+}
+
+const Element* Element::child(const QName& name) const {
+  return const_cast<Element*>(this)->child(name);
+}
+
+Element* Element::child_local(std::string_view local) {
+  for (auto& c : children_) {
+    if (c->kind() == NodeKind::kElement) {
+      auto* el = static_cast<Element*>(c.get());
+      if (el->name().local() == local) return el;
+    }
+  }
+  return nullptr;
+}
+
+const Element* Element::child_local(std::string_view local) const {
+  return const_cast<Element*>(this)->child_local(local);
+}
+
+std::vector<Element*> Element::child_elements() {
+  std::vector<Element*> out;
+  for (auto& c : children_) {
+    if (c->kind() == NodeKind::kElement) out.push_back(static_cast<Element*>(c.get()));
+  }
+  return out;
+}
+
+std::vector<const Element*> Element::child_elements() const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->kind() == NodeKind::kElement)
+      out.push_back(static_cast<const Element*>(c.get()));
+  }
+  return out;
+}
+
+std::vector<const Element*> Element::children_named(const QName& name) const {
+  std::vector<const Element*> out;
+  for (const auto* el : child_elements()) {
+    if (el->name() == name) out.push_back(el);
+  }
+  return out;
+}
+
+std::string Element::text() const {
+  std::string out;
+  for (const auto& c : children_) {
+    if (c->kind() == NodeKind::kText || c->kind() == NodeKind::kCData) {
+      out += static_cast<const CharData*>(c.get())->text();
+    }
+  }
+  return out;
+}
+
+void Element::set_text(std::string text) {
+  children_.clear();
+  append_text(std::move(text));
+}
+
+std::unique_ptr<Node> Element::clone() const { return clone_element(); }
+
+std::unique_ptr<Element> Element::clone_element() const {
+  auto out = std::make_unique<Element>(name_);
+  out->attrs_ = attrs_;
+  out->ns_decls_ = ns_decls_;
+  for (const auto& c : children_) out->append(c->clone());
+  return out;
+}
+
+bool Element::deep_equal(const Element& a, const Element& b) {
+  if (a.name_ != b.name_) return false;
+  if (a.attrs_.size() != b.attrs_.size()) return false;
+  for (const auto& attr : a.attrs_) {
+    auto v = b.attr(attr.name);
+    if (!v || *v != attr.value) return false;
+  }
+  // Compare children in order, ignoring comments.
+  auto significant = [](const std::vector<std::unique_ptr<Node>>& kids) {
+    std::vector<const Node*> out;
+    for (const auto& k : kids) {
+      if (k->kind() != NodeKind::kComment) out.push_back(k.get());
+    }
+    return out;
+  };
+  auto ka = significant(a.children_);
+  auto kb = significant(b.children_);
+  if (ka.size() != kb.size()) return false;
+  for (size_t i = 0; i < ka.size(); ++i) {
+    const Node* na = ka[i];
+    const Node* nb = kb[i];
+    bool ea = na->kind() == NodeKind::kElement;
+    bool eb = nb->kind() == NodeKind::kElement;
+    if (ea != eb) return false;
+    if (ea) {
+      if (!deep_equal(*static_cast<const Element*>(na),
+                      *static_cast<const Element*>(nb)))
+        return false;
+    } else {
+      if (static_cast<const CharData*>(na)->text() !=
+          static_cast<const CharData*>(nb)->text())
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gs::xml

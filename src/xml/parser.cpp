@@ -1,0 +1,380 @@
+#include "xml/parser.hpp"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+namespace gs::xml {
+namespace {
+
+constexpr std::string_view kXmlnsUri = "http://www.w3.org/2000/xmlns/";
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+// Appends the UTF-8 encoding of a Unicode code point.
+void append_utf8(std::string& out, unsigned long cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+// Stack of in-scope namespace bindings (prefix -> URI). An empty URI entry
+// represents an undeclaration.
+class NsScope {
+ public:
+  NsScope() { bind("xml", "http://www.w3.org/XML/1998/namespace"); }
+
+  void push() { marks_.push_back(bindings_.size()); }
+  void pop() {
+    bindings_.resize(marks_.back());
+    marks_.pop_back();
+  }
+  void bind(std::string prefix, std::string uri) {
+    bindings_.emplace_back(std::move(prefix), std::move(uri));
+  }
+  // Resolves a prefix ("" = default namespace). Returns nullptr when unbound.
+  const std::string* resolve(std::string_view prefix) const {
+    for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+      if (it->first == prefix) return &it->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> bindings_;
+  std::vector<size_t> marks_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  Document parse_document() {
+    skip_prolog();
+    Document doc;
+    doc.root = parse_element();
+    skip_misc();
+    if (!at_end()) fail("trailing content after root element");
+    return doc;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, line_, static_cast<int>(pos_ - line_start_) + 1);
+  }
+
+  bool at_end() const noexcept { return pos_ >= in_.size(); }
+  char peek() const { return pos_ < in_.size() ? in_[pos_] : '\0'; }
+  bool starts_with(std::string_view s) const {
+    return in_.compare(pos_, s.size(), s) == 0;
+  }
+
+  char advance() {
+    if (at_end()) fail("unexpected end of input");
+    char c = in_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      line_start_ = pos_;
+    }
+    return c;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    advance();
+  }
+
+  void expect_str(std::string_view s) {
+    if (!starts_with(s)) fail("expected '" + std::string(s) + "'");
+    for (size_t i = 0; i < s.size(); ++i) advance();
+  }
+
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (starts_with("<?xml")) {
+      while (!at_end() && !starts_with("?>")) advance();
+      expect_str("?>");
+    }
+    skip_misc();
+    if (starts_with("<!DOCTYPE")) fail("DTDs are not supported");
+  }
+
+  // Skips whitespace, comments and PIs between markup.
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else if (starts_with("<?")) {
+        skip_pi();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_comment() {
+    expect_str("<!--");
+    while (!at_end() && !starts_with("-->")) advance();
+    expect_str("-->");
+  }
+
+  void skip_pi() {
+    expect_str("<?");
+    while (!at_end() && !starts_with("?>")) advance();
+    expect_str("?>");
+  }
+
+  std::string read_name() {
+    if (!is_name_start(peek())) fail("expected a name");
+    std::string out;
+    while (!at_end() && is_name_char(peek())) out += advance();
+    return out;
+  }
+
+  // Splits "prefix:local"; prefix is "" when absent.
+  static std::pair<std::string, std::string> split_name(const std::string& raw) {
+    auto colon = raw.find(':');
+    if (colon == std::string::npos) return {"", raw};
+    return {raw.substr(0, colon), raw.substr(colon + 1)};
+  }
+
+  std::string read_attr_value() {
+    char quote = peek();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    advance();
+    std::string out;
+    while (peek() != quote) {
+      char c = advance();
+      if (c == '&') {
+        out += read_entity();
+      } else if (c == '<') {
+        fail("'<' in attribute value");
+      } else {
+        out += c;
+      }
+    }
+    advance();  // closing quote
+    return out;
+  }
+
+  // Called just after the '&'; returns the replacement text.
+  std::string read_entity() {
+    std::string name;
+    while (peek() != ';') {
+      name += advance();
+      if (name.size() > 10) fail("malformed entity reference");
+    }
+    advance();  // ';'
+    if (name == "lt") return "<";
+    if (name == "gt") return ">";
+    if (name == "amp") return "&";
+    if (name == "quot") return "\"";
+    if (name == "apos") return "'";
+    if (!name.empty() && name[0] == '#') {
+      unsigned long cp = 0;
+      try {
+        cp = (name.size() > 1 && (name[1] == 'x' || name[1] == 'X'))
+                 ? std::stoul(name.substr(2), nullptr, 16)
+                 : std::stoul(name.substr(1), nullptr, 10);
+      } catch (const std::exception&) {
+        fail("malformed character reference &" + name + ";");
+      }
+      if (cp == 0 || cp > 0x10FFFF) fail("character reference out of range");
+      std::string out;
+      append_utf8(out, cp);
+      return out;
+    }
+    fail("unknown entity &" + name + ";");
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    // Bound recursion: wire input must not be able to exhaust the stack.
+    if (++depth_ > kMaxDepth) fail("document nesting exceeds the depth limit");
+    struct DepthGuard {
+      int& depth;
+      ~DepthGuard() { --depth; }
+    } depth_guard{depth_};
+
+    expect('<');
+    std::string raw_name = read_name();
+
+    // First pass over attributes: raw names and values, in document order.
+    struct RawAttr {
+      std::string name;
+      std::string value;
+    };
+    std::vector<RawAttr> raw_attrs;
+    for (;;) {
+      skip_ws();
+      char c = peek();
+      if (c == '>' || c == '/') break;
+      std::string aname = read_name();
+      skip_ws();
+      expect('=');
+      skip_ws();
+      raw_attrs.push_back({std::move(aname), read_attr_value()});
+    }
+
+    ns_.push();
+    struct ScopeGuard {
+      NsScope& ns;
+      ~ScopeGuard() { ns.pop(); }
+    } guard{ns_};
+
+    // Register namespace declarations before resolving any names.
+    std::vector<std::pair<std::string, std::string>> decls;
+    for (const auto& a : raw_attrs) {
+      if (a.name == "xmlns") {
+        ns_.bind("", a.value);
+        decls.emplace_back("", a.value);
+      } else if (a.name.starts_with("xmlns:")) {
+        std::string prefix = a.name.substr(6);
+        if (prefix.empty()) fail("empty namespace prefix");
+        ns_.bind(prefix, a.value);
+        decls.emplace_back(prefix, a.value);
+      }
+    }
+
+    auto [prefix, local] = split_name(raw_name);
+    auto el = std::make_unique<Element>(resolve_element_name(prefix, local));
+    for (auto& [p, u] : decls) el->declare_prefix(p, u);
+
+    for (auto& a : raw_attrs) {
+      if (a.name == "xmlns" || a.name.starts_with("xmlns:")) continue;
+      auto [ap, al] = split_name(a.name);
+      el->set_attr(resolve_attr_name(ap, al), std::move(a.value));
+    }
+
+    if (peek() == '/') {
+      advance();
+      expect('>');
+      return el;
+    }
+    expect('>');
+
+    parse_content(*el);
+
+    // Closing tag: </raw_name>
+    expect_str("</");
+    std::string close = read_name();
+    if (close != raw_name)
+      fail("mismatched closing tag </" + close + "> for <" + raw_name + ">");
+    skip_ws();
+    expect('>');
+    return el;
+  }
+
+  QName resolve_element_name(const std::string& prefix, const std::string& local) {
+    const std::string* uri = ns_.resolve(prefix);
+    if (!uri) {
+      if (prefix.empty()) return QName(local);
+      fail("unbound namespace prefix '" + prefix + "'");
+    }
+    if (uri->empty()) return QName(local);  // undeclared default ns
+    return QName(*uri, local);
+  }
+
+  QName resolve_attr_name(const std::string& prefix, const std::string& local) {
+    if (prefix.empty()) return QName(local);  // unprefixed attrs: no namespace
+    const std::string* uri = ns_.resolve(prefix);
+    if (!uri || uri->empty()) fail("unbound namespace prefix '" + prefix + "'");
+    return QName(*uri, local);
+  }
+
+  void parse_content(Element& parent) {
+    std::string text;
+    auto flush_text = [&] {
+      if (!text.empty()) {
+        parent.append_text(std::move(text));
+        text.clear();
+      }
+    };
+    for (;;) {
+      if (at_end()) fail("unexpected end of input inside element");
+      if (starts_with("</")) {
+        flush_text();
+        return;
+      }
+      if (starts_with("<!--")) {
+        flush_text();
+        size_t start = pos_ + 4;
+        skip_comment();
+        parent.append(std::make_unique<CharData>(
+            NodeKind::kComment, std::string(in_.substr(start, pos_ - 3 - start))));
+        continue;
+      }
+      if (starts_with("<![CDATA[")) {
+        flush_text();
+        expect_str("<![CDATA[");
+        std::string cdata;
+        while (!starts_with("]]>")) {
+          if (at_end()) fail("unterminated CDATA section");
+          cdata += advance();
+        }
+        expect_str("]]>");
+        parent.append(std::make_unique<CharData>(NodeKind::kCData, std::move(cdata)));
+        continue;
+      }
+      if (starts_with("<?")) {
+        flush_text();
+        skip_pi();
+        continue;
+      }
+      if (peek() == '<') {
+        flush_text();
+        parent.append(parse_element());
+        continue;
+      }
+      char c = advance();
+      if (c == '&') {
+        text += read_entity();
+      } else {
+        text += c;
+      }
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  size_t line_start_ = 0;
+  int depth_ = 0;
+  NsScope ns_;
+};
+
+}  // namespace
+
+Document parse(std::string_view input) { return Parser(input).parse_document(); }
+
+std::unique_ptr<Element> parse_element(std::string_view input) {
+  return parse(input).root;
+}
+
+}  // namespace gs::xml

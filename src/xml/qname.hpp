@@ -1,0 +1,42 @@
+// Qualified names (namespace URI + local part) for XML elements/attributes.
+#pragma once
+
+#include <compare>
+#include <string>
+#include <string_view>
+
+namespace gs::xml {
+
+/// A qualified XML name: a namespace URI plus a local part.
+///
+/// The prefix used on the wire is a serialization detail and is not part of
+/// a QName's identity; two QNames compare equal iff URI and local part match.
+class QName {
+ public:
+  QName() = default;
+  /// Name in no namespace.
+  explicit QName(std::string local) : local_(std::move(local)) {}
+  QName(std::string ns_uri, std::string local)
+      : ns_(std::move(ns_uri)), local_(std::move(local)) {}
+
+  const std::string& ns() const noexcept { return ns_; }
+  const std::string& local() const noexcept { return local_; }
+
+  bool empty() const noexcept { return local_.empty(); }
+
+  /// Clark notation: "{uri}local", or just "local" when in no namespace.
+  /// Useful for diagnostics and map keys.
+  std::string clark() const {
+    if (ns_.empty()) return local_;
+    return "{" + ns_ + "}" + local_;
+  }
+
+  friend bool operator==(const QName&, const QName&) = default;
+  friend auto operator<=>(const QName&, const QName&) = default;
+
+ private:
+  std::string ns_;
+  std::string local_;
+};
+
+}  // namespace gs::xml

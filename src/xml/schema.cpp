@@ -1,0 +1,139 @@
+#include "xml/schema.hpp"
+
+#include <cctype>
+
+namespace gs::xml {
+namespace {
+
+bool is_integer(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool is_double(const std::string& s) {
+  try {
+    size_t used = 0;
+    (void)std::stod(s, &used);
+    while (used < s.size() && std::isspace(static_cast<unsigned char>(s[used]))) ++used;
+    return used == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool is_boolean(const std::string& s) {
+  return s == "true" || s == "false" || s == "0" || s == "1";
+}
+
+std::string trimmed(std::string s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+void validate_element(const ElementDecl& decl, const Element& el,
+                      const std::string& path,
+                      std::vector<SchemaViolation>& out) {
+  if (el.name() != decl.name()) {
+    out.push_back({path, "expected element " + decl.name().clark() + ", found " +
+                             el.name().clark()});
+    return;
+  }
+
+  for (const auto& attr : decl.required_attrs()) {
+    if (!el.attr(attr)) {
+      out.push_back({path, "missing required attribute " + attr.clark()});
+    }
+  }
+
+  std::string text = trimmed(el.text());
+  switch (decl.content()) {
+    case ContentType::kNone:
+      if (!text.empty())
+        out.push_back({path, "unexpected text content '" + text + "'"});
+      break;
+    case ContentType::kInteger:
+      if (!is_integer(text))
+        out.push_back({path, "expected integer content, found '" + text + "'"});
+      break;
+    case ContentType::kDouble:
+      if (!is_double(text))
+        out.push_back({path, "expected numeric content, found '" + text + "'"});
+      break;
+    case ContentType::kBoolean:
+      if (!is_boolean(text))
+        out.push_back({path, "expected boolean content, found '" + text + "'"});
+      break;
+    case ContentType::kString:
+    case ContentType::kAny:
+      break;
+  }
+
+  // Count and recurse into declared children; flag undeclared ones.
+  for (const auto& spec : decl.children()) {
+    size_t count = 0;
+    for (const auto* child : el.child_elements()) {
+      if (child->name() == spec.decl->name()) {
+        ++count;
+        validate_element(*spec.decl, *child,
+                         path + "/" + spec.decl->name().local(), out);
+      }
+    }
+    if (count < spec.min_occurs) {
+      out.push_back({path, "element " + spec.decl->name().clark() + " occurs " +
+                               std::to_string(count) + " time(s), minimum is " +
+                               std::to_string(spec.min_occurs)});
+    }
+    if (count > spec.max_occurs) {
+      out.push_back({path, "element " + spec.decl->name().clark() + " occurs " +
+                               std::to_string(count) + " time(s), maximum is " +
+                               std::to_string(spec.max_occurs)});
+    }
+  }
+  if (!decl.is_open()) {
+    for (const auto* child : el.child_elements()) {
+      bool declared = false;
+      for (const auto& spec : decl.children()) {
+        if (child->name() == spec.decl->name()) {
+          declared = true;
+          break;
+        }
+      }
+      if (!declared) {
+        out.push_back({path, "undeclared child element " + child->name().clark()});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ElementDecl& ElementDecl::child(ElementDecl decl, size_t min_occurs,
+                                size_t max_occurs) {
+  children_.push_back({std::make_unique<ElementDecl>(std::move(decl)), min_occurs,
+                       max_occurs});
+  return *this;
+}
+
+std::string ValidationResult::summary() const {
+  std::string out;
+  for (const auto& v : violations) {
+    if (!out.empty()) out += "; ";
+    out += v.path + ": " + v.message;
+  }
+  return out;
+}
+
+ValidationResult Schema::validate(const Element& doc) const {
+  ValidationResult result;
+  validate_element(root_, doc, "/" + root_.name().local(), result.violations);
+  return result;
+}
+
+}  // namespace gs::xml

@@ -1,0 +1,103 @@
+// Schema-lite: structural schemas for XML documents.
+//
+// The paper's key qualitative finding about WS-Transfer is that it carries
+// no input/output schema — clients must know resource document shapes by
+// out-of-band agreement, whereas WSRF publishes the resource-property
+// document schema in the service's WSDL. This module gives the WSRF side a
+// concrete, checkable schema object and gives tests/benches a way to
+// demonstrate the WS-Transfer failure mode (documents that silently violate
+// the out-of-band contract).
+//
+// A Schema describes one element: its qualified name, the attributes it
+// requires, the typed text content it may carry, and its child elements
+// with occurrence bounds. Validation reports all violations, not just the
+// first one.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/node.hpp"
+
+namespace gs::xml {
+
+/// Primitive content types (subset of XSD).
+enum class ContentType { kNone, kString, kInteger, kDouble, kBoolean, kAny };
+
+/// Declaration of one element, possibly with nested child declarations.
+class ElementDecl {
+ public:
+  explicit ElementDecl(QName name, ContentType content = ContentType::kNone)
+      : name_(std::move(name)), content_(content) {}
+
+  const QName& name() const noexcept { return name_; }
+  ContentType content() const noexcept { return content_; }
+
+  /// Declares a required attribute.
+  ElementDecl& require_attr(QName name) {
+    required_attrs_.push_back(std::move(name));
+    return *this;
+  }
+
+  /// Declares a child element with occurrence bounds.
+  /// Returns the child declaration for further refinement.
+  ElementDecl& child(ElementDecl decl, size_t min_occurs = 1,
+                     size_t max_occurs = 1);
+  ElementDecl& child_unbounded(ElementDecl decl, size_t min_occurs = 0) {
+    return child(std::move(decl), min_occurs,
+                 std::numeric_limits<size_t>::max());
+  }
+
+  /// Allows child elements not covered by any declaration (xsd:any).
+  ElementDecl& open_content() {
+    open_content_ = true;
+    return *this;
+  }
+
+  struct ChildSpec {
+    std::unique_ptr<ElementDecl> decl;
+    size_t min_occurs;
+    size_t max_occurs;
+  };
+  const std::vector<ChildSpec>& children() const noexcept { return children_; }
+  const std::vector<QName>& required_attrs() const noexcept { return required_attrs_; }
+  bool is_open() const noexcept { return open_content_; }
+
+ private:
+  QName name_;
+  ContentType content_;
+  std::vector<QName> required_attrs_;
+  std::vector<ChildSpec> children_;
+  bool open_content_ = false;
+};
+
+/// One validation problem, with the path to the offending element.
+struct SchemaViolation {
+  std::string path;     // e.g. "/Counter/Value"
+  std::string message;  // human-readable description
+};
+
+/// Validation outcome; empty violations == valid.
+struct ValidationResult {
+  std::vector<SchemaViolation> violations;
+  bool valid() const noexcept { return violations.empty(); }
+  /// All messages joined with "; " (diagnostics).
+  std::string summary() const;
+};
+
+/// A document schema: a single root element declaration.
+class Schema {
+ public:
+  explicit Schema(ElementDecl root) : root_(std::move(root)) {}
+  const ElementDecl& root() const noexcept { return root_; }
+
+  /// Validates `doc` against this schema.
+  ValidationResult validate(const Element& doc) const;
+
+ private:
+  ElementDecl root_;
+};
+
+}  // namespace gs::xml

@@ -1,0 +1,208 @@
+#include "xml/writer.hpp"
+
+#include <vector>
+
+namespace gs::xml {
+namespace {
+
+// Tracks in-scope prefix->URI bindings during serialization.
+class PrefixScope {
+ public:
+  void push() { marks_.push_back(bindings_.size()); }
+  void pop() {
+    bindings_.resize(marks_.back());
+    marks_.pop_back();
+  }
+  void bind(std::string prefix, std::string uri) {
+    bindings_.emplace_back(std::move(prefix), std::move(uri));
+  }
+  // Innermost prefix bound to this URI, or nullptr. `allow_default` is false
+  // for attributes, which cannot use the default namespace.
+  const std::string* prefix_for(const std::string& uri, bool allow_default) const {
+    for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+      if (it->second != uri) continue;
+      if (!allow_default && it->first.empty()) continue;
+      // The binding must not be shadowed by a later one with the same prefix.
+      if (resolve(it->first) == &it->second) return &it->first;
+    }
+    return nullptr;
+  }
+  const std::string* resolve(const std::string& prefix) const {
+    for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+      if (it->first == prefix) return &it->second;
+    }
+    return nullptr;
+  }
+  bool prefix_taken(const std::string& prefix) const {
+    return resolve(prefix) != nullptr;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> bindings_;
+  std::vector<size_t> marks_;
+};
+
+class Writer {
+ public:
+  explicit Writer(const WriteOptions& opts) : opts_(opts) {}
+
+  std::string run(const Element& root) {
+    if (opts_.declaration) out_ = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (opts_.declaration && opts_.pretty) out_ += '\n';
+    write_element(root, 0);
+    return std::move(out_);
+  }
+
+ private:
+  void indent(int depth) {
+    out_ += '\n';
+    out_.append(static_cast<size_t>(depth) * 2, ' ');
+  }
+
+  void write_element(const Element& el, int depth) {
+    scope_.push();
+
+    // Declarations explicitly hinted on this element.
+    std::vector<std::pair<std::string, std::string>> new_decls;
+    for (const auto& [prefix, uri] : el.ns_decls()) {
+      if (const std::string* bound = scope_.resolve(prefix);
+          bound && *bound == uri) {
+        continue;  // already in scope
+      }
+      scope_.bind(prefix, uri);
+      new_decls.emplace_back(prefix, uri);
+    }
+
+    std::string tag = qualify(el.name(), /*is_attribute=*/false, new_decls);
+
+    out_ += '<';
+    out_ += tag;
+
+    // Attribute names may force additional declarations.
+    std::vector<std::pair<std::string, std::string>> attr_text;
+    for (const auto& a : el.attributes()) {
+      attr_text.emplace_back(qualify(a.name, /*is_attribute=*/true, new_decls),
+                             a.value);
+    }
+    for (const auto& [prefix, uri] : new_decls) {
+      out_ += ' ';
+      out_ += prefix.empty() ? "xmlns" : "xmlns:" + prefix;
+      out_ += "=\"";
+      out_ += escape_text(uri, true);
+      out_ += '"';
+    }
+    for (const auto& [name, value] : attr_text) {
+      out_ += ' ';
+      out_ += name;
+      out_ += "=\"";
+      out_ += escape_text(value, true);
+      out_ += '"';
+    }
+
+    if (!el.has_children()) {
+      out_ += "/>";
+      scope_.pop();
+      return;
+    }
+    out_ += '>';
+
+    bool mixed = false;
+    for (const auto& c : el.children()) {
+      if (c->kind() == NodeKind::kText || c->kind() == NodeKind::kCData) {
+        mixed = true;
+        break;
+      }
+    }
+    bool pretty_here = opts_.pretty && !mixed;
+
+    for (const auto& c : el.children()) {
+      switch (c->kind()) {
+        case NodeKind::kElement:
+          if (pretty_here) indent(depth + 1);
+          write_element(static_cast<const Element&>(*c), depth + 1);
+          break;
+        case NodeKind::kText:
+          out_ += escape_text(static_cast<const CharData&>(*c).text());
+          break;
+        case NodeKind::kCData:
+          out_ += "<![CDATA[";
+          out_ += static_cast<const CharData&>(*c).text();
+          out_ += "]]>";
+          break;
+        case NodeKind::kComment:
+          if (pretty_here) indent(depth + 1);
+          out_ += "<!--";
+          out_ += static_cast<const CharData&>(*c).text();
+          out_ += "-->";
+          break;
+      }
+    }
+    if (pretty_here) indent(depth);
+    out_ += "</";
+    out_ += tag;
+    out_ += '>';
+    scope_.pop();
+  }
+
+  // Returns the serialized (possibly prefixed) name, creating a namespace
+  // declaration in `new_decls` if the URI is not yet reachable.
+  std::string qualify(const QName& name, bool is_attribute,
+                      std::vector<std::pair<std::string, std::string>>& new_decls) {
+    if (name.ns().empty()) {
+      // For elements, a no-namespace name requires the default namespace to
+      // be unset in scope. We only undeclare if a default namespace applies.
+      if (!is_attribute) {
+        if (const std::string* dflt = scope_.resolve(""); dflt && !dflt->empty()) {
+          scope_.bind("", "");
+          new_decls.emplace_back("", "");
+        }
+      }
+      return name.local();
+    }
+    if (const std::string* p = scope_.prefix_for(name.ns(), !is_attribute)) {
+      return p->empty() ? name.local() : *p + ":" + name.local();
+    }
+    // Invent a prefix.
+    std::string prefix;
+    do {
+      prefix = "n" + std::to_string(++gen_counter_);
+    } while (scope_.prefix_taken(prefix));
+    scope_.bind(prefix, name.ns());
+    new_decls.emplace_back(prefix, name.ns());
+    return prefix + ":" + name.local();
+  }
+
+  const WriteOptions& opts_;
+  std::string out_;
+  PrefixScope scope_;
+  int gen_counter_ = 0;
+};
+
+}  // namespace
+
+std::string escape_text(std::string_view raw, bool in_attribute) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"':
+        if (in_attribute) {
+          out += "&quot;";
+        } else {
+          out += c;
+        }
+        break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string write(const Element& root, const WriteOptions& options) {
+  return Writer(options).run(root);
+}
+
+}  // namespace gs::xml

@@ -1,0 +1,29 @@
+// XML serialization.
+#pragma once
+
+#include <string>
+
+#include "xml/node.hpp"
+
+namespace gs::xml {
+
+/// Serialization options.
+struct WriteOptions {
+  /// Indent nested elements with two spaces and newlines. Mixed content
+  /// (elements with direct text) is never re-indented.
+  bool pretty = false;
+  /// Emit an `<?xml version="1.0" encoding="UTF-8"?>` declaration.
+  bool declaration = false;
+};
+
+/// Serializes the subtree rooted at `root` to UTF-8 XML text.
+///
+/// Namespace prefixes come from each element's prefix hints where present;
+/// otherwise prefixes `n1`, `n2`, ... are generated at the point of first
+/// use. Output is well-formed and round-trips through `parse`.
+std::string write(const Element& root, const WriteOptions& options = {});
+
+/// Escapes `&<>` (and `"` when `in_attribute`) for inclusion in XML text.
+std::string escape_text(std::string_view raw, bool in_attribute = false);
+
+}  // namespace gs::xml

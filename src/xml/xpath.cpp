@@ -1,0 +1,1011 @@
+#include "xml/xpath.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace gs::xml {
+namespace {
+
+std::string element_string_value(const Element& el) {
+  std::string out;
+  std::function<void(const Element&)> walk = [&](const Element& e) {
+    for (const auto& c : e.children()) {
+      if (c->kind() == NodeKind::kText || c->kind() == NodeKind::kCData) {
+        out += static_cast<const CharData&>(*c).text();
+      } else if (c->kind() == NodeKind::kElement) {
+        walk(static_cast<const Element&>(*c));
+      }
+    }
+  };
+  walk(el);
+  return out;
+}
+
+std::string format_number(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
+  if (d == 0) return "0";
+  if (d == static_cast<long long>(d)) return std::to_string(static_cast<long long>(d));
+  std::ostringstream os;
+  os << d;
+  return os.str();
+}
+
+double string_to_number(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return std::nan("");
+  size_t e = s.find_last_not_of(" \t\r\n");
+  std::string t = s.substr(b, e - b + 1);
+  try {
+    size_t used = 0;
+    double d = std::stod(t, &used);
+    if (used != t.size()) return std::nan("");
+    return d;
+  } catch (const std::exception&) {
+    return std::nan("");
+  }
+}
+
+}  // namespace
+
+std::string XPathNode::string_value() const {
+  if (is_attribute()) return element->attributes()[static_cast<size_t>(attr_index)].value;
+  if (is_text()) return chardata->text();
+  return element_string_value(*element);
+}
+
+bool XPathValue::to_boolean() const {
+  if (auto* b = std::get_if<bool>(&v_)) return *b;
+  if (auto* d = std::get_if<double>(&v_)) return *d != 0 && !std::isnan(*d);
+  if (auto* s = std::get_if<std::string>(&v_)) return !s->empty();
+  return !std::get<NodeSet>(v_).empty();
+}
+
+double XPathValue::to_number() const {
+  if (auto* d = std::get_if<double>(&v_)) return *d;
+  if (auto* b = std::get_if<bool>(&v_)) return *b ? 1.0 : 0.0;
+  return string_to_number(to_string());
+}
+
+std::string XPathValue::to_string() const {
+  if (auto* s = std::get_if<std::string>(&v_)) return *s;
+  if (auto* b = std::get_if<bool>(&v_)) return *b ? "true" : "false";
+  if (auto* d = std::get_if<double>(&v_)) return format_number(*d);
+  const auto& ns = std::get<NodeSet>(v_);
+  return ns.empty() ? std::string() : ns.front().string_value();
+}
+
+const NodeSet& XPathValue::node_set() const {
+  if (!is_node_set()) throw XPathError("expected a node-set");
+  return std::get<NodeSet>(v_);
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class Tok {
+  kEnd, kSlash, kSlashSlash, kDot, kDotDot, kAt, kLBracket, kRBracket,
+  kLParen, kRParen, kComma, kPipe, kStar, kName, kLiteral, kNumber,
+  kEq, kNe, kLt, kLe, kGt, kGe, kPlus, kMinus,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;   // for kName / kLiteral
+  double number = 0;  // for kNumber
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view in) : in_(in) { next(); }
+
+  const Token& cur() const { return cur_; }
+  // Previous token kind, used to disambiguate '*' (wildcard vs multiply) and
+  // operator names ('and', 'or', 'div', 'mod').
+  bool prev_was_operand() const { return prev_operand_; }
+
+  void next() {
+    prev_operand_ = cur_.kind == Tok::kName || cur_.kind == Tok::kLiteral ||
+                    cur_.kind == Tok::kNumber || cur_.kind == Tok::kRParen ||
+                    cur_.kind == Tok::kRBracket || cur_.kind == Tok::kDot ||
+                    cur_.kind == Tok::kDotDot || cur_.kind == Tok::kStar;
+    skip_ws();
+    if (pos_ >= in_.size()) {
+      cur_ = {Tok::kEnd, "", 0};
+      return;
+    }
+    char c = in_[pos_];
+    switch (c) {
+      case '/':
+        if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '/') {
+          pos_ += 2;
+          cur_ = {Tok::kSlashSlash, "", 0};
+        } else {
+          ++pos_;
+          cur_ = {Tok::kSlash, "", 0};
+        }
+        return;
+      case '.':
+        if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '.') {
+          pos_ += 2;
+          cur_ = {Tok::kDotDot, "", 0};
+          return;
+        }
+        if (pos_ + 1 < in_.size() && std::isdigit(static_cast<unsigned char>(in_[pos_ + 1]))) {
+          lex_number();
+          return;
+        }
+        ++pos_;
+        cur_ = {Tok::kDot, "", 0};
+        return;
+      case '@': ++pos_; cur_ = {Tok::kAt, "", 0}; return;
+      case '[': ++pos_; cur_ = {Tok::kLBracket, "", 0}; return;
+      case ']': ++pos_; cur_ = {Tok::kRBracket, "", 0}; return;
+      case '(': ++pos_; cur_ = {Tok::kLParen, "", 0}; return;
+      case ')': ++pos_; cur_ = {Tok::kRParen, "", 0}; return;
+      case ',': ++pos_; cur_ = {Tok::kComma, "", 0}; return;
+      case '|': ++pos_; cur_ = {Tok::kPipe, "", 0}; return;
+      case '*': ++pos_; cur_ = {Tok::kStar, "", 0}; return;
+      case '+': ++pos_; cur_ = {Tok::kPlus, "", 0}; return;
+      case '-': ++pos_; cur_ = {Tok::kMinus, "", 0}; return;
+      case '=': ++pos_; cur_ = {Tok::kEq, "", 0}; return;
+      case '!':
+        if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '=') {
+          pos_ += 2;
+          cur_ = {Tok::kNe, "", 0};
+          return;
+        }
+        throw XPathError("unexpected '!' in XPath expression");
+      case '<':
+        if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '=') {
+          pos_ += 2;
+          cur_ = {Tok::kLe, "", 0};
+        } else {
+          ++pos_;
+          cur_ = {Tok::kLt, "", 0};
+        }
+        return;
+      case '>':
+        if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '=') {
+          pos_ += 2;
+          cur_ = {Tok::kGe, "", 0};
+        } else {
+          ++pos_;
+          cur_ = {Tok::kGt, "", 0};
+        }
+        return;
+      case '"':
+      case '\'': {
+        char quote = c;
+        size_t end = in_.find(quote, pos_ + 1);
+        if (end == std::string_view::npos) throw XPathError("unterminated literal");
+        cur_ = {Tok::kLiteral, std::string(in_.substr(pos_ + 1, end - pos_ - 1)), 0};
+        pos_ = end + 1;
+        return;
+      }
+      default:
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+          lex_number();
+          return;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+          size_t start = pos_;
+          while (pos_ < in_.size() &&
+                 (std::isalnum(static_cast<unsigned char>(in_[pos_])) ||
+                  in_[pos_] == '_' || in_[pos_] == '-' || in_[pos_] == '.' ||
+                  in_[pos_] == ':')) {
+            ++pos_;
+          }
+          cur_ = {Tok::kName, std::string(in_.substr(start, pos_ - start)), 0};
+          return;
+        }
+        throw XPathError(std::string("unexpected character '") + c + "' in XPath");
+    }
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < in_.size() && std::isspace(static_cast<unsigned char>(in_[pos_]))) ++pos_;
+  }
+  void lex_number() {
+    size_t start = pos_;
+    while (pos_ < in_.size() &&
+           (std::isdigit(static_cast<unsigned char>(in_[pos_])) || in_[pos_] == '.')) {
+      ++pos_;
+    }
+    cur_ = {Tok::kNumber, "", std::stod(std::string(in_.substr(start, pos_ - start)))};
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  Token cur_{Tok::kEnd, "", 0};
+  bool prev_operand_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+enum class Axis { kChild, kAttribute, kDescendantOrSelf, kSelf, kParent, kDescendant };
+
+enum class NodeTestKind { kName, kAnyName, kText, kAnyNode };
+
+struct NodeTest {
+  NodeTestKind kind = NodeTestKind::kAnyNode;
+  QName name;  // for kName (URI resolved at compile time)
+};
+
+struct Expr;
+
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  std::vector<std::unique_ptr<Expr>> predicates;
+};
+
+enum class Op {
+  kOr, kAnd, kEq, kNe, kLt, kLe, kGt, kGe, kPlus, kMinus, kMul, kDiv, kMod,
+  kUnion, kNegate,
+  kPath,      // steps applied to an optional base expression
+  kLiteral, kNumber, kFunction,
+};
+
+struct Expr {
+  Op op;
+  std::vector<std::unique_ptr<Expr>> args;
+  // kPath:
+  bool absolute = false;
+  std::unique_ptr<Expr> base;  // filter expr the path applies to, or null
+  std::vector<Step> steps;
+  // kLiteral / kFunction name / kNumber:
+  std::string str;
+  double num = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class ExprParser {
+ public:
+  ExprParser(std::string_view text, const std::map<std::string, std::string>& ns)
+      : lex_(text), ns_(ns) {}
+
+  std::unique_ptr<Expr> parse() {
+    auto e = parse_or();
+    if (lex_.cur().kind != Tok::kEnd) throw XPathError("trailing tokens in XPath");
+    return e;
+  }
+
+ private:
+  bool at_name(const char* s) const {
+    return lex_.cur().kind == Tok::kName && lex_.cur().text == s;
+  }
+
+  std::unique_ptr<Expr> make_binary(Op op, std::unique_ptr<Expr> l,
+                                    std::unique_ptr<Expr> r) {
+    auto e = std::make_unique<Expr>();
+    e->op = op;
+    e->args.push_back(std::move(l));
+    e->args.push_back(std::move(r));
+    return e;
+  }
+
+  std::unique_ptr<Expr> parse_or() {
+    auto l = parse_and();
+    while (at_name("or") && lex_.prev_was_operand()) {
+      lex_.next();
+      l = make_binary(Op::kOr, std::move(l), parse_and());
+    }
+    return l;
+  }
+
+  std::unique_ptr<Expr> parse_and() {
+    auto l = parse_equality();
+    while (at_name("and") && lex_.prev_was_operand()) {
+      lex_.next();
+      l = make_binary(Op::kAnd, std::move(l), parse_equality());
+    }
+    return l;
+  }
+
+  std::unique_ptr<Expr> parse_equality() {
+    auto l = parse_relational();
+    for (;;) {
+      Tok k = lex_.cur().kind;
+      if (k == Tok::kEq || k == Tok::kNe) {
+        lex_.next();
+        l = make_binary(k == Tok::kEq ? Op::kEq : Op::kNe, std::move(l),
+                        parse_relational());
+      } else {
+        return l;
+      }
+    }
+  }
+
+  std::unique_ptr<Expr> parse_relational() {
+    auto l = parse_additive();
+    for (;;) {
+      Tok k = lex_.cur().kind;
+      Op op;
+      switch (k) {
+        case Tok::kLt: op = Op::kLt; break;
+        case Tok::kLe: op = Op::kLe; break;
+        case Tok::kGt: op = Op::kGt; break;
+        case Tok::kGe: op = Op::kGe; break;
+        default: return l;
+      }
+      lex_.next();
+      l = make_binary(op, std::move(l), parse_additive());
+    }
+  }
+
+  std::unique_ptr<Expr> parse_additive() {
+    auto l = parse_multiplicative();
+    for (;;) {
+      Tok k = lex_.cur().kind;
+      if (k == Tok::kPlus || k == Tok::kMinus) {
+        lex_.next();
+        l = make_binary(k == Tok::kPlus ? Op::kPlus : Op::kMinus, std::move(l),
+                        parse_multiplicative());
+      } else {
+        return l;
+      }
+    }
+  }
+
+  std::unique_ptr<Expr> parse_multiplicative() {
+    auto l = parse_unary();
+    for (;;) {
+      if (lex_.cur().kind == Tok::kStar && lex_.prev_was_operand()) {
+        lex_.next();
+        l = make_binary(Op::kMul, std::move(l), parse_unary());
+      } else if ((at_name("div") || at_name("mod")) && lex_.prev_was_operand()) {
+        Op op = at_name("div") ? Op::kDiv : Op::kMod;
+        lex_.next();
+        l = make_binary(op, std::move(l), parse_unary());
+      } else {
+        return l;
+      }
+    }
+  }
+
+  std::unique_ptr<Expr> parse_unary() {
+    if (lex_.cur().kind == Tok::kMinus) {
+      lex_.next();
+      auto e = std::make_unique<Expr>();
+      e->op = Op::kNegate;
+      e->args.push_back(parse_unary());
+      return e;
+    }
+    return parse_union();
+  }
+
+  std::unique_ptr<Expr> parse_union() {
+    auto l = parse_path();
+    while (lex_.cur().kind == Tok::kPipe) {
+      lex_.next();
+      l = make_binary(Op::kUnion, std::move(l), parse_path());
+    }
+    return l;
+  }
+
+  // Is the current token the start of a primary (non-path) expression?
+  bool at_primary_start() {
+    Tok k = lex_.cur().kind;
+    if (k == Tok::kLiteral || k == Tok::kNumber || k == Tok::kLParen) return true;
+    if (k == Tok::kName) {
+      // A function call — unless it is a node-test name.
+      const std::string& t = lex_.cur().text;
+      if (t == "text" || t == "node" || t == "comment") return false;
+      return peek_is_lparen();
+    }
+    return false;
+  }
+
+  bool peek_is_lparen() {
+    // The lexer has 1-token lookahead only; copy it to peek.
+    Lexer probe = lex_;
+    probe.next();
+    return probe.cur().kind == Tok::kLParen;
+  }
+
+  std::unique_ptr<Expr> parse_path() {
+    auto e = std::make_unique<Expr>();
+    e->op = Op::kPath;
+
+    if (at_primary_start()) {
+      e->base = parse_primary();
+      // Optional trailing predicates on the filter expression.
+      // (Handled inside parse_primary for function calls returning node-sets.)
+      if (lex_.cur().kind != Tok::kSlash && lex_.cur().kind != Tok::kSlashSlash) {
+        return e->base ? std::move(e->base) : std::move(e);
+      }
+      if (lex_.cur().kind == Tok::kSlashSlash) {
+        lex_.next();
+        Step s;
+        s.axis = Axis::kDescendantOrSelf;
+        s.test.kind = NodeTestKind::kAnyNode;
+        e->steps.push_back(std::move(s));
+      } else {
+        lex_.next();
+      }
+      parse_relative_path(*e);
+      return e;
+    }
+
+    if (lex_.cur().kind == Tok::kSlash) {
+      e->absolute = true;
+      lex_.next();
+      if (!at_step_start()) return e;  // bare "/"
+    } else if (lex_.cur().kind == Tok::kSlashSlash) {
+      e->absolute = true;
+      lex_.next();
+      Step s;
+      s.axis = Axis::kDescendantOrSelf;
+      s.test.kind = NodeTestKind::kAnyNode;
+      e->steps.push_back(std::move(s));
+    }
+    parse_relative_path(*e);
+    return e;
+  }
+
+  bool at_step_start() {
+    Tok k = lex_.cur().kind;
+    return k == Tok::kName || k == Tok::kStar || k == Tok::kAt || k == Tok::kDot ||
+           k == Tok::kDotDot;
+  }
+
+  void parse_relative_path(Expr& path) {
+    path.steps.push_back(parse_step());
+    for (;;) {
+      if (lex_.cur().kind == Tok::kSlash) {
+        lex_.next();
+        path.steps.push_back(parse_step());
+      } else if (lex_.cur().kind == Tok::kSlashSlash) {
+        lex_.next();
+        Step s;
+        s.axis = Axis::kDescendantOrSelf;
+        s.test.kind = NodeTestKind::kAnyNode;
+        path.steps.push_back(std::move(s));
+        path.steps.push_back(parse_step());
+      } else {
+        return;
+      }
+    }
+  }
+
+  Step parse_step() {
+    Step s;
+    switch (lex_.cur().kind) {
+      case Tok::kDot:
+        lex_.next();
+        s.axis = Axis::kSelf;
+        s.test.kind = NodeTestKind::kAnyNode;
+        return s;
+      case Tok::kDotDot:
+        lex_.next();
+        s.axis = Axis::kParent;
+        s.test.kind = NodeTestKind::kAnyNode;
+        return s;
+      case Tok::kAt:
+        lex_.next();
+        s.axis = Axis::kAttribute;
+        s.test = parse_node_test(/*attribute=*/true);
+        break;
+      default:
+        s.axis = Axis::kChild;
+        s.test = parse_node_test(/*attribute=*/false);
+        break;
+    }
+    while (lex_.cur().kind == Tok::kLBracket) {
+      lex_.next();
+      s.predicates.push_back(parse_or());
+      if (lex_.cur().kind != Tok::kRBracket) throw XPathError("expected ']'");
+      lex_.next();
+    }
+    return s;
+  }
+
+  NodeTest parse_node_test(bool attribute) {
+    NodeTest t;
+    if (lex_.cur().kind == Tok::kStar) {
+      lex_.next();
+      t.kind = NodeTestKind::kAnyName;
+      return t;
+    }
+    if (lex_.cur().kind != Tok::kName) throw XPathError("expected a node test");
+    std::string raw = lex_.cur().text;
+    lex_.next();
+    if (raw == "text" && lex_.cur().kind == Tok::kLParen) {
+      lex_.next();
+      if (lex_.cur().kind != Tok::kRParen) throw XPathError("expected ')'");
+      lex_.next();
+      t.kind = NodeTestKind::kText;
+      return t;
+    }
+    if (raw == "node" && lex_.cur().kind == Tok::kLParen) {
+      lex_.next();
+      if (lex_.cur().kind != Tok::kRParen) throw XPathError("expected ')'");
+      lex_.next();
+      t.kind = NodeTestKind::kAnyNode;
+      return t;
+    }
+    t.kind = NodeTestKind::kName;
+    auto colon = raw.find(':');
+    if (colon == std::string::npos) {
+      t.name = QName(raw);
+    } else {
+      std::string prefix = raw.substr(0, colon);
+      auto it = ns_.find(prefix);
+      if (it == ns_.end())
+        throw XPathError("unbound prefix '" + prefix + "' in XPath expression");
+      t.name = QName(it->second, raw.substr(colon + 1));
+    }
+    (void)attribute;
+    return t;
+  }
+
+  std::unique_ptr<Expr> parse_primary() {
+    if (lex_.cur().kind == Tok::kLParen) {
+      lex_.next();
+      auto e = parse_or();
+      if (lex_.cur().kind != Tok::kRParen) throw XPathError("expected ')'");
+      lex_.next();
+      return e;
+    }
+    if (lex_.cur().kind == Tok::kLiteral) {
+      auto e = std::make_unique<Expr>();
+      e->op = Op::kLiteral;
+      e->str = lex_.cur().text;
+      lex_.next();
+      return e;
+    }
+    if (lex_.cur().kind == Tok::kNumber) {
+      auto e = std::make_unique<Expr>();
+      e->op = Op::kNumber;
+      e->num = lex_.cur().number;
+      lex_.next();
+      return e;
+    }
+    // Function call. Unknown names are rejected at compile time.
+    static const std::set<std::string> kKnownFunctions = {
+        "true", "false", "not", "position", "last", "count", "string",
+        "number", "boolean", "name", "local-name", "contains", "starts-with",
+        "concat", "string-length", "normalize-space", "floor", "ceiling",
+        "round"};
+    auto e = std::make_unique<Expr>();
+    e->op = Op::kFunction;
+    e->str = lex_.cur().text;
+    if (!kKnownFunctions.contains(e->str)) {
+      throw XPathError("unknown XPath function " + e->str + "()");
+    }
+    lex_.next();
+    if (lex_.cur().kind != Tok::kLParen) throw XPathError("expected '('");
+    lex_.next();
+    if (lex_.cur().kind != Tok::kRParen) {
+      e->args.push_back(parse_or());
+      while (lex_.cur().kind == Tok::kComma) {
+        lex_.next();
+        e->args.push_back(parse_or());
+      }
+    }
+    if (lex_.cur().kind != Tok::kRParen) throw XPathError("expected ')'");
+    lex_.next();
+    return e;
+  }
+
+  Lexer lex_;
+  const std::map<std::string, std::string>& ns_;
+};
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+struct EvalContext {
+  XPathNode node;
+  size_t position = 1;  // 1-based
+  size_t size = 1;
+  const Element* root = nullptr;
+};
+
+class Evaluator {
+ public:
+  XPathValue eval(const Expr& e, const EvalContext& ctx) {
+    switch (e.op) {
+      case Op::kLiteral: return XPathValue(e.str);
+      case Op::kNumber: return XPathValue(e.num);
+      case Op::kOr:
+        return XPathValue(eval(*e.args[0], ctx).to_boolean() ||
+                          eval(*e.args[1], ctx).to_boolean());
+      case Op::kAnd:
+        return XPathValue(eval(*e.args[0], ctx).to_boolean() &&
+                          eval(*e.args[1], ctx).to_boolean());
+      case Op::kEq: return compare(e, ctx, true);
+      case Op::kNe: return compare(e, ctx, false);
+      case Op::kLt: return relational(e, ctx, [](double a, double b) { return a < b; });
+      case Op::kLe: return relational(e, ctx, [](double a, double b) { return a <= b; });
+      case Op::kGt: return relational(e, ctx, [](double a, double b) { return a > b; });
+      case Op::kGe: return relational(e, ctx, [](double a, double b) { return a >= b; });
+      case Op::kPlus: return arith(e, ctx, [](double a, double b) { return a + b; });
+      case Op::kMinus: return arith(e, ctx, [](double a, double b) { return a - b; });
+      case Op::kMul: return arith(e, ctx, [](double a, double b) { return a * b; });
+      case Op::kDiv: return arith(e, ctx, [](double a, double b) { return a / b; });
+      case Op::kMod:
+        return arith(e, ctx, [](double a, double b) { return std::fmod(a, b); });
+      case Op::kNegate:
+        return XPathValue(-eval(*e.args[0], ctx).to_number());
+      case Op::kUnion: {
+        NodeSet l = eval(*e.args[0], ctx).node_set();
+        NodeSet r = eval(*e.args[1], ctx).node_set();
+        for (auto& n : r) {
+          if (std::find(l.begin(), l.end(), n) == l.end()) l.push_back(n);
+        }
+        return XPathValue(std::move(l));
+      }
+      case Op::kPath: return eval_path(e, ctx);
+      case Op::kFunction: return eval_function(e, ctx);
+    }
+    throw XPathError("unhandled expression");
+  }
+
+ private:
+  XPathValue compare(const Expr& e, const EvalContext& ctx, bool want_equal) {
+    XPathValue l = eval(*e.args[0], ctx);
+    XPathValue r = eval(*e.args[1], ctx);
+    // Node-set comparisons are existential per XPath 1.0.
+    if (l.is_node_set() || r.is_node_set()) {
+      const XPathValue& ns = l.is_node_set() ? l : r;
+      const XPathValue& other = l.is_node_set() ? r : l;
+      if (other.is_node_set()) {
+        for (const auto& a : ns.node_set()) {
+          for (const auto& b : other.node_set()) {
+            if ((a.string_value() == b.string_value()) == want_equal)
+              return XPathValue(true);
+          }
+        }
+        return XPathValue(false);
+      }
+      for (const auto& n : ns.node_set()) {
+        bool eq;
+        if (other.is_number()) {
+          eq = string_to_number(n.string_value()) == other.to_number();
+        } else if (other.is_boolean()) {
+          eq = XPathValue(NodeSet{n}).to_boolean() == other.to_boolean();
+        } else {
+          eq = n.string_value() == other.to_string();
+        }
+        if (eq == want_equal) return XPathValue(true);
+      }
+      return XPathValue(false);
+    }
+    bool eq;
+    if (l.is_boolean() || r.is_boolean()) {
+      eq = l.to_boolean() == r.to_boolean();
+    } else if (l.is_number() || r.is_number()) {
+      eq = l.to_number() == r.to_number();
+    } else {
+      eq = l.to_string() == r.to_string();
+    }
+    return XPathValue(eq == want_equal);
+  }
+
+  template <typename Cmp>
+  XPathValue relational(const Expr& e, const EvalContext& ctx, Cmp cmp) {
+    XPathValue l = eval(*e.args[0], ctx);
+    XPathValue r = eval(*e.args[1], ctx);
+    if (l.is_node_set() || r.is_node_set()) {
+      auto nums = [](const XPathValue& v) {
+        std::vector<double> out;
+        if (v.is_node_set()) {
+          for (const auto& n : v.node_set()) out.push_back(string_to_number(n.string_value()));
+        } else {
+          out.push_back(v.to_number());
+        }
+        return out;
+      };
+      for (double a : nums(l)) {
+        for (double b : nums(r)) {
+          if (cmp(a, b)) return XPathValue(true);
+        }
+      }
+      return XPathValue(false);
+    }
+    return XPathValue(static_cast<bool>(cmp(l.to_number(), r.to_number())));
+  }
+
+  template <typename OpFn>
+  XPathValue arith(const Expr& e, const EvalContext& ctx, OpFn fn) {
+    return XPathValue(
+        fn(eval(*e.args[0], ctx).to_number(), eval(*e.args[1], ctx).to_number()));
+  }
+
+  XPathValue eval_path(const Expr& e, const EvalContext& ctx) {
+    NodeSet current;
+    if (e.base) {
+      XPathValue base = eval(*e.base, ctx);
+      current = base.node_set();
+      if (e.steps.empty()) return XPathValue(std::move(current));
+    } else if (e.absolute) {
+      current.push_back(XPathNode::of(*ctx.root));
+      if (e.steps.empty()) return XPathValue(std::move(current));
+    } else {
+      current.push_back(ctx.node);
+    }
+    bool first_step_of_absolute = e.absolute && !e.base;
+    for (const auto& step : e.steps) {
+      // An absolute path conceptually starts at the document node, whose
+      // only element child is the root. We seed `current` with the root
+      // element itself, so the first child-axis step must test the root
+      // rather than its children.
+      const Step* effective = &step;
+      Step self_step;
+      if (first_step_of_absolute && step.axis == Axis::kChild) {
+        self_step.axis = Axis::kSelf;
+        self_step.test = step.test;
+        effective = &self_step;
+      }
+      first_step_of_absolute = false;
+      NodeSet next;
+      for (const auto& n : current) {
+        NodeSet candidates = apply_axis(*effective, n);
+        apply_predicates(step, candidates, ctx.root);
+        for (auto& c : candidates) {
+          if (std::find(next.begin(), next.end(), c) == next.end())
+            next.push_back(std::move(c));
+        }
+      }
+      current = std::move(next);
+    }
+    return XPathValue(std::move(current));
+  }
+
+  NodeSet apply_axis(const Step& step, const XPathNode& n) {
+    NodeSet out;
+    switch (step.axis) {
+      case Axis::kSelf:
+        if (test_matches(step.test, n)) out.push_back(n);
+        break;
+      case Axis::kParent:
+        if (n.is_element() && n.element->parent()) {
+          XPathNode p = XPathNode::of(*n.element->parent());
+          if (test_matches(step.test, p)) out.push_back(p);
+        } else if ((n.is_attribute() || n.is_text()) && n.element) {
+          XPathNode p = XPathNode::of(*n.element);
+          if (test_matches(step.test, p)) out.push_back(p);
+        }
+        break;
+      case Axis::kChild:
+        if (n.is_element()) collect_children(step.test, *n.element, out);
+        break;
+      case Axis::kAttribute:
+        if (n.is_element()) {
+          const auto& attrs = n.element->attributes();
+          for (size_t i = 0; i < attrs.size(); ++i) {
+            if (step.test.kind == NodeTestKind::kAnyName ||
+                step.test.kind == NodeTestKind::kAnyNode ||
+                (step.test.kind == NodeTestKind::kName &&
+                 attrs[i].name == step.test.name)) {
+              out.push_back({n.element, nullptr, static_cast<int>(i)});
+            }
+          }
+        }
+        break;
+      case Axis::kDescendantOrSelf:
+        if (test_matches(step.test, n)) out.push_back(n);
+        if (n.is_element()) collect_descendants(step.test, *n.element, out);
+        break;
+      case Axis::kDescendant:
+        if (n.is_element()) collect_descendants(step.test, *n.element, out);
+        break;
+    }
+    return out;
+  }
+
+  void collect_children(const NodeTest& test, const Element& el, NodeSet& out) {
+    for (const auto& c : el.children()) {
+      if (c->kind() == NodeKind::kElement) {
+        const auto& child = static_cast<const Element&>(*c);
+        XPathNode n = XPathNode::of(child);
+        if (test_matches(test, n)) out.push_back(n);
+      } else if (c->kind() == NodeKind::kText || c->kind() == NodeKind::kCData) {
+        if (test.kind == NodeTestKind::kText || test.kind == NodeTestKind::kAnyNode) {
+          out.push_back({&el, static_cast<const CharData*>(c.get()), -1});
+        }
+      }
+    }
+  }
+
+  void collect_descendants(const NodeTest& test, const Element& el, NodeSet& out) {
+    for (const auto& c : el.children()) {
+      if (c->kind() == NodeKind::kElement) {
+        const auto& child = static_cast<const Element&>(*c);
+        XPathNode n = XPathNode::of(child);
+        if (test_matches(test, n)) out.push_back(n);
+        collect_descendants(test, child, out);
+      } else if (c->kind() == NodeKind::kText || c->kind() == NodeKind::kCData) {
+        if (test.kind == NodeTestKind::kText || test.kind == NodeTestKind::kAnyNode) {
+          out.push_back({&el, static_cast<const CharData*>(c.get()), -1});
+        }
+      }
+    }
+  }
+
+  bool test_matches(const NodeTest& test, const XPathNode& n) {
+    switch (test.kind) {
+      case NodeTestKind::kAnyNode: return true;
+      case NodeTestKind::kText: return n.is_text();
+      case NodeTestKind::kAnyName: return n.is_element();
+      case NodeTestKind::kName:
+        if (!n.is_element()) return false;
+        if (test.name.ns().empty()) {
+          // Unprefixed name tests match on local name regardless of
+          // namespace; this matches common WS-* toolkit behaviour and keeps
+          // filter expressions readable for service authors.
+          return n.element->name().local() == test.name.local();
+        }
+        return n.element->name() == test.name;
+    }
+    return false;
+  }
+
+  void apply_predicates(const Step& step, NodeSet& nodes, const Element* root) {
+    for (const auto& pred : step.predicates) {
+      NodeSet kept;
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        EvalContext sub{nodes[i], i + 1, nodes.size(), root};
+        XPathValue v = eval(*pred, sub);
+        bool keep = v.is_number() ? (v.to_number() == static_cast<double>(i + 1))
+                                  : v.to_boolean();
+        if (keep) kept.push_back(nodes[i]);
+      }
+      nodes = std::move(kept);
+    }
+  }
+
+  XPathValue eval_function(const Expr& e, const EvalContext& ctx) {
+    const std::string& f = e.str;
+    auto arity = [&](size_t n) {
+      if (e.args.size() != n)
+        throw XPathError("function " + f + "() expects " + std::to_string(n) +
+                         " argument(s)");
+    };
+    if (f == "true") { arity(0); return XPathValue(true); }
+    if (f == "false") { arity(0); return XPathValue(false); }
+    if (f == "not") { arity(1); return XPathValue(!eval(*e.args[0], ctx).to_boolean()); }
+    if (f == "position") { arity(0); return XPathValue(static_cast<double>(ctx.position)); }
+    if (f == "last") { arity(0); return XPathValue(static_cast<double>(ctx.size)); }
+    if (f == "count") {
+      arity(1);
+      return XPathValue(static_cast<double>(eval(*e.args[0], ctx).node_set().size()));
+    }
+    if (f == "string") {
+      if (e.args.empty()) return XPathValue(ctx.node.string_value());
+      arity(1);
+      return XPathValue(eval(*e.args[0], ctx).to_string());
+    }
+    if (f == "number") {
+      if (e.args.empty()) return XPathValue(string_to_number(ctx.node.string_value()));
+      arity(1);
+      return XPathValue(eval(*e.args[0], ctx).to_number());
+    }
+    if (f == "boolean") { arity(1); return XPathValue(eval(*e.args[0], ctx).to_boolean()); }
+    if (f == "name" || f == "local-name") {
+      std::string out;
+      if (e.args.empty()) {
+        if (ctx.node.is_element()) out = ctx.node.element->name().local();
+        else if (ctx.node.is_attribute())
+          out = ctx.node.element->attributes()[static_cast<size_t>(ctx.node.attr_index)]
+                    .name.local();
+      } else {
+        arity(1);
+        XPathValue v = eval(*e.args[0], ctx);
+        const NodeSet& ns = v.node_set();
+        if (!ns.empty() && ns.front().is_element())
+          out = ns.front().element->name().local();
+      }
+      return XPathValue(std::move(out));
+    }
+    if (f == "contains") {
+      arity(2);
+      return XPathValue(eval(*e.args[0], ctx).to_string().find(
+                            eval(*e.args[1], ctx).to_string()) != std::string::npos);
+    }
+    if (f == "starts-with") {
+      arity(2);
+      return XPathValue(eval(*e.args[0], ctx).to_string().starts_with(
+          eval(*e.args[1], ctx).to_string()));
+    }
+    if (f == "concat") {
+      if (e.args.size() < 2) throw XPathError("concat() expects >= 2 arguments");
+      std::string out;
+      for (const auto& a : e.args) out += eval(*a, ctx).to_string();
+      return XPathValue(std::move(out));
+    }
+    if (f == "string-length") {
+      std::string s = e.args.empty() ? ctx.node.string_value()
+                                     : eval(*e.args[0], ctx).to_string();
+      return XPathValue(static_cast<double>(s.size()));
+    }
+    if (f == "normalize-space") {
+      std::string s = e.args.empty() ? ctx.node.string_value()
+                                     : eval(*e.args[0], ctx).to_string();
+      std::string out;
+      bool in_ws = true;
+      for (char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+          if (!in_ws) out += ' ';
+          in_ws = true;
+        } else {
+          out += c;
+          in_ws = false;
+        }
+      }
+      while (!out.empty() && out.back() == ' ') out.pop_back();
+      return XPathValue(std::move(out));
+    }
+    if (f == "floor") { arity(1); return XPathValue(std::floor(eval(*e.args[0], ctx).to_number())); }
+    if (f == "ceiling") { arity(1); return XPathValue(std::ceil(eval(*e.args[0], ctx).to_number())); }
+    if (f == "round") { arity(1); return XPathValue(std::round(eval(*e.args[0], ctx).to_number())); }
+    throw XPathError("unknown XPath function " + f + "()");
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// XPathExpr
+// ---------------------------------------------------------------------------
+
+struct XPathExpr::Impl {
+  std::unique_ptr<Expr> ast;
+};
+
+XPathExpr::XPathExpr(std::unique_ptr<Impl> impl, std::string text)
+    : impl_(std::move(impl)), text_(std::move(text)) {}
+XPathExpr::XPathExpr(XPathExpr&&) noexcept = default;
+XPathExpr& XPathExpr::operator=(XPathExpr&&) noexcept = default;
+XPathExpr::~XPathExpr() = default;
+
+XPathExpr XPathExpr::compile(std::string_view text,
+                             std::map<std::string, std::string> namespaces) {
+  ExprParser parser(text, namespaces);
+  auto impl = std::make_unique<Impl>();
+  impl->ast = parser.parse();
+  return XPathExpr(std::move(impl), std::string(text));
+}
+
+XPathValue XPathExpr::eval(const Element& context) const {
+  // Document root = outermost ancestor of the context node.
+  const Element* root = &context;
+  while (root->parent()) root = root->parent();
+  EvalContext ctx{XPathNode::of(context), 1, 1, root};
+  Evaluator ev;
+  return ev.eval(*impl_->ast, ctx);
+}
+
+std::vector<const Element*> XPathExpr::select_elements(const Element& context) const {
+  std::vector<const Element*> out;
+  XPathValue v = eval(context);
+  if (!v.is_node_set()) return out;
+  for (const auto& n : v.node_set()) {
+    if (n.is_element()) out.push_back(n.element);
+  }
+  return out;
+}
+
+std::vector<const Element*> xpath_select(
+    const Element& context, std::string_view expr,
+    std::map<std::string, std::string> namespaces) {
+  return XPathExpr::compile(expr, std::move(namespaces)).select_elements(context);
+}
+
+}  // namespace gs::xml

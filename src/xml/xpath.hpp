@@ -1,0 +1,116 @@
+// XPath 1.0 subset used across the two stacks:
+//   * WSRF QueryResourceProperties (XPath dialect)
+//   * WS-Eventing / WS-Notification message-content filters
+//   * queries over collections in the Xindice-substitute database
+//
+// Supported: location paths over child / attribute / descendant-or-self /
+// self / parent axes ('/', '//', '@', '.', '..'), name tests with namespace
+// prefixes and wildcards, node tests text() and node(), predicates
+// (positional and boolean), the union operator, arithmetic/relational/
+// boolean operators, and the core function library (string, number, boolean,
+// not, true, false, count, position, last, name, local-name, contains,
+// starts-with, concat, string-length, normalize-space, floor, ceiling,
+// round).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "xml/node.hpp"
+
+namespace gs::xml {
+
+/// Thrown for syntax errors and evaluation-time type errors.
+class XPathError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A node in the XPath data model: an element, an attribute (owner + index),
+/// or a character-data node.
+struct XPathNode {
+  const Element* element = nullptr;   // element node, or attribute owner
+  const CharData* chardata = nullptr; // text node
+  int attr_index = -1;                // >= 0 for an attribute node
+
+  bool is_element() const noexcept {
+    return element != nullptr && attr_index < 0 && chardata == nullptr;
+  }
+  bool is_attribute() const noexcept { return attr_index >= 0; }
+  bool is_text() const noexcept { return chardata != nullptr; }
+
+  /// XPath string-value of the node.
+  std::string string_value() const;
+
+  static XPathNode of(const Element& el) { return {&el, nullptr, -1}; }
+
+  friend bool operator==(const XPathNode&, const XPathNode&) = default;
+};
+
+using NodeSet = std::vector<XPathNode>;
+
+/// An XPath value: node-set, boolean, number or string.
+class XPathValue {
+ public:
+  XPathValue() : v_(NodeSet{}) {}
+  explicit XPathValue(NodeSet ns) : v_(std::move(ns)) {}
+  explicit XPathValue(bool b) : v_(b) {}
+  explicit XPathValue(double d) : v_(d) {}
+  explicit XPathValue(std::string s) : v_(std::move(s)) {}
+
+  bool is_node_set() const noexcept { return std::holds_alternative<NodeSet>(v_); }
+  bool is_boolean() const noexcept { return std::holds_alternative<bool>(v_); }
+  bool is_number() const noexcept { return std::holds_alternative<double>(v_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(v_); }
+
+  /// Conversions per XPath 1.0 semantics.
+  bool to_boolean() const;
+  double to_number() const;
+  std::string to_string() const;
+  const NodeSet& node_set() const;
+
+ private:
+  std::variant<NodeSet, bool, double, std::string> v_;
+};
+
+/// A compiled XPath expression; reusable across evaluations and threads.
+class XPathExpr {
+ public:
+  /// Compiles `text`. `namespaces` maps prefixes used in the expression to
+  /// namespace URIs. Throws XPathError on syntax errors.
+  static XPathExpr compile(std::string_view text,
+                           std::map<std::string, std::string> namespaces = {});
+
+  XPathExpr(XPathExpr&&) noexcept;
+  XPathExpr& operator=(XPathExpr&&) noexcept;
+  ~XPathExpr();
+
+  /// Evaluates with `context` as the context node (also the document root
+  /// for absolute paths).
+  XPathValue eval(const Element& context) const;
+
+  /// Convenience: evaluates and converts to bool (filter predicates).
+  bool matches(const Element& context) const { return eval(context).to_boolean(); }
+
+  /// Convenience: evaluates and returns the selected elements only.
+  std::vector<const Element*> select_elements(const Element& context) const;
+
+  const std::string& text() const noexcept { return text_; }
+
+ private:
+  struct Impl;
+  explicit XPathExpr(std::unique_ptr<Impl> impl, std::string text);
+  std::unique_ptr<Impl> impl_;
+  std::string text_;
+};
+
+/// One-shot helper: compile + select elements.
+std::vector<const Element*> xpath_select(
+    const Element& context, std::string_view expr,
+    std::map<std::string, std::string> namespaces = {});
+
+}  // namespace gs::xml

@@ -1,0 +1,173 @@
+#include "xmldb/backend.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+namespace gs::xmldb {
+
+void MemoryBackend::put(const std::string& collection, const std::string& id,
+                        const std::string& octets) {
+  std::lock_guard lock(mu_);
+  collections_[collection][id] = octets;
+}
+
+std::optional<std::string> MemoryBackend::get(const std::string& collection,
+                                              const std::string& id) {
+  std::lock_guard lock(mu_);
+  auto col = collections_.find(collection);
+  if (col == collections_.end()) return std::nullopt;
+  auto doc = col->second.find(id);
+  if (doc == col->second.end()) return std::nullopt;
+  return doc->second;
+}
+
+bool MemoryBackend::remove(const std::string& collection, const std::string& id) {
+  std::lock_guard lock(mu_);
+  auto col = collections_.find(collection);
+  if (col == collections_.end()) return false;
+  return col->second.erase(id) > 0;
+}
+
+std::vector<std::string> MemoryBackend::list(const std::string& collection) {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  auto col = collections_.find(collection);
+  if (col != collections_.end()) {
+    out.reserve(col->second.size());
+    for (const auto& [id, octets] : col->second) out.push_back(id);
+  }
+  return out;
+}
+
+bool MemoryBackend::contains(const std::string& collection, const std::string& id) {
+  std::lock_guard lock(mu_);
+  auto col = collections_.find(collection);
+  return col != collections_.end() && col->second.contains(id);
+}
+
+FileBackend::FileBackend(std::filesystem::path root) : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+std::string FileBackend::escape_id(const std::string& id) {
+  // Percent-escape everything outside [A-Za-z0-9._-] so ids like
+  // "CN=alice/jobs/1" are valid single-segment file names.
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  for (unsigned char c : id) {
+    if (std::isalnum(c) || c == '.' || c == '_' || c == '-') {
+      out += static_cast<char>(c);
+    } else {
+      out += '%';
+      out += kHex[c >> 4];
+      out += kHex[c & 0xF];
+    }
+  }
+  return out;
+}
+
+std::string FileBackend::unescape_id(const std::string& name) {
+  std::string out;
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (name[i] == '%' && i + 2 < name.size()) {
+      auto nibble = [](char c) {
+        return c <= '9' ? c - '0' : c - 'A' + 10;
+      };
+      out += static_cast<char>((nibble(name[i + 1]) << 4) | nibble(name[i + 2]));
+      i += 2;
+    } else {
+      out += name[i];
+    }
+  }
+  return out;
+}
+
+std::filesystem::path FileBackend::doc_path(const std::string& collection,
+                                            const std::string& id) const {
+  return root_ / escape_id(collection) / (escape_id(id) + ".xml");
+}
+
+void FileBackend::put(const std::string& collection, const std::string& id,
+                      const std::string& octets) {
+  std::lock_guard lock(mu_);
+  std::filesystem::path dir = root_ / escape_id(collection);
+  std::filesystem::create_directories(dir);
+  std::filesystem::path target = doc_path(collection, id);
+  std::error_code ec;
+  bool is_insert = !std::filesystem::exists(target, ec);
+  std::filesystem::path tmp = target;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write " + tmp.string());
+    out.write(octets.data(), static_cast<std::streamsize>(octets.size()));
+    out.flush();
+    if (!out) throw std::runtime_error("write failed for " + tmp.string());
+  }
+  std::filesystem::rename(tmp, target);
+  if (is_insert) rewrite_index_locked(collection);
+}
+
+void FileBackend::rewrite_index_locked(const std::string& collection) {
+  // Collection membership index, Xindice-style: rebuilt whenever a
+  // document is added or removed. Deliberately a full rewrite — the cost
+  // that makes inserts slower than updates.
+  std::filesystem::path dir = root_ / escape_id(collection);
+  std::string index;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (!name.ends_with(".xml")) continue;
+    index += name;
+    index += '\n';
+  }
+  std::filesystem::path tmp = dir / "_index.tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << index;
+  }
+  std::filesystem::rename(tmp, dir / "_index");
+}
+
+std::optional<std::string> FileBackend::get(const std::string& collection,
+                                            const std::string& id) {
+  std::lock_guard lock(mu_);
+  std::ifstream in(doc_path(collection, id), std::ios::binary);
+  if (!in) return std::nullopt;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+bool FileBackend::remove(const std::string& collection, const std::string& id) {
+  std::lock_guard lock(mu_);
+  std::error_code ec;
+  bool removed = std::filesystem::remove(doc_path(collection, id), ec) && !ec;
+  if (removed) rewrite_index_locked(collection);
+  return removed;
+}
+
+std::vector<std::string> FileBackend::list(const std::string& collection) {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  std::filesystem::path dir = root_ / escape_id(collection);
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (!name.ends_with(".xml")) continue;
+    out.push_back(unescape_id(name.substr(0, name.size() - 4)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool FileBackend::contains(const std::string& collection, const std::string& id) {
+  std::lock_guard lock(mu_);
+  std::error_code ec;
+  return std::filesystem::exists(doc_path(collection, id), ec);
+}
+
+}  // namespace gs::xmldb

@@ -1,0 +1,84 @@
+// Storage backends for the XML database.
+//
+// The paper's WSRF.NET "contains built-in support for using an XML
+// database ... or an in-memory document collection backend. An interface to
+// allow custom backends to be used (useful for legacy systems) is also
+// provided." This is that interface plus the two built-ins: an in-memory
+// collection map and a file-per-document store with atomic replace.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gs::xmldb {
+
+/// Raw document storage: collections of (id -> XML octets).
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual void put(const std::string& collection, const std::string& id,
+                   const std::string& octets) = 0;
+  virtual std::optional<std::string> get(const std::string& collection,
+                                         const std::string& id) = 0;
+  /// Returns false when the document did not exist.
+  virtual bool remove(const std::string& collection, const std::string& id) = 0;
+  virtual std::vector<std::string> list(const std::string& collection) = 0;
+  virtual bool contains(const std::string& collection, const std::string& id) = 0;
+};
+
+/// Heap-resident backend (fast, non-durable).
+class MemoryBackend final : public Backend {
+ public:
+  void put(const std::string& collection, const std::string& id,
+           const std::string& octets) override;
+  std::optional<std::string> get(const std::string& collection,
+                                 const std::string& id) override;
+  bool remove(const std::string& collection, const std::string& id) override;
+  std::vector<std::string> list(const std::string& collection) override;
+  bool contains(const std::string& collection, const std::string& id) override;
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::map<std::string, std::string>> collections_;
+};
+
+/// One file per document under root/collection/, written via a temporary
+/// file and atomic rename so readers never observe partial documents.
+/// Document ids are fs-escaped, so any id is usable.
+///
+/// Like Xindice, each collection maintains an index (one `_index` file of
+/// member ids) that is rewritten whenever membership changes — inserting a
+/// new document or removing one costs strictly more than updating an
+/// existing document, which is the cost asymmetry behind the paper's
+/// "creating resources ... is always slower than reading or updating them".
+class FileBackend final : public Backend {
+ public:
+  explicit FileBackend(std::filesystem::path root);
+
+  void put(const std::string& collection, const std::string& id,
+           const std::string& octets) override;
+  std::optional<std::string> get(const std::string& collection,
+                                 const std::string& id) override;
+  bool remove(const std::string& collection, const std::string& id) override;
+  std::vector<std::string> list(const std::string& collection) override;
+  bool contains(const std::string& collection, const std::string& id) override;
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+ private:
+  std::filesystem::path doc_path(const std::string& collection,
+                                 const std::string& id) const;
+  void rewrite_index_locked(const std::string& collection);
+  static std::string escape_id(const std::string& id);
+  static std::string unescape_id(const std::string& name);
+
+  std::filesystem::path root_;
+  std::mutex mu_;
+};
+
+}  // namespace gs::xmldb

@@ -1,0 +1,103 @@
+#include "xmldb/database.hpp"
+
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace gs::xmldb {
+
+XmlDatabase::XmlDatabase(std::unique_ptr<Backend> backend, Options options)
+    : backend_(std::move(backend)), options_(options) {}
+
+std::string XmlDatabase::cache_key(const std::string& collection,
+                                   const std::string& id) {
+  return collection + "\x1f" + id;
+}
+
+void XmlDatabase::store(const std::string& collection, const std::string& id,
+                        const xml::Element& document) {
+  std::string octets = xml::write(document);
+  backend_->put(collection, id, octets);
+  std::lock_guard lock(mu_);
+  ++stats_.stores;
+  if (options_.write_through_cache) {
+    cache_[cache_key(collection, id)] = document.clone_element();
+  }
+}
+
+std::unique_ptr<xml::Element> XmlDatabase::load(const std::string& collection,
+                                                const std::string& id) {
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.loads;
+    if (options_.write_through_cache) {
+      auto it = cache_.find(cache_key(collection, id));
+      if (it != cache_.end()) {
+        ++stats_.cache_hits;
+        return it->second->clone_element();
+      }
+    }
+  }
+  std::optional<std::string> octets = backend_->get(collection, id);
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.backend_reads;
+  }
+  if (!octets) return nullptr;
+  auto doc = xml::parse_element(*octets);
+  if (options_.write_through_cache) {
+    std::lock_guard lock(mu_);
+    cache_[cache_key(collection, id)] = doc->clone_element();
+  }
+  return doc;
+}
+
+bool XmlDatabase::remove(const std::string& collection, const std::string& id) {
+  bool removed = backend_->remove(collection, id);
+  std::lock_guard lock(mu_);
+  ++stats_.removes;
+  cache_.erase(cache_key(collection, id));
+  return removed;
+}
+
+bool XmlDatabase::contains(const std::string& collection, const std::string& id) {
+  {
+    std::lock_guard lock(mu_);
+    if (options_.write_through_cache &&
+        cache_.contains(cache_key(collection, id))) {
+      return true;
+    }
+  }
+  return backend_->contains(collection, id);
+}
+
+std::vector<std::string> XmlDatabase::ids(const std::string& collection) {
+  return backend_->list(collection);
+}
+
+std::vector<QueryMatch> XmlDatabase::query(const std::string& collection,
+                                           const xml::XPathExpr& expr) {
+  std::vector<QueryMatch> out;
+  for (const std::string& id : backend_->list(collection)) {
+    std::unique_ptr<xml::Element> doc = load(collection, id);
+    if (!doc) continue;  // raced with a remove
+    xml::XPathValue value = expr.eval(*doc);
+    bool matches = value.is_node_set() ? !value.node_set().empty()
+                                       : value.to_boolean();
+    if (matches) out.push_back({id, std::move(doc)});
+  }
+  std::lock_guard lock(mu_);
+  ++stats_.queries;
+  return out;
+}
+
+DbStats XmlDatabase::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void XmlDatabase::reset_stats() {
+  std::lock_guard lock(mu_);
+  stats_ = DbStats{};
+}
+
+}  // namespace gs::xmldb

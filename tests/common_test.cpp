@@ -1,0 +1,191 @@
+// Tests for the common substrate: UUIDs, encodings, clocks, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/encoding.hpp"
+#include "common/threadpool.hpp"
+#include "common/uuid.hpp"
+
+namespace gs::common {
+namespace {
+
+// --- uuid --------------------------------------------------------------------
+
+TEST(Uuid, HasCanonicalShape) {
+  std::string id = new_uuid();
+  ASSERT_EQ(id.size(), 36u);
+  EXPECT_EQ(id[8], '-');
+  EXPECT_EQ(id[13], '-');
+  EXPECT_EQ(id[18], '-');
+  EXPECT_EQ(id[23], '-');
+  EXPECT_EQ(id[14], '4');  // version nibble
+  // Variant nibble is one of 8, 9, a, b.
+  EXPECT_TRUE(std::string("89ab").find(id[19]) != std::string::npos);
+}
+
+TEST(Uuid, IsUnique) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(new_uuid()).second);
+  }
+}
+
+TEST(Uuid, UrnForm) {
+  EXPECT_TRUE(new_urn_uuid().starts_with("urn:uuid:"));
+}
+
+TEST(Uuid, ThreadSafe) {
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::set<std::string> seen;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        std::string id = new_uuid();
+        std::lock_guard lock(mu);
+        seen.insert(id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(seen.size(), 800u);
+}
+
+// --- hex ---------------------------------------------------------------------
+
+TEST(Hex, RoundTrip) {
+  std::vector<std::uint8_t> bytes = {0x00, 0x01, 0xAB, 0xFF, 0x7E};
+  std::string hex = hex_encode(bytes);
+  EXPECT_EQ(hex, "0001abff7e");
+  auto back = hex_decode(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+}
+
+TEST(Hex, DecodesUppercase) {
+  auto bytes = hex_decode("ABCDEF");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ((*bytes)[0], 0xAB);
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_FALSE(hex_decode("abc").has_value()); }
+TEST(Hex, RejectsNonHex) { EXPECT_FALSE(hex_decode("zz").has_value()); }
+TEST(Hex, EmptyIsEmpty) {
+  EXPECT_EQ(hex_encode(std::span<const std::uint8_t>{}), "");
+  EXPECT_EQ(hex_decode("")->size(), 0u);
+}
+
+// --- base64 ------------------------------------------------------------------
+
+struct B64Case {
+  std::string plain;
+  std::string encoded;
+};
+
+class Base64Vectors : public ::testing::TestWithParam<B64Case> {};
+
+// RFC 4648 test vectors.
+INSTANTIATE_TEST_SUITE_P(
+    Rfc4648, Base64Vectors,
+    ::testing::Values(B64Case{"", ""}, B64Case{"f", "Zg=="},
+                      B64Case{"fo", "Zm8="}, B64Case{"foo", "Zm9v"},
+                      B64Case{"foob", "Zm9vYg=="}, B64Case{"fooba", "Zm9vYmE="},
+                      B64Case{"foobar", "Zm9vYmFy"}));
+
+TEST_P(Base64Vectors, Encode) {
+  EXPECT_EQ(base64_encode(as_bytes(GetParam().plain)), GetParam().encoded);
+}
+
+TEST_P(Base64Vectors, Decode) {
+  auto bytes = base64_decode(GetParam().encoded);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(std::string(bytes->begin(), bytes->end()), GetParam().plain);
+}
+
+TEST(Base64, IgnoresWhitespace) {
+  auto bytes = base64_decode("Zm9v\nYmFy");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(std::string(bytes->begin(), bytes->end()), "foobar");
+}
+
+TEST(Base64, RejectsGarbage) { EXPECT_FALSE(base64_decode("!!!!").has_value()); }
+
+TEST(Base64, RejectsDataAfterPadding) {
+  EXPECT_FALSE(base64_decode("Zg==Zg").has_value());
+}
+
+TEST(Base64, BinaryRoundTrip) {
+  std::vector<std::uint8_t> bytes(257);
+  for (size_t i = 0; i < bytes.size(); ++i) bytes[i] = static_cast<std::uint8_t>(i);
+  auto back = base64_decode(base64_encode(bytes));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+}
+
+// --- clocks ------------------------------------------------------------------
+
+TEST(Clock, RealClockAdvances) {
+  RealClock& clock = RealClock::instance();
+  TimeMs a = clock.now();
+  TimeMs b = clock.now();
+  EXPECT_GE(b, a);
+}
+
+TEST(Clock, ManualClockIsExplicit) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance(50);
+  EXPECT_EQ(clock.now(), 150);
+  clock.set(10);
+  EXPECT_EQ(clock.now(), 10);
+}
+
+// --- thread pool -------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.drain();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DrainIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.drain();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.drain();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.drain();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+}  // namespace
+}  // namespace gs::common

@@ -1,0 +1,190 @@
+// Failure injection: the custom-backend interface (the paper's "interface
+// to allow custom backends to be used") exercised with hostile backends,
+// and service behaviour when storage or delivery fails mid-operation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "counter/wsrf_counter.hpp"
+#include "counter/wst_counter.hpp"
+#include "wsn/consumer.hpp"
+#include "xml/parser.hpp"
+
+namespace gs {
+namespace {
+
+// A custom backend (legacy-system stand-in) that wraps the memory backend
+// and can be told to fail specific operations.
+class FlakyBackend final : public xmldb::Backend {
+ public:
+  std::atomic<bool> fail_puts{false};
+  std::atomic<bool> fail_gets{false};
+  std::atomic<int> put_count{0};
+
+  void put(const std::string& collection, const std::string& id,
+           const std::string& octets) override {
+    ++put_count;
+    if (fail_puts.load()) throw std::runtime_error("injected storage failure");
+    inner_.put(collection, id, octets);
+  }
+  std::optional<std::string> get(const std::string& collection,
+                                 const std::string& id) override {
+    if (fail_gets.load()) throw std::runtime_error("injected read failure");
+    return inner_.get(collection, id);
+  }
+  bool remove(const std::string& collection, const std::string& id) override {
+    return inner_.remove(collection, id);
+  }
+  std::vector<std::string> list(const std::string& collection) override {
+    return inner_.list(collection);
+  }
+  bool contains(const std::string& collection, const std::string& id) override {
+    return inner_.contains(collection, id);
+  }
+
+ private:
+  xmldb::MemoryBackend inner_;
+};
+
+TEST(CustomBackend, PluggedThroughTheDatabaseLayer) {
+  auto backend = std::make_unique<FlakyBackend>();
+  FlakyBackend* handle = backend.get();
+  xmldb::XmlDatabase db(std::move(backend));
+  xml::Element doc(xml::QName("r"));
+  doc.set_text("v");
+  db.store("c", "1", doc);
+  EXPECT_EQ(handle->put_count.load(), 1);
+  EXPECT_EQ(db.load("c", "1")->text(), "v");
+}
+
+TEST(CustomBackend, StorageFailureSurfacesAsReceiverFault) {
+  // A storage failure during Create must come back to the client as a
+  // well-formed Receiver fault, not a dropped connection or a crash.
+  auto backend = std::make_unique<FlakyBackend>();
+  FlakyBackend* handle = backend.get();
+
+  net::VirtualNetwork net;
+  net::VirtualCaller sink(net, {.transport = net::TransportKind::kSoapTcp});
+  counter::WstCounterDeployment dep({
+      .backend = std::move(backend),
+      .container = {},
+      .notification_sink = &sink,
+      .address_base = "http://h.example",
+      .subscription_file = {},
+  });
+  net.bind("h.example", dep.container());
+  net::VirtualCaller caller(net, {});
+  counter::WstCounterClient client(caller, dep.counter_address(),
+                                   dep.source_address());
+
+  handle->fail_puts = true;
+  try {
+    client.create();
+    FAIL() << "expected fault";
+  } catch (const soap::SoapFault& f) {
+    EXPECT_EQ(f.fault().code, "Receiver");
+    EXPECT_NE(f.fault().reason.find("injected storage failure"),
+              std::string::npos);
+  }
+
+  // The service recovers as soon as storage does.
+  handle->fail_puts = false;
+  EXPECT_NO_THROW(client.create());
+  EXPECT_EQ(client.get(), 0);
+}
+
+TEST(CustomBackend, ReadFailureDoesNotCorruptSubsequentReads) {
+  auto backend = std::make_unique<FlakyBackend>();
+  FlakyBackend* handle = backend.get();
+  net::VirtualNetwork net;
+  net::VirtualCaller sink(net, {.transport = net::TransportKind::kSoapTcp});
+  counter::WstCounterDeployment dep({
+      .backend = std::move(backend),
+      .container = {},
+      .notification_sink = &sink,
+      .address_base = "http://h.example",
+      .subscription_file = {},
+  });
+  net.bind("h.example", dep.container());
+  net::VirtualCaller caller(net, {});
+  counter::WstCounterClient client(caller, dep.counter_address(),
+                                   dep.source_address());
+  client.create();
+  client.set(5);
+
+  handle->fail_gets = true;
+  EXPECT_THROW(client.get(), soap::SoapFault);
+  handle->fail_gets = false;
+  EXPECT_EQ(client.get(), 5);
+}
+
+TEST(CustomBackend, WsrfCacheMasksBackendReadOutage) {
+  // With the write-through cache, a backend read outage is invisible for
+  // resources that are already cached — a concrete resilience consequence
+  // of the WSRF.NET optimization.
+  auto backend = std::make_unique<FlakyBackend>();
+  FlakyBackend* handle = backend.get();
+  net::VirtualNetwork net;
+  net::VirtualCaller sink(net, {.keep_alive = false});
+  counter::WsrfCounterDeployment dep({
+      .backend = std::move(backend),
+      .write_through_cache = true,
+      .container = {},
+      .notification_sink = &sink,
+      .address_base = "http://h.example",
+  });
+  net.bind("h.example", dep.container());
+  net::VirtualCaller caller(net, {});
+  counter::WsrfCounterClient client(caller, dep.counter_address());
+  client.create();
+  client.set(9);
+
+  handle->fail_gets = true;
+  EXPECT_EQ(client.get(), 9);  // served entirely from the cache
+}
+
+TEST(FailureInjection, NotificationSinkOutageDoesNotFailTheSet) {
+  // Delivery is best-effort: the state change commits even when every
+  // consumer is unreachable.
+  net::VirtualNetwork net;
+  net::VirtualCaller sink(net, {.keep_alive = false});
+  counter::WsrfCounterDeployment dep({
+      .backend = std::make_unique<xmldb::MemoryBackend>(),
+      .write_through_cache = true,
+      .container = {},
+      .notification_sink = &sink,
+      .address_base = "http://h.example",
+  });
+  net.bind("h.example", dep.container());
+  net::VirtualCaller caller(net, {});
+  counter::WsrfCounterClient client(caller, dep.counter_address());
+  client.create();
+  // Subscribe a consumer that is never bound into the network.
+  client.subscribe(soap::EndpointReference("http://unreachable.example/s"));
+  EXPECT_NO_THROW(client.set(3));
+  EXPECT_EQ(client.get(), 3);
+}
+
+TEST(FailureInjection, HalfWrittenRequestIsRejectedCleanly) {
+  net::VirtualNetwork net;
+  net::VirtualCaller sink(net, {.transport = net::TransportKind::kSoapTcp});
+  counter::WstCounterDeployment dep({
+      .backend = std::make_unique<xmldb::MemoryBackend>(),
+      .container = {},
+      .notification_sink = &sink,
+      .address_base = "http://h.example",
+      .subscription_file = {},
+  });
+  // Truncate a valid request mid-envelope and feed it straight in.
+  soap::Envelope env;
+  env.add_payload(xml::QName("urn:t", "Op"));
+  std::string truncated = env.to_xml().substr(0, 40);
+  net::HttpRequest request;
+  request.path = "/Counter";
+  request.body = truncated;
+  net::HttpResponse response = dep.container().handle(request);
+  EXPECT_EQ(response.status, 400);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,352 @@
+// Tests for the network substrate: HTTP framing, URLs, the virtual network
+// with its three transports, wire metering, and the real TCP server.
+#include <gtest/gtest.h>
+
+#include "net/tcp.hpp"
+#include "net/virtual_network.hpp"
+#include "soap/envelope.hpp"
+
+namespace gs::net {
+namespace {
+
+// --- HTTP framing --------------------------------------------------------------
+
+TEST(Http, RequestRoundTrip) {
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/svc/Counter";
+  req.host = "vo.example";
+  req.headers["Content-Type"] = "application/soap+xml";
+  req.body = "<xml/>";
+  auto back = HttpRequest::parse(req.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->method, "POST");
+  EXPECT_EQ(back->path, "/svc/Counter");
+  EXPECT_EQ(back->host, "vo.example");
+  EXPECT_EQ(back->headers.at("Content-Type"), "application/soap+xml");
+  EXPECT_EQ(back->body, "<xml/>");
+}
+
+TEST(Http, ResponseRoundTrip) {
+  HttpResponse resp = HttpResponse::ok("body bytes");
+  auto back = HttpResponse::parse(resp.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, 200);
+  EXPECT_EQ(back->body, "body bytes");
+}
+
+TEST(Http, ErrorResponse) {
+  HttpResponse resp = HttpResponse::error(404, "Not Found", "missing");
+  auto back = HttpResponse::parse(resp.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, 404);
+  EXPECT_EQ(back->reason, "Not Found");
+}
+
+TEST(Http, ContentLengthBoundsBody) {
+  std::string wire =
+      "HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbodyEXTRA";
+  auto resp = HttpResponse::parse(wire);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->body, "body");
+}
+
+TEST(Http, RejectsMalformed) {
+  EXPECT_FALSE(HttpRequest::parse("not http").has_value());
+  EXPECT_FALSE(HttpRequest::parse("GET /\r\n\r\n").has_value());
+  EXPECT_FALSE(HttpResponse::parse("HTTP/1.1\r\n\r\n").has_value());
+  EXPECT_FALSE(
+      HttpRequest::parse("POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nx")
+          .has_value());
+}
+
+TEST(Http, BinaryBodySurvives) {
+  HttpRequest req;
+  req.host = "h";
+  req.body = std::string("\x00\x01\xff\r\n\r\nbinary", 12);
+  auto back = HttpRequest::parse(req.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->body, req.body);
+}
+
+// --- URLs -----------------------------------------------------------------------
+
+struct UrlCase {
+  const char* name;
+  const char* input;
+  bool valid;
+  const char* scheme;
+  const char* host;
+  int port;
+  const char* path;
+};
+
+class UrlParse : public ::testing::TestWithParam<UrlCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, UrlParse,
+    ::testing::Values(
+        UrlCase{"Plain", "http://host/svc", true, "http", "host", 0, "/svc"},
+        UrlCase{"WithPort", "http://host:8080/a/b", true, "http", "host", 8080,
+                "/a/b"},
+        UrlCase{"NoPath", "https://host", true, "https", "host", 0, "/"},
+        UrlCase{"SoapTcp", "soap.tcp://node1:9000/Events", true, "soap.tcp",
+                "node1", 9000, "/Events"},
+        UrlCase{"NoScheme", "host/svc", false, "", "", 0, ""},
+        UrlCase{"EmptyHost", "http:///svc", false, "", "", 0, ""},
+        UrlCase{"BadPort", "http://host:abc/", false, "", "", 0, ""},
+        UrlCase{"PortOutOfRange", "http://host:70000/", false, "", "", 0, ""}),
+    [](const auto& info) { return info.param.name; });
+
+TEST_P(UrlParse, ParsesOrRejects) {
+  auto url = Url::parse(GetParam().input);
+  EXPECT_EQ(url.has_value(), GetParam().valid);
+  if (url) {
+    EXPECT_EQ(url->scheme, GetParam().scheme);
+    EXPECT_EQ(url->host, GetParam().host);
+    EXPECT_EQ(url->port, GetParam().port);
+    EXPECT_EQ(url->path, GetParam().path);
+  }
+}
+
+TEST(Url, AuthorityIncludesPortWhenSet) {
+  EXPECT_EQ(Url::parse("http://h:81/")->authority(), "h:81");
+  EXPECT_EQ(Url::parse("http://h/")->authority(), "h");
+}
+
+// --- virtual network -------------------------------------------------------------
+
+// Echo endpoint: returns the request body as the response body.
+class EchoEndpoint final : public Endpoint {
+ public:
+  explicit EchoEndpoint(const security::Credential* cred = nullptr)
+      : cred_(cred) {}
+  HttpResponse handle(const HttpRequest& request) override {
+    ++hits;
+    soap::Envelope env = soap::Envelope::from_xml(request.body);
+    soap::Envelope response;
+    response.add_payload(xml::QName("urn:t", "Echo"))
+        .set_text(env.payload() ? env.payload()->text() : "");
+    return HttpResponse::ok(response.to_xml());
+  }
+  const security::Credential* tls_credential() const override { return cred_; }
+  int hits = 0;
+
+ private:
+  const security::Credential* cred_;
+};
+
+soap::Envelope make_request(const std::string& text) {
+  soap::Envelope env;
+  env.add_payload(xml::QName("urn:t", "In")).set_text(text);
+  return env;
+}
+
+TEST(VirtualNetwork, RoutesByAuthority) {
+  VirtualNetwork net;
+  EchoEndpoint a, b;
+  net.bind("a.example", a);
+  net.bind("b.example", b);
+  VirtualCaller caller(net, {});
+  caller.call("http://a.example/svc", make_request("x"));
+  caller.call("http://b.example/svc", make_request("y"));
+  caller.call("http://b.example/svc", make_request("z"));
+  EXPECT_EQ(a.hits, 1);
+  EXPECT_EQ(b.hits, 2);
+}
+
+TEST(VirtualNetwork, UnboundAuthorityThrows) {
+  VirtualNetwork net;
+  VirtualCaller caller(net, {});
+  EXPECT_THROW(caller.call("http://nowhere/svc", make_request("x")),
+               NetworkError);
+}
+
+TEST(VirtualNetwork, MalformedAddressThrows) {
+  VirtualNetwork net;
+  VirtualCaller caller(net, {});
+  EXPECT_THROW(caller.call("not-a-url", make_request("x")), NetworkError);
+}
+
+TEST(VirtualNetwork, HttpTransportEchoes) {
+  VirtualNetwork net;
+  EchoEndpoint ep;
+  net.bind("h", ep);
+  VirtualCaller caller(net, {.transport = TransportKind::kHttp});
+  soap::Envelope reply = caller.call("http://h/svc", make_request("ping"));
+  EXPECT_EQ(reply.payload()->text(), "ping");
+}
+
+TEST(VirtualNetwork, SoapTcpTransportEchoes) {
+  VirtualNetwork net;
+  EchoEndpoint ep;
+  net.bind("h", ep);
+  VirtualCaller caller(net, {.transport = TransportKind::kSoapTcp});
+  soap::Envelope reply = caller.call("soap.tcp://h/svc", make_request("ping"));
+  EXPECT_EQ(reply.payload()->text(), "ping");
+}
+
+TEST(VirtualNetwork, MeterCountsMessagesAndBytes) {
+  VirtualNetwork net(NetworkProfile::colocated());
+  EchoEndpoint ep;
+  net.bind("h", ep);
+  WireMeter meter;
+  VirtualCaller caller(net, {.meter = &meter});
+  caller.call("http://h/svc", make_request("x"));
+  EXPECT_EQ(meter.messages(), 2);  // request + response
+  EXPECT_GT(meter.bytes(), 100);
+  EXPECT_EQ(meter.connects(), 1);
+  EXPECT_GT(meter.simulated_ms(), 0.0);
+}
+
+TEST(VirtualNetwork, KeepAlivePoolsConnections) {
+  VirtualNetwork net;
+  EchoEndpoint ep;
+  net.bind("h", ep);
+  WireMeter meter;
+  VirtualCaller caller(net, {.keep_alive = true, .meter = &meter});
+  for (int i = 0; i < 5; ++i) caller.call("http://h/svc", make_request("x"));
+  EXPECT_EQ(meter.connects(), 1);
+}
+
+TEST(VirtualNetwork, NoKeepAliveReconnectsEveryCall) {
+  VirtualNetwork net;
+  EchoEndpoint ep;
+  net.bind("h", ep);
+  WireMeter meter;
+  VirtualCaller caller(net, {.keep_alive = false, .meter = &meter});
+  for (int i = 0; i < 5; ++i) caller.call("http://h/svc", make_request("x"));
+  EXPECT_EQ(meter.connects(), 5);
+}
+
+TEST(VirtualNetwork, DistributedProfileChargesMore) {
+  EchoEndpoint ep;
+  WireMeter co_meter, dist_meter;
+  {
+    VirtualNetwork net(NetworkProfile::colocated());
+    net.bind("h", ep);
+    VirtualCaller caller(net, {.meter = &co_meter});
+    caller.call("http://h/svc", make_request("x"));
+  }
+  {
+    VirtualNetwork net(NetworkProfile::distributed());
+    net.bind("h", ep);
+    VirtualCaller caller(net, {.meter = &dist_meter});
+    caller.call("http://h/svc", make_request("x"));
+  }
+  EXPECT_GT(dist_meter.simulated_ms(), co_meter.simulated_ms() * 10);
+}
+
+TEST(VirtualNetwork, HttpsTransportWorksAndCachesSessions) {
+  std::mt19937_64 rng(20);
+  auto ca = security::CertificateAuthority::create("CN=CA", 512, rng);
+  security::Credential server = ca.issue("CN=server", 512, rng, 0,
+                                         std::numeric_limits<common::TimeMs>::max());
+  VirtualNetwork net;
+  EchoEndpoint ep(&server);
+  net.bind("h", ep);
+  WireMeter meter;
+  VirtualCaller caller(net, {.transport = TransportKind::kHttps,
+                             .keep_alive = true,
+                             .meter = &meter,
+                             .anchor = &ca.root()});
+  soap::Envelope reply = caller.call("https://h/svc", make_request("tls"));
+  EXPECT_EQ(reply.payload()->text(), "tls");
+  EXPECT_EQ(meter.handshakes(), 1);
+  caller.call("https://h/svc", make_request("again"));
+  EXPECT_EQ(meter.handshakes(), 1);  // channel reused, no new handshake
+
+  // Dropping connections forces a new handshake, resumed from the cache.
+  caller.reset_connections();
+  caller.call("https://h/svc", make_request("resumed"));
+  EXPECT_EQ(meter.handshakes(), 2);
+}
+
+TEST(VirtualNetwork, HttpsWithoutServerCredentialFails) {
+  std::mt19937_64 rng(21);
+  auto ca = security::CertificateAuthority::create("CN=CA", 512, rng);
+  VirtualNetwork net;
+  EchoEndpoint ep;  // no TLS credential
+  net.bind("h", ep);
+  VirtualCaller caller(net,
+                       {.transport = TransportKind::kHttps, .anchor = &ca.root()});
+  EXPECT_THROW(caller.call("https://h/svc", make_request("x")), NetworkError);
+}
+
+TEST(VirtualNetwork, HttpsWithoutAnchorFails) {
+  std::mt19937_64 rng(22);
+  auto ca = security::CertificateAuthority::create("CN=CA", 512, rng);
+  security::Credential server = ca.issue("CN=server", 512, rng, 0,
+                                         std::numeric_limits<common::TimeMs>::max());
+  VirtualNetwork net;
+  EchoEndpoint ep(&server);
+  net.bind("h", ep);
+  VirtualCaller caller(net, {.transport = TransportKind::kHttps});
+  EXPECT_THROW(caller.call("https://h/svc", make_request("x")), NetworkError);
+}
+
+TEST(VirtualNetwork, UnbindRemovesEndpoint) {
+  VirtualNetwork net;
+  EchoEndpoint ep;
+  net.bind("h", ep);
+  net.unbind("h");
+  VirtualCaller caller(net, {});
+  EXPECT_THROW(caller.call("http://h/svc", make_request("x")), NetworkError);
+}
+
+// --- real TCP server ---------------------------------------------------------------
+
+TEST(TcpServer, ServesSoapOverRealSockets) {
+  EchoEndpoint ep;
+  HttpServer server(ep, 0, 2);
+  ASSERT_GT(server.port(), 0);
+
+  TcpSoapCaller caller;
+  std::string address = server.base_url() + "/svc";
+  soap::Envelope reply = caller.call(address, make_request("over tcp"));
+  EXPECT_EQ(reply.payload()->text(), "over tcp");
+  server.stop();
+}
+
+TEST(TcpServer, HandlesConcurrentClients) {
+  EchoEndpoint ep;
+  HttpServer server(ep, 0, 4);
+  std::string address = server.base_url() + "/svc";
+
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&address, &ok, i] {
+      TcpSoapCaller caller;
+      soap::Envelope reply =
+          caller.call(address, make_request("c" + std::to_string(i)));
+      if (reply.payload()->text() == "c" + std::to_string(i)) ok.fetch_add(1);
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(TcpServer, ConnectToClosedPortFails) {
+  std::uint16_t dead_port;
+  {
+    EchoEndpoint ep;
+    HttpServer server(ep, 0, 1);
+    dead_port = server.port();
+    server.stop();
+  }
+  TcpSoapCaller caller;
+  EXPECT_THROW(caller.call("http://127.0.0.1:" + std::to_string(dead_port) + "/",
+                           make_request("x")),
+               NetworkError);
+}
+
+TEST(TcpServer, StopIsIdempotent) {
+  EchoEndpoint ep;
+  HttpServer server(ep, 0, 1);
+  server.stop();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace gs::net

@@ -1,0 +1,298 @@
+// Tests for WS-Transfer: the four CRUD operations, server naming,
+// out-of-band resources, best-effort semantics, multi-type services, and
+// the schema gap the paper highlights.
+#include <gtest/gtest.h>
+
+#include "container/container.hpp"
+#include "net/virtual_network.hpp"
+#include "wst/client.hpp"
+#include "xml/parser.hpp"
+#include "xml/schema.hpp"
+
+namespace gs::wst {
+namespace {
+
+const char* kNs = "urn:app";
+xml::QName app(const char* local) { return {kNs, local}; }
+
+struct Fixture {
+  net::VirtualNetwork net;
+  xmldb::XmlDatabase db{std::make_unique<xmldb::MemoryBackend>(), {}};
+  container::Container container{{}};
+  std::unique_ptr<TransferService> service;
+  std::unique_ptr<net::VirtualCaller> caller;
+
+  explicit Fixture(TransferService::Hooks hooks = {}) {
+    service = std::make_unique<TransferService>("Things", db, "things",
+                                                "http://h/Things",
+                                                std::move(hooks));
+    container.deploy("/Things", *service);
+    net.bind("h", container);
+    caller = std::make_unique<net::VirtualCaller>(net, net::VirtualCaller::Options{});
+  }
+
+  TransferProxy factory() {
+    return TransferProxy(*caller, soap::EndpointReference("http://h/Things"));
+  }
+  TransferProxy at(const soap::EndpointReference& epr) {
+    return TransferProxy(*caller, epr);
+  }
+
+  static std::unique_ptr<xml::Element> thing(const std::string& value) {
+    auto doc = std::make_unique<xml::Element>(app("Thing"));
+    doc->append_element(app("value")).set_text(value);
+    return doc;
+  }
+};
+
+// --- Create --------------------------------------------------------------------
+
+TEST(Create, ReturnsEprWithGuidId) {
+  Fixture fx;
+  auto result = fx.factory().create(Fixture::thing("1"));
+  EXPECT_EQ(result.resource.address(), "http://h/Things");
+  auto id = result.resource.reference_property(transfer_id_qname());
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->size(), 36u);  // default naming: GUID
+}
+
+TEST(Create, StoresRepresentationUnmodified) {
+  Fixture fx;
+  auto result = fx.factory().create(Fixture::thing("42"));
+  // No Representation echoed back — the input was stored as-is.
+  EXPECT_EQ(result.representation, nullptr);
+  auto doc = fx.at(result.resource).get();
+  EXPECT_TRUE(xml::Element::deep_equal(*doc, *Fixture::thing("42")));
+}
+
+TEST(Create, EchoesRepresentationWhenServiceModifiesIt) {
+  TransferService::Hooks hooks;
+  hooks.on_create = [](const xml::Element& representation,
+                       container::RequestContext&) {
+    auto modified = representation.clone_element();
+    modified->append_element(app("stamp")).set_text("server-added");
+    return std::make_pair(std::string("fixed-id"), std::move(modified));
+  };
+  Fixture fx(std::move(hooks));
+  auto result = fx.factory().create(Fixture::thing("1"));
+  ASSERT_TRUE(result.representation);
+  EXPECT_EQ(result.representation->child(app("stamp"))->text(), "server-added");
+  EXPECT_EQ(*result.resource.reference_property(transfer_id_qname()), "fixed-id");
+}
+
+TEST(Create, EachCreateMintsDistinctResource) {
+  Fixture fx;
+  auto a = fx.factory().create(Fixture::thing("1")).resource;
+  auto b = fx.factory().create(Fixture::thing("2")).resource;
+  EXPECT_NE(*a.reference_property(transfer_id_qname()),
+            *b.reference_property(transfer_id_qname()));
+  EXPECT_EQ(fx.at(a).get()->child(app("value"))->text(), "1");
+  EXPECT_EQ(fx.at(b).get()->child(app("value"))->text(), "2");
+}
+
+// --- Get ------------------------------------------------------------------------
+
+TEST(Get, ReturnsSnapshotOfRepresentation) {
+  Fixture fx;
+  auto epr = fx.factory().create(Fixture::thing("5")).resource;
+  auto snapshot = fx.at(epr).get();
+  // Mutating the snapshot does not touch the stored resource.
+  snapshot->child(app("value"))->set_text("999");
+  EXPECT_EQ(fx.at(epr).get()->child(app("value"))->text(), "5");
+}
+
+TEST(Get, UnknownResourceFaults) {
+  Fixture fx;
+  soap::EndpointReference epr("http://h/Things");
+  epr.add_reference_property(transfer_id_qname(), "no-such-id");
+  EXPECT_THROW(fx.at(epr).get(), soap::SoapFault);
+}
+
+TEST(Get, MissingIdHeaderFaults) {
+  Fixture fx;
+  EXPECT_THROW(fx.factory().get(), soap::SoapFault);
+}
+
+TEST(Get, WorksOnOutOfBandResources) {
+  // "There is a possibility that a resource is created by an out of band
+  // mechanism. It can still be identified by EPR in Get(), Set(), and
+  // Delete()." — seed the database directly, no Create issued.
+  Fixture fx;
+  fx.db.store("things", "seeded-id", *Fixture::thing("77"));
+  soap::EndpointReference epr("http://h/Things");
+  epr.add_reference_property(transfer_id_qname(), "seeded-id");
+  EXPECT_EQ(fx.at(epr).get()->child(app("value"))->text(), "77");
+}
+
+// --- Put ------------------------------------------------------------------------
+
+TEST(Put, ReplacesRepresentationWholesale) {
+  Fixture fx;
+  auto epr = fx.factory().create(Fixture::thing("1")).resource;
+  auto replacement = std::make_unique<xml::Element>(app("Thing"));
+  replacement->append_element(app("value")).set_text("2");
+  replacement->append_element(app("extra")).set_text("new-field");
+  fx.at(epr).put(std::move(replacement));
+  auto doc = fx.at(epr).get();
+  EXPECT_EQ(doc->child(app("value"))->text(), "2");
+  EXPECT_NE(doc->child(app("extra")), nullptr);
+}
+
+TEST(Put, NeedNotMatchGetSchema) {
+  // "Put updated a resource by providing a replacement representation.
+  // This is not required to be the same XML representation as in the Get;
+  // in this case, the semantics ... are defined by the resource."
+  TransferService::Hooks hooks;
+  hooks.on_put = [](const std::string& id, const xml::Element& replacement,
+                    container::RequestContext& ctx) -> std::unique_ptr<xml::Element> {
+    (void)id;
+    (void)ctx;
+    // Accepts a different document type: <Increment by="N"/>.
+    EXPECT_EQ(replacement.name(), app("Increment"));
+    return nullptr;
+  };
+  Fixture fx(std::move(hooks));
+  auto epr = fx.factory().create(Fixture::thing("1")).resource;
+  auto increment = std::make_unique<xml::Element>(app("Increment"));
+  increment->set_attr("by", "5");
+  EXPECT_NO_THROW(fx.at(epr).put(std::move(increment)));
+}
+
+TEST(Put, UnknownResourceFaultsByDefault) {
+  Fixture fx;
+  soap::EndpointReference epr("http://h/Things");
+  epr.add_reference_property(transfer_id_qname(), "nope");
+  EXPECT_THROW(fx.at(epr).put(Fixture::thing("1")), soap::SoapFault);
+}
+
+TEST(Put, OutOfBandResourceIsUpdatable) {
+  Fixture fx;
+  fx.db.store("things", "seeded", *Fixture::thing("1"));
+  soap::EndpointReference epr("http://h/Things");
+  epr.add_reference_property(transfer_id_qname(), "seeded");
+  fx.at(epr).put(Fixture::thing("2"));
+  EXPECT_EQ(fx.at(epr).get()->child(app("value"))->text(), "2");
+}
+
+// --- Delete ---------------------------------------------------------------------
+
+TEST(Delete, InvalidatesRepresentation) {
+  Fixture fx;
+  auto epr = fx.factory().create(Fixture::thing("1")).resource;
+  fx.at(epr).remove();
+  EXPECT_THROW(fx.at(epr).get(), soap::SoapFault);
+  EXPECT_THROW(fx.at(epr).remove(), soap::SoapFault);
+}
+
+TEST(Delete, BestEffortResurrection) {
+  // "the server ... may bring back a resource that was deleted" — with the
+  // out-of-band path, a deleted id can come back; clients must tolerate it.
+  Fixture fx;
+  auto epr = fx.factory().create(Fixture::thing("1")).resource;
+  std::string id = *epr.reference_property(transfer_id_qname());
+  fx.at(epr).remove();
+  fx.db.store("things", id, *Fixture::thing("resurrected"));
+  EXPECT_EQ(fx.at(epr).get()->child(app("value"))->text(), "resurrected");
+}
+
+// --- multi-type services -----------------------------------------------------------
+
+TEST(MultiType, OneServiceServesMultipleResourceTypes) {
+  // WS-Transfer is "potentially allowing multiple types of resources to be
+  // associated with a single service" — dispatch on id structure, exactly
+  // like the unified Grid-in-a-Box allocation service.
+  TransferService::Hooks hooks;
+  hooks.on_get = [](const std::string& id, container::RequestContext&)
+      -> std::unique_ptr<xml::Element> {
+    if (id.starts_with("site:")) {
+      auto doc = std::make_unique<xml::Element>(app("Site"));
+      doc->set_text(id.substr(5));
+      return doc;
+    }
+    if (id.starts_with("res:")) {
+      auto doc = std::make_unique<xml::Element>(app("Reservation"));
+      doc->set_text(id.substr(4));
+      return doc;
+    }
+    return nullptr;
+  };
+  Fixture fx(std::move(hooks));
+
+  soap::EndpointReference site("http://h/Things");
+  site.add_reference_property(transfer_id_qname(), "site:node1");
+  EXPECT_EQ(fx.at(site).get()->name(), app("Site"));
+
+  soap::EndpointReference res("http://h/Things");
+  res.add_reference_property(transfer_id_qname(), "res:node1");
+  EXPECT_EQ(fx.at(res).get()->name(), app("Reservation"));
+}
+
+TEST(MultiType, EprContentIsClientVisible) {
+  // The resource "name" leaks structure to clients — the opposite of the
+  // WSRF GUID convention. Clients can (and in Grid-in-a-Box must)
+  // construct ids by service-specific rules.
+  Fixture fx;
+  fx.db.store("things", "users/alice/files/data.txt", *Fixture::thing("f"));
+  soap::EndpointReference epr("http://h/Things");
+  epr.add_reference_property(transfer_id_qname(), "users/alice/files/data.txt");
+  EXPECT_NO_THROW(fx.at(epr).get());
+}
+
+// --- the schema gap ------------------------------------------------------------------
+
+TEST(SchemaGap, ClientWithWrongHardcodedSchemaBreaksSilently) {
+  // WS-Transfer carries no input/output schema (<xsd:any> only). A client
+  // whose hard-coded expectations drift from the service contract gets no
+  // wire-level error: Create succeeds and Get hands back a document the
+  // client cannot interpret. Only validation against the out-of-band
+  // schema detects the drift.
+  Fixture fx;
+  // Service contract (out of band): <Thing><value>int</value></Thing>.
+  xml::ElementDecl decl(app("Thing"));
+  decl.child(xml::ElementDecl(app("value"), xml::ContentType::kInteger));
+  xml::Schema contract(std::move(decl));
+
+  // A drifted client uploads <Thing><val>..</val></Thing> — wrong element.
+  auto wrong = std::make_unique<xml::Element>(app("Thing"));
+  wrong->append_element(app("val")).set_text("1");
+  auto result = fx.factory().create(std::move(wrong));  // no error!
+
+  auto doc = fx.at(result.resource).get();
+  EXPECT_FALSE(contract.validate(*doc).valid());  // only the schema notices
+}
+
+TEST(SchemaGap, WellFormedDocumentsPassTheContract) {
+  Fixture fx;
+  xml::ElementDecl decl(app("Thing"));
+  decl.child(xml::ElementDecl(app("value"), xml::ContentType::kInteger));
+  xml::Schema contract(std::move(decl));
+  auto result = fx.factory().create(Fixture::thing("3"));
+  EXPECT_TRUE(contract.validate(*fx.at(result.resource).get()).valid());
+}
+
+// --- resource vs representation -------------------------------------------------------
+
+TEST(ResourceVsRepresentation, RepresentationOutlivesActiveResource) {
+  // "The representation of the resource may remain even when the resource
+  // (e.g., process) does not exist anymore." Model an active resource via
+  // hooks: the representation stays after the entity dies.
+  bool process_alive = true;
+  TransferService::Hooks hooks;
+  hooks.on_get = [&process_alive](const std::string&, container::RequestContext&)
+      -> std::unique_ptr<xml::Element> {
+    auto doc = std::make_unique<xml::Element>(app("Process"));
+    doc->append_element(app("state"))
+        .set_text(process_alive ? "running" : "dead");
+    return doc;
+  };
+  Fixture fx(std::move(hooks));
+  soap::EndpointReference epr("http://h/Things");
+  epr.add_reference_property(transfer_id_qname(), "pid-1");
+  EXPECT_EQ(fx.at(epr).get()->child(app("state"))->text(), "running");
+  process_alive = false;  // the process exits...
+  // ...but Get on the EPR still answers with a representation.
+  EXPECT_EQ(fx.at(epr).get()->child(app("state"))->text(), "dead");
+}
+
+}  // namespace
+}  // namespace gs::wst

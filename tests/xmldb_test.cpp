@@ -1,0 +1,218 @@
+// Tests for the Xindice-substitute XML database: both backends, the
+// write-through cache, and XPath queries over collections.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "xml/parser.hpp"
+#include "xmldb/database.hpp"
+
+namespace gs::xmldb {
+namespace {
+
+std::unique_ptr<xml::Element> doc(const std::string& text) {
+  return xml::parse_element(text);
+}
+
+// --- backends, parameterized over both implementations ---------------------------
+
+enum class BackendKind { kMemory, kFile };
+
+class BackendTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == BackendKind::kFile) {
+      root_ = std::filesystem::temp_directory_path() /
+              ("gs-xmldb-test-" + std::to_string(::getpid()) + "-" +
+               ::testing::UnitTest::GetInstance()->current_test_info()->name());
+      std::filesystem::remove_all(root_);
+      backend_ = std::make_unique<FileBackend>(root_);
+    } else {
+      backend_ = std::make_unique<MemoryBackend>();
+    }
+  }
+  void TearDown() override {
+    backend_.reset();
+    if (!root_.empty()) std::filesystem::remove_all(root_);
+  }
+
+  std::unique_ptr<Backend> backend_;
+  std::filesystem::path root_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Both, BackendTest,
+                         ::testing::Values(BackendKind::kMemory,
+                                           BackendKind::kFile),
+                         [](const auto& info) {
+                           return info.param == BackendKind::kMemory ? "Memory"
+                                                                     : "File";
+                         });
+
+TEST_P(BackendTest, PutGetRoundTrip) {
+  backend_->put("col", "id1", "<a>1</a>");
+  EXPECT_EQ(backend_->get("col", "id1"), "<a>1</a>");
+  EXPECT_FALSE(backend_->get("col", "missing").has_value());
+  EXPECT_FALSE(backend_->get("other", "id1").has_value());
+}
+
+TEST_P(BackendTest, PutReplaces) {
+  backend_->put("col", "id1", "<a>1</a>");
+  backend_->put("col", "id1", "<a>2</a>");
+  EXPECT_EQ(backend_->get("col", "id1"), "<a>2</a>");
+}
+
+TEST_P(BackendTest, Remove) {
+  backend_->put("col", "id1", "<a/>");
+  EXPECT_TRUE(backend_->remove("col", "id1"));
+  EXPECT_FALSE(backend_->remove("col", "id1"));
+  EXPECT_FALSE(backend_->contains("col", "id1"));
+}
+
+TEST_P(BackendTest, ListIsSortedPerCollection) {
+  backend_->put("col", "b", "<x/>");
+  backend_->put("col", "a", "<x/>");
+  backend_->put("col2", "z", "<x/>");
+  std::vector<std::string> expected = {"a", "b"};
+  EXPECT_EQ(backend_->list("col"), expected);
+  EXPECT_EQ(backend_->list("empty").size(), 0u);
+}
+
+TEST_P(BackendTest, AwkwardIdsSurvive) {
+  // Grid-in-a-Box ids contain DNs and slashes: "CN=alice,O=VO/input.dat".
+  std::string id = "CN=alice,O=VO/input dat & more";
+  backend_->put("col", id, "<f/>");
+  EXPECT_EQ(backend_->get("col", id), "<f/>");
+  EXPECT_EQ(backend_->list("col"), std::vector<std::string>{id});
+  EXPECT_TRUE(backend_->remove("col", id));
+}
+
+TEST(FileBackend, PersistsAcrossInstances) {
+  auto root = std::filesystem::temp_directory_path() / "gs-xmldb-persist";
+  std::filesystem::remove_all(root);
+  {
+    FileBackend backend(root);
+    backend.put("col", "id", "<a>persisted</a>");
+  }
+  {
+    FileBackend backend(root);
+    EXPECT_EQ(backend.get("col", "id"), "<a>persisted</a>");
+  }
+  std::filesystem::remove_all(root);
+}
+
+// --- database ---------------------------------------------------------------------
+
+TEST(XmlDatabase, StoreLoadRoundTripsTree) {
+  XmlDatabase db(std::make_unique<MemoryBackend>());
+  db.store("c", "1", *doc("<r a=\"1\"><c>x</c></r>"));
+  auto loaded = db.load("c", "1");
+  ASSERT_TRUE(loaded);
+  EXPECT_TRUE(xml::Element::deep_equal(*loaded, *doc("<r a=\"1\"><c>x</c></r>")));
+}
+
+TEST(XmlDatabase, LoadMissingReturnsNull) {
+  XmlDatabase db(std::make_unique<MemoryBackend>());
+  EXPECT_EQ(db.load("c", "nope"), nullptr);
+}
+
+TEST(XmlDatabase, CacheServesLoadsWithoutBackendReads) {
+  XmlDatabase db(std::make_unique<MemoryBackend>(), {.write_through_cache = true});
+  db.store("c", "1", *doc("<r/>"));
+  (void)db.load("c", "1");
+  (void)db.load("c", "1");
+  DbStats stats = db.stats();
+  EXPECT_EQ(stats.loads, 2u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.backend_reads, 0u);
+}
+
+TEST(XmlDatabase, NoCacheAlwaysReadsBackend) {
+  XmlDatabase db(std::make_unique<MemoryBackend>(), {.write_through_cache = false});
+  db.store("c", "1", *doc("<r/>"));
+  (void)db.load("c", "1");
+  (void)db.load("c", "1");
+  DbStats stats = db.stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.backend_reads, 2u);
+}
+
+TEST(XmlDatabase, CacheReturnsIndependentCopies) {
+  XmlDatabase db(std::make_unique<MemoryBackend>(), {.write_through_cache = true});
+  db.store("c", "1", *doc("<r>v1</r>"));
+  auto first = db.load("c", "1");
+  first->set_text("mutated");
+  auto second = db.load("c", "1");
+  EXPECT_EQ(second->text(), "v1");
+}
+
+TEST(XmlDatabase, RemoveEvictsCache) {
+  XmlDatabase db(std::make_unique<MemoryBackend>(), {.write_through_cache = true});
+  db.store("c", "1", *doc("<r/>"));
+  EXPECT_TRUE(db.remove("c", "1"));
+  EXPECT_EQ(db.load("c", "1"), nullptr);
+  EXPECT_FALSE(db.contains("c", "1"));
+}
+
+TEST(XmlDatabase, StoreUpdatesCachedVersion) {
+  XmlDatabase db(std::make_unique<MemoryBackend>(), {.write_through_cache = true});
+  db.store("c", "1", *doc("<r>v1</r>"));
+  (void)db.load("c", "1");
+  db.store("c", "1", *doc("<r>v2</r>"));
+  EXPECT_EQ(db.load("c", "1")->text(), "v2");
+}
+
+TEST(XmlDatabase, QuerySelectsMatchingDocuments) {
+  XmlDatabase db(std::make_unique<MemoryBackend>());
+  db.store("jobs", "1", *doc("<Job><Status>running</Status></Job>"));
+  db.store("jobs", "2", *doc("<Job><Status>exited</Status></Job>"));
+  db.store("jobs", "3", *doc("<Job><Status>running</Status></Job>"));
+  auto expr = xml::XPathExpr::compile("/Job[Status='running']");
+  auto matches = db.query("jobs", expr);
+  EXPECT_EQ(matches.size(), 2u);
+  for (const auto& m : matches) {
+    EXPECT_NE(m.id, "2");
+    ASSERT_TRUE(m.document);
+  }
+}
+
+TEST(XmlDatabase, QueryWithBooleanExpression) {
+  XmlDatabase db(std::make_unique<MemoryBackend>());
+  db.store("c", "small", *doc("<v>3</v>"));
+  db.store("c", "big", *doc("<v>30</v>"));
+  auto expr = xml::XPathExpr::compile("number(/v) > 10");
+  auto matches = db.query("c", expr);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].id, "big");
+}
+
+TEST(XmlDatabase, QueryAcrossEmptyCollection) {
+  XmlDatabase db(std::make_unique<MemoryBackend>());
+  auto expr = xml::XPathExpr::compile("anything");
+  EXPECT_TRUE(db.query("nothing", expr).empty());
+}
+
+TEST(XmlDatabase, StatsCountOperations) {
+  XmlDatabase db(std::make_unique<MemoryBackend>());
+  db.store("c", "1", *doc("<r/>"));
+  (void)db.load("c", "1");
+  db.remove("c", "1");
+  (void)db.query("c", xml::XPathExpr::compile("r"));
+  DbStats stats = db.stats();
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.removes, 1u);
+  EXPECT_EQ(stats.queries, 1u);
+  db.reset_stats();
+  EXPECT_EQ(db.stats().stores, 0u);
+}
+
+TEST(XmlDatabase, IdsDelegatesToBackend) {
+  XmlDatabase db(std::make_unique<MemoryBackend>());
+  db.store("c", "b", *doc("<r/>"));
+  db.store("c", "a", *doc("<r/>"));
+  std::vector<std::string> expected = {"a", "b"};
+  EXPECT_EQ(db.ids("c"), expected);
+}
+
+}  // namespace
+}  // namespace gs::xmldb

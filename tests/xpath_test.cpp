@@ -1,0 +1,221 @@
+// Tests for the XPath engine (the query language behind WSRF
+// QueryResourceProperties, WSN/WSE content filters and xmldb queries).
+#include <gtest/gtest.h>
+
+#include "xml/parser.hpp"
+#include "xml/xpath.hpp"
+
+namespace gs::xml {
+namespace {
+
+std::unique_ptr<Element> library_doc() {
+  return parse_element(R"(<library>
+    <book year="2001" genre="scifi"><title>Alpha</title><price>10</price></book>
+    <book year="1999" genre="scifi"><title>Beta</title><price>25</price></book>
+    <book year="2005" genre="bio"><title>Gamma</title><price>18</price></book>
+    <magazine><title>Delta</title></magazine>
+  </library>)");
+}
+
+// --- selection behaviour, parameterized: (expr, expected count) ---------------
+
+struct SelectCase {
+  const char* name;
+  const char* expr;
+  size_t expected;
+};
+
+class Selects : public ::testing::TestWithParam<SelectCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, Selects,
+    ::testing::Values(
+        SelectCase{"ChildStep", "book", 3},
+        SelectCase{"TwoSteps", "book/title", 3},
+        SelectCase{"Wildcard", "*", 4},
+        SelectCase{"WildcardThenName", "*/title", 4},
+        SelectCase{"DescendantTitles", "//title", 4},
+        SelectCase{"DescendantFromStep", "book//title", 3},
+        SelectCase{"AbsolutePath", "/library/book", 3},
+        SelectCase{"AbsoluteDescendant", "//book/title", 3},
+        SelectCase{"SelfDot", ".", 1},
+        SelectCase{"DotThenChild", "./book", 3},
+        SelectCase{"ParentFromChild", "book/..", 1},
+        SelectCase{"PositionFirst", "book[1]", 1},
+        SelectCase{"PositionLast", "book[last()]", 1},
+        SelectCase{"PositionFunction", "book[position()=2]", 1},
+        SelectCase{"AttributeEquals", "book[@genre='scifi']", 2},
+        SelectCase{"AttributeExists", "book[@year]", 3},
+        SelectCase{"ChildValueEquals", "book[title='Beta']", 1},
+        SelectCase{"NumericComparison", "book[price>15]", 2},
+        SelectCase{"NumericLessEqual", "book[price<=18]", 2},
+        SelectCase{"AndPredicate", "book[@genre='scifi' and price>15]", 1},
+        SelectCase{"OrPredicate", "book[@genre='bio' or price=10]", 2},
+        SelectCase{"NotFunction", "book[not(@genre='scifi')]", 1},
+        SelectCase{"NestedPredicates", "book[title][price]", 3},
+        SelectCase{"ContainsFunction", "book[contains(title,'amm')]", 1},
+        SelectCase{"StartsWith", "book[starts-with(title,'A')]", 1},
+        SelectCase{"Union", "book | magazine", 4},
+        SelectCase{"NoMatches", "nonexistent", 0},
+        SelectCase{"ChainedPredicatePosition", "book[@genre='scifi'][2]", 1},
+        SelectCase{"CountInPredicate", "book[count(title)=1]", 3},
+        SelectCase{"AttributeAxisStar", "book[@*]", 3}),
+    [](const auto& info) { return info.param.name; });
+
+TEST_P(Selects, ExpectedNodeCount) {
+  auto doc = library_doc();
+  auto result = xpath_select(*doc, GetParam().expr);
+  EXPECT_EQ(result.size(), GetParam().expected) << GetParam().expr;
+}
+
+// --- value semantics ----------------------------------------------------------
+
+TEST(XPathValue, StringValueOfFirstNode) {
+  auto doc = library_doc();
+  XPathExpr expr = XPathExpr::compile("book/title");
+  EXPECT_EQ(expr.eval(*doc).to_string(), "Alpha");
+}
+
+TEST(XPathValue, ElementStringValueIsDescendantText) {
+  auto doc = parse_element("<a><b>x<c>y</c></b></a>");
+  XPathExpr expr = XPathExpr::compile("b");
+  EXPECT_EQ(expr.eval(*doc).to_string(), "xy");
+}
+
+TEST(XPathValue, AttributeSelection) {
+  auto doc = library_doc();
+  XPathExpr expr = XPathExpr::compile("book[1]/@year");
+  XPathValue v = expr.eval(*doc);
+  ASSERT_TRUE(v.is_node_set());
+  ASSERT_EQ(v.node_set().size(), 1u);
+  EXPECT_TRUE(v.node_set()[0].is_attribute());
+  EXPECT_EQ(v.to_string(), "2001");
+}
+
+TEST(XPathValue, TextNodeSelection) {
+  auto doc = parse_element("<a><b>hello</b></a>");
+  XPathExpr expr = XPathExpr::compile("b/text()");
+  EXPECT_EQ(expr.eval(*doc).to_string(), "hello");
+}
+
+TEST(XPathValue, CountFunction) {
+  auto doc = library_doc();
+  EXPECT_EQ(XPathExpr::compile("count(book)").eval(*doc).to_number(), 3.0);
+}
+
+TEST(XPathValue, Arithmetic) {
+  auto doc = library_doc();
+  EXPECT_EQ(XPathExpr::compile("1 + 2 * 3").eval(*doc).to_number(), 7.0);
+  EXPECT_EQ(XPathExpr::compile("10 div 4").eval(*doc).to_number(), 2.5);
+  EXPECT_EQ(XPathExpr::compile("10 mod 4").eval(*doc).to_number(), 2.0);
+  EXPECT_EQ(XPathExpr::compile("-(3)").eval(*doc).to_number(), -3.0);
+}
+
+TEST(XPathValue, NumberOfNodeContent) {
+  auto doc = library_doc();
+  EXPECT_EQ(XPathExpr::compile("number(book[1]/price)").eval(*doc).to_number(),
+            10.0);
+}
+
+TEST(XPathValue, SumViaComparison) {
+  auto doc = library_doc();
+  // Existential comparison across a node set.
+  EXPECT_TRUE(XPathExpr::compile("book/price = 25").eval(*doc).to_boolean());
+  EXPECT_FALSE(XPathExpr::compile("book/price = 11").eval(*doc).to_boolean());
+}
+
+TEST(XPathValue, StringFunctions) {
+  auto doc = library_doc();
+  EXPECT_EQ(XPathExpr::compile("concat('a','b','c')").eval(*doc).to_string(),
+            "abc");
+  EXPECT_EQ(
+      XPathExpr::compile("string-length(book[1]/title)").eval(*doc).to_number(),
+      5.0);
+  EXPECT_EQ(XPathExpr::compile("normalize-space('  a   b ')")
+                .eval(*doc)
+                .to_string(),
+            "a b");
+  EXPECT_EQ(XPathExpr::compile("name(book[1])").eval(*doc).to_string(), "book");
+}
+
+TEST(XPathValue, NumericRounding) {
+  auto doc = library_doc();
+  EXPECT_EQ(XPathExpr::compile("floor(2.7)").eval(*doc).to_number(), 2.0);
+  EXPECT_EQ(XPathExpr::compile("ceiling(2.1)").eval(*doc).to_number(), 3.0);
+  EXPECT_EQ(XPathExpr::compile("round(2.5)").eval(*doc).to_number(), 3.0);
+}
+
+TEST(XPathValue, BooleanConversions) {
+  auto doc = library_doc();
+  EXPECT_TRUE(XPathExpr::compile("true()").eval(*doc).to_boolean());
+  EXPECT_FALSE(XPathExpr::compile("false()").eval(*doc).to_boolean());
+  EXPECT_TRUE(XPathExpr::compile("boolean(1)").eval(*doc).to_boolean());
+  EXPECT_FALSE(XPathExpr::compile("boolean(0)").eval(*doc).to_boolean());
+  EXPECT_FALSE(XPathExpr::compile("boolean('')").eval(*doc).to_boolean());
+  EXPECT_TRUE(XPathExpr::compile("boolean('x')").eval(*doc).to_boolean());
+}
+
+TEST(XPathValue, MatchesHelper) {
+  auto doc = library_doc();
+  EXPECT_TRUE(XPathExpr::compile("book[@genre='bio']").matches(*doc));
+  EXPECT_FALSE(XPathExpr::compile("book[@genre='cooking']").matches(*doc));
+}
+
+// --- namespaces ----------------------------------------------------------------
+
+TEST(XPathNamespaces, PrefixedNameTest) {
+  auto doc = parse_element(
+      "<r xmlns:a=\"urn:a\" xmlns:b=\"urn:b\"><a:x/><b:x/></r>");
+  auto result = xpath_select(*doc, "a:x", {{"a", "urn:a"}});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0]->name().ns(), "urn:a");
+}
+
+TEST(XPathNamespaces, UnprefixedMatchesAnyNamespace) {
+  // Deliberate toolkit-friendly behaviour: unprefixed tests match on local
+  // name so service authors can filter without prefix plumbing.
+  auto doc = parse_element("<r xmlns:a=\"urn:a\"><a:x/><x/></r>");
+  EXPECT_EQ(xpath_select(*doc, "x").size(), 2u);
+}
+
+TEST(XPathNamespaces, UnboundPrefixThrows) {
+  EXPECT_THROW(XPathExpr::compile("q:x"), XPathError);
+}
+
+// --- errors ---------------------------------------------------------------------
+
+class BadXPath : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(SyntaxErrors, BadXPath,
+                         ::testing::Values("", "book[", "book]", "/(", "@@x",
+                                           "book[@]", "unknownfn()",
+                                           "book[price >]", "'unterminated"));
+
+TEST_P(BadXPath, CompileThrows) {
+  EXPECT_THROW(XPathExpr::compile(GetParam()), XPathError);
+}
+
+TEST(XPathErrors, NodeSetRequiredForUnion) {
+  auto doc = library_doc();
+  EXPECT_THROW(XPathExpr::compile("1 | 2").eval(*doc), XPathError);
+}
+
+// --- reuse / compile-once ---------------------------------------------------------
+
+TEST(XPathExpr, CompiledExprIsReusableAcrossDocuments) {
+  XPathExpr expr = XPathExpr::compile("item[@id='7']");
+  auto a = parse_element("<r><item id=\"7\"/></r>");
+  auto b = parse_element("<r><item id=\"8\"/></r>");
+  EXPECT_TRUE(expr.matches(*a));
+  EXPECT_FALSE(expr.matches(*b));
+}
+
+TEST(XPathExpr, FilterExprWithPathContinuation) {
+  auto doc = library_doc();
+  // Parenthesized expression followed by a path.
+  auto result = xpath_select(*doc, "(book | magazine)/title");
+  EXPECT_EQ(result.size(), 4u);
+}
+
+}  // namespace
+}  // namespace gs::xml
