@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_backend.dir/bench_ablation_backend.cpp.o"
+  "CMakeFiles/bench_ablation_backend.dir/bench_ablation_backend.cpp.o.d"
+  "CMakeFiles/bench_ablation_backend.dir/harness.cpp.o"
+  "CMakeFiles/bench_ablation_backend.dir/harness.cpp.o.d"
+  "bench_ablation_backend"
+  "bench_ablation_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_brokered.dir/bench_ablation_brokered.cpp.o"
+  "CMakeFiles/bench_ablation_brokered.dir/bench_ablation_brokered.cpp.o.d"
+  "CMakeFiles/bench_ablation_brokered.dir/harness.cpp.o"
+  "CMakeFiles/bench_ablation_brokered.dir/harness.cpp.o.d"
+  "bench_ablation_brokered"
+  "bench_ablation_brokered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_brokered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

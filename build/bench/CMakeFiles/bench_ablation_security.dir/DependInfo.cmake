@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_security.cpp" "bench/CMakeFiles/bench_ablation_security.dir/bench_ablation_security.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_security.dir/bench_ablation_security.cpp.o.d"
+  "/root/repo/bench/harness.cpp" "bench/CMakeFiles/bench_ablation_security.dir/harness.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_security.dir/harness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gs_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/gs_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/gs_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmldb/CMakeFiles/gs_xmldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/gs_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsrf/CMakeFiles/gs_wsrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/gs_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wst/CMakeFiles/gs_wst.dir/DependInfo.cmake"
+  "/root/repo/build/src/wse/CMakeFiles/gs_wse.dir/DependInfo.cmake"
+  "/root/repo/build/src/counter/CMakeFiles/gs_counter.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridbox/CMakeFiles/gs_gridbox.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hello_nosec.dir/bench_fig2_hello_nosec.cpp.o"
+  "CMakeFiles/bench_fig2_hello_nosec.dir/bench_fig2_hello_nosec.cpp.o.d"
+  "CMakeFiles/bench_fig2_hello_nosec.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig2_hello_nosec.dir/harness.cpp.o.d"
+  "bench_fig2_hello_nosec"
+  "bench_fig2_hello_nosec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hello_nosec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_hello_https.dir/bench_fig3_hello_https.cpp.o"
+  "CMakeFiles/bench_fig3_hello_https.dir/bench_fig3_hello_https.cpp.o.d"
+  "CMakeFiles/bench_fig3_hello_https.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig3_hello_https.dir/harness.cpp.o.d"
+  "bench_fig3_hello_https"
+  "bench_fig3_hello_https.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hello_https.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

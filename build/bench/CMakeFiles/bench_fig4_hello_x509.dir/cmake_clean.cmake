@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_hello_x509.dir/bench_fig4_hello_x509.cpp.o"
+  "CMakeFiles/bench_fig4_hello_x509.dir/bench_fig4_hello_x509.cpp.o.d"
+  "CMakeFiles/bench_fig4_hello_x509.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig4_hello_x509.dir/harness.cpp.o.d"
+  "bench_fig4_hello_x509"
+  "bench_fig4_hello_x509.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_hello_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

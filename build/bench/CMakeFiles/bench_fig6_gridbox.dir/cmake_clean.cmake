@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_gridbox.dir/bench_fig6_gridbox.cpp.o"
+  "CMakeFiles/bench_fig6_gridbox.dir/bench_fig6_gridbox.cpp.o.d"
+  "CMakeFiles/bench_fig6_gridbox.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig6_gridbox.dir/harness.cpp.o.d"
+  "bench_fig6_gridbox"
+  "bench_fig6_gridbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_gridbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_brokered_notification.dir/brokered_notification.cpp.o"
+  "CMakeFiles/example_brokered_notification.dir/brokered_notification.cpp.o.d"
+  "example_brokered_notification"
+  "example_brokered_notification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_brokered_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

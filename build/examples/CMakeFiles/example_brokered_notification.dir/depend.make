@@ -1,0 +1,2 @@
+# Empty dependencies file for example_brokered_notification.
+# This may be replaced when dependencies are built.

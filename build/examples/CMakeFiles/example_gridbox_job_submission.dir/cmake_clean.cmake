@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gridbox_job_submission.dir/gridbox_job_submission.cpp.o"
+  "CMakeFiles/example_gridbox_job_submission.dir/gridbox_job_submission.cpp.o.d"
+  "example_gridbox_job_submission"
+  "example_gridbox_job_submission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gridbox_job_submission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sensor_monitor.dir/sensor_monitor.cpp.o"
+  "CMakeFiles/example_sensor_monitor.dir/sensor_monitor.cpp.o.d"
+  "example_sensor_monitor"
+  "example_sensor_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sensor_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_service_group_registry.dir/service_group_registry.cpp.o"
+  "CMakeFiles/example_service_group_registry.dir/service_group_registry.cpp.o.d"
+  "example_service_group_registry"
+  "example_service_group_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_service_group_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("soap")
+subdirs("security")
+subdirs("net")
+subdirs("xmldb")
+subdirs("container")
+subdirs("wsrf")
+subdirs("wsn")
+subdirs("wst")
+subdirs("wse")
+subdirs("counter")
+subdirs("gridbox")

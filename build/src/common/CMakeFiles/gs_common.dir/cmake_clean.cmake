@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_common.dir/encoding.cpp.o"
+  "CMakeFiles/gs_common.dir/encoding.cpp.o.d"
+  "CMakeFiles/gs_common.dir/threadpool.cpp.o"
+  "CMakeFiles/gs_common.dir/threadpool.cpp.o.d"
+  "CMakeFiles/gs_common.dir/uuid.cpp.o"
+  "CMakeFiles/gs_common.dir/uuid.cpp.o.d"
+  "libgs_common.a"
+  "libgs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_container.dir/container.cpp.o"
+  "CMakeFiles/gs_container.dir/container.cpp.o.d"
+  "CMakeFiles/gs_container.dir/lifetime.cpp.o"
+  "CMakeFiles/gs_container.dir/lifetime.cpp.o.d"
+  "CMakeFiles/gs_container.dir/proxy.cpp.o"
+  "CMakeFiles/gs_container.dir/proxy.cpp.o.d"
+  "CMakeFiles/gs_container.dir/service.cpp.o"
+  "CMakeFiles/gs_container.dir/service.cpp.o.d"
+  "libgs_container.a"
+  "libgs_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_counter.dir/wsrf_counter.cpp.o"
+  "CMakeFiles/gs_counter.dir/wsrf_counter.cpp.o.d"
+  "CMakeFiles/gs_counter.dir/wst_counter.cpp.o"
+  "CMakeFiles/gs_counter.dir/wst_counter.cpp.o.d"
+  "libgs_counter.a"
+  "libgs_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

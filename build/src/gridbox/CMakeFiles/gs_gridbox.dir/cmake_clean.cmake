@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_gridbox.dir/clients.cpp.o"
+  "CMakeFiles/gs_gridbox.dir/clients.cpp.o.d"
+  "CMakeFiles/gs_gridbox.dir/common.cpp.o"
+  "CMakeFiles/gs_gridbox.dir/common.cpp.o.d"
+  "CMakeFiles/gs_gridbox.dir/wsrf_gridbox.cpp.o"
+  "CMakeFiles/gs_gridbox.dir/wsrf_gridbox.cpp.o.d"
+  "CMakeFiles/gs_gridbox.dir/wst_gridbox.cpp.o"
+  "CMakeFiles/gs_gridbox.dir/wst_gridbox.cpp.o.d"
+  "libgs_gridbox.a"
+  "libgs_gridbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_gridbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/http.cpp" "src/net/CMakeFiles/gs_net.dir/http.cpp.o" "gcc" "src/net/CMakeFiles/gs_net.dir/http.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/gs_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/gs_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/virtual_network.cpp" "src/net/CMakeFiles/gs_net.dir/virtual_network.cpp.o" "gcc" "src/net/CMakeFiles/gs_net.dir/virtual_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/gs_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/gs_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gs_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

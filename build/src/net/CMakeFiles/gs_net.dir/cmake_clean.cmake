@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_net.dir/http.cpp.o"
+  "CMakeFiles/gs_net.dir/http.cpp.o.d"
+  "CMakeFiles/gs_net.dir/tcp.cpp.o"
+  "CMakeFiles/gs_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/gs_net.dir/virtual_network.cpp.o"
+  "CMakeFiles/gs_net.dir/virtual_network.cpp.o.d"
+  "libgs_net.a"
+  "libgs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

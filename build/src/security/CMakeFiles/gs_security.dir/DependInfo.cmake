@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/bignum.cpp" "src/security/CMakeFiles/gs_security.dir/bignum.cpp.o" "gcc" "src/security/CMakeFiles/gs_security.dir/bignum.cpp.o.d"
+  "/root/repo/src/security/cert.cpp" "src/security/CMakeFiles/gs_security.dir/cert.cpp.o" "gcc" "src/security/CMakeFiles/gs_security.dir/cert.cpp.o.d"
+  "/root/repo/src/security/chacha20.cpp" "src/security/CMakeFiles/gs_security.dir/chacha20.cpp.o" "gcc" "src/security/CMakeFiles/gs_security.dir/chacha20.cpp.o.d"
+  "/root/repo/src/security/rsa.cpp" "src/security/CMakeFiles/gs_security.dir/rsa.cpp.o" "gcc" "src/security/CMakeFiles/gs_security.dir/rsa.cpp.o.d"
+  "/root/repo/src/security/sha256.cpp" "src/security/CMakeFiles/gs_security.dir/sha256.cpp.o" "gcc" "src/security/CMakeFiles/gs_security.dir/sha256.cpp.o.d"
+  "/root/repo/src/security/tls.cpp" "src/security/CMakeFiles/gs_security.dir/tls.cpp.o" "gcc" "src/security/CMakeFiles/gs_security.dir/tls.cpp.o.d"
+  "/root/repo/src/security/xmlsig.cpp" "src/security/CMakeFiles/gs_security.dir/xmlsig.cpp.o" "gcc" "src/security/CMakeFiles/gs_security.dir/xmlsig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gs_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/gs_soap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

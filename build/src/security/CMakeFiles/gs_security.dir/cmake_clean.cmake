@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_security.dir/bignum.cpp.o"
+  "CMakeFiles/gs_security.dir/bignum.cpp.o.d"
+  "CMakeFiles/gs_security.dir/cert.cpp.o"
+  "CMakeFiles/gs_security.dir/cert.cpp.o.d"
+  "CMakeFiles/gs_security.dir/chacha20.cpp.o"
+  "CMakeFiles/gs_security.dir/chacha20.cpp.o.d"
+  "CMakeFiles/gs_security.dir/rsa.cpp.o"
+  "CMakeFiles/gs_security.dir/rsa.cpp.o.d"
+  "CMakeFiles/gs_security.dir/sha256.cpp.o"
+  "CMakeFiles/gs_security.dir/sha256.cpp.o.d"
+  "CMakeFiles/gs_security.dir/tls.cpp.o"
+  "CMakeFiles/gs_security.dir/tls.cpp.o.d"
+  "CMakeFiles/gs_security.dir/xmlsig.cpp.o"
+  "CMakeFiles/gs_security.dir/xmlsig.cpp.o.d"
+  "libgs_security.a"
+  "libgs_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soap/addressing.cpp" "src/soap/CMakeFiles/gs_soap.dir/addressing.cpp.o" "gcc" "src/soap/CMakeFiles/gs_soap.dir/addressing.cpp.o.d"
+  "/root/repo/src/soap/envelope.cpp" "src/soap/CMakeFiles/gs_soap.dir/envelope.cpp.o" "gcc" "src/soap/CMakeFiles/gs_soap.dir/envelope.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/gs_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

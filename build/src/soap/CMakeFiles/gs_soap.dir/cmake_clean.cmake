@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_soap.dir/addressing.cpp.o"
+  "CMakeFiles/gs_soap.dir/addressing.cpp.o.d"
+  "CMakeFiles/gs_soap.dir/envelope.cpp.o"
+  "CMakeFiles/gs_soap.dir/envelope.cpp.o.d"
+  "libgs_soap.a"
+  "libgs_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

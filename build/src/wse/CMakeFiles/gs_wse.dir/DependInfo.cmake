@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wse/client.cpp" "src/wse/CMakeFiles/gs_wse.dir/client.cpp.o" "gcc" "src/wse/CMakeFiles/gs_wse.dir/client.cpp.o.d"
+  "/root/repo/src/wse/service.cpp" "src/wse/CMakeFiles/gs_wse.dir/service.cpp.o" "gcc" "src/wse/CMakeFiles/gs_wse.dir/service.cpp.o.d"
+  "/root/repo/src/wse/store.cpp" "src/wse/CMakeFiles/gs_wse.dir/store.cpp.o" "gcc" "src/wse/CMakeFiles/gs_wse.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/container/CMakeFiles/gs_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/gs_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/gs_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gs_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

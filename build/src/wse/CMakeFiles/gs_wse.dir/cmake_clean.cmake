@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_wse.dir/client.cpp.o"
+  "CMakeFiles/gs_wse.dir/client.cpp.o.d"
+  "CMakeFiles/gs_wse.dir/service.cpp.o"
+  "CMakeFiles/gs_wse.dir/service.cpp.o.d"
+  "CMakeFiles/gs_wse.dir/store.cpp.o"
+  "CMakeFiles/gs_wse.dir/store.cpp.o.d"
+  "libgs_wse.a"
+  "libgs_wse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_wse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

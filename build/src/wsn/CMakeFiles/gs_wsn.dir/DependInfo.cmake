@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsn/broker.cpp" "src/wsn/CMakeFiles/gs_wsn.dir/broker.cpp.o" "gcc" "src/wsn/CMakeFiles/gs_wsn.dir/broker.cpp.o.d"
+  "/root/repo/src/wsn/client.cpp" "src/wsn/CMakeFiles/gs_wsn.dir/client.cpp.o" "gcc" "src/wsn/CMakeFiles/gs_wsn.dir/client.cpp.o.d"
+  "/root/repo/src/wsn/consumer.cpp" "src/wsn/CMakeFiles/gs_wsn.dir/consumer.cpp.o" "gcc" "src/wsn/CMakeFiles/gs_wsn.dir/consumer.cpp.o.d"
+  "/root/repo/src/wsn/filter.cpp" "src/wsn/CMakeFiles/gs_wsn.dir/filter.cpp.o" "gcc" "src/wsn/CMakeFiles/gs_wsn.dir/filter.cpp.o.d"
+  "/root/repo/src/wsn/producer.cpp" "src/wsn/CMakeFiles/gs_wsn.dir/producer.cpp.o" "gcc" "src/wsn/CMakeFiles/gs_wsn.dir/producer.cpp.o.d"
+  "/root/repo/src/wsn/subscription_manager.cpp" "src/wsn/CMakeFiles/gs_wsn.dir/subscription_manager.cpp.o" "gcc" "src/wsn/CMakeFiles/gs_wsn.dir/subscription_manager.cpp.o.d"
+  "/root/repo/src/wsn/topics.cpp" "src/wsn/CMakeFiles/gs_wsn.dir/topics.cpp.o" "gcc" "src/wsn/CMakeFiles/gs_wsn.dir/topics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wsrf/CMakeFiles/gs_wsrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/gs_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/gs_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/gs_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmldb/CMakeFiles/gs_xmldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gs_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_wsn.dir/broker.cpp.o"
+  "CMakeFiles/gs_wsn.dir/broker.cpp.o.d"
+  "CMakeFiles/gs_wsn.dir/client.cpp.o"
+  "CMakeFiles/gs_wsn.dir/client.cpp.o.d"
+  "CMakeFiles/gs_wsn.dir/consumer.cpp.o"
+  "CMakeFiles/gs_wsn.dir/consumer.cpp.o.d"
+  "CMakeFiles/gs_wsn.dir/filter.cpp.o"
+  "CMakeFiles/gs_wsn.dir/filter.cpp.o.d"
+  "CMakeFiles/gs_wsn.dir/producer.cpp.o"
+  "CMakeFiles/gs_wsn.dir/producer.cpp.o.d"
+  "CMakeFiles/gs_wsn.dir/subscription_manager.cpp.o"
+  "CMakeFiles/gs_wsn.dir/subscription_manager.cpp.o.d"
+  "CMakeFiles/gs_wsn.dir/topics.cpp.o"
+  "CMakeFiles/gs_wsn.dir/topics.cpp.o.d"
+  "libgs_wsn.a"
+  "libgs_wsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_wsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_wsrf.dir/base_faults.cpp.o"
+  "CMakeFiles/gs_wsrf.dir/base_faults.cpp.o.d"
+  "CMakeFiles/gs_wsrf.dir/client.cpp.o"
+  "CMakeFiles/gs_wsrf.dir/client.cpp.o.d"
+  "CMakeFiles/gs_wsrf.dir/resource.cpp.o"
+  "CMakeFiles/gs_wsrf.dir/resource.cpp.o.d"
+  "CMakeFiles/gs_wsrf.dir/service.cpp.o"
+  "CMakeFiles/gs_wsrf.dir/service.cpp.o.d"
+  "CMakeFiles/gs_wsrf.dir/service_group.cpp.o"
+  "CMakeFiles/gs_wsrf.dir/service_group.cpp.o.d"
+  "libgs_wsrf.a"
+  "libgs_wsrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_wsrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wst/client.cpp" "src/wst/CMakeFiles/gs_wst.dir/client.cpp.o" "gcc" "src/wst/CMakeFiles/gs_wst.dir/client.cpp.o.d"
+  "/root/repo/src/wst/metadata.cpp" "src/wst/CMakeFiles/gs_wst.dir/metadata.cpp.o" "gcc" "src/wst/CMakeFiles/gs_wst.dir/metadata.cpp.o.d"
+  "/root/repo/src/wst/service.cpp" "src/wst/CMakeFiles/gs_wst.dir/service.cpp.o" "gcc" "src/wst/CMakeFiles/gs_wst.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/container/CMakeFiles/gs_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmldb/CMakeFiles/gs_xmldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/gs_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/gs_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gs_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_wst.dir/client.cpp.o"
+  "CMakeFiles/gs_wst.dir/client.cpp.o.d"
+  "CMakeFiles/gs_wst.dir/metadata.cpp.o"
+  "CMakeFiles/gs_wst.dir/metadata.cpp.o.d"
+  "CMakeFiles/gs_wst.dir/service.cpp.o"
+  "CMakeFiles/gs_wst.dir/service.cpp.o.d"
+  "libgs_wst.a"
+  "libgs_wst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_wst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

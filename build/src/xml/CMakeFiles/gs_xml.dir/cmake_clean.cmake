@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_xml.dir/canonical.cpp.o"
+  "CMakeFiles/gs_xml.dir/canonical.cpp.o.d"
+  "CMakeFiles/gs_xml.dir/node.cpp.o"
+  "CMakeFiles/gs_xml.dir/node.cpp.o.d"
+  "CMakeFiles/gs_xml.dir/parser.cpp.o"
+  "CMakeFiles/gs_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/gs_xml.dir/schema.cpp.o"
+  "CMakeFiles/gs_xml.dir/schema.cpp.o.d"
+  "CMakeFiles/gs_xml.dir/writer.cpp.o"
+  "CMakeFiles/gs_xml.dir/writer.cpp.o.d"
+  "CMakeFiles/gs_xml.dir/xpath.cpp.o"
+  "CMakeFiles/gs_xml.dir/xpath.cpp.o.d"
+  "libgs_xml.a"
+  "libgs_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmldb/backend.cpp" "src/xmldb/CMakeFiles/gs_xmldb.dir/backend.cpp.o" "gcc" "src/xmldb/CMakeFiles/gs_xmldb.dir/backend.cpp.o.d"
+  "/root/repo/src/xmldb/database.cpp" "src/xmldb/CMakeFiles/gs_xmldb.dir/database.cpp.o" "gcc" "src/xmldb/CMakeFiles/gs_xmldb.dir/database.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/gs_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_xmldb.dir/backend.cpp.o"
+  "CMakeFiles/gs_xmldb.dir/backend.cpp.o.d"
+  "CMakeFiles/gs_xmldb.dir/database.cpp.o"
+  "CMakeFiles/gs_xmldb.dir/database.cpp.o.d"
+  "libgs_xmldb.a"
+  "libgs_xmldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_xmldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

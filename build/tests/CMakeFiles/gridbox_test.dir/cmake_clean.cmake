@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbox_test.dir/gridbox_test.cpp.o"
+  "CMakeFiles/gridbox_test.dir/gridbox_test.cpp.o.d"
+  "gridbox_test"
+  "gridbox_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_test.dir/soap_test.cpp.o"
+  "CMakeFiles/soap_test.dir/soap_test.cpp.o.d"
+  "soap_test"
+  "soap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

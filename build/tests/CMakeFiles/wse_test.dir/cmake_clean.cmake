@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wse_test.dir/wse_test.cpp.o"
+  "CMakeFiles/wse_test.dir/wse_test.cpp.o.d"
+  "wse_test"
+  "wse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsrf_test.dir/wsrf_test.cpp.o"
+  "CMakeFiles/wsrf_test.dir/wsrf_test.cpp.o.d"
+  "wsrf_test"
+  "wsrf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsrf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

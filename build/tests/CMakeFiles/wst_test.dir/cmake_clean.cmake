@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wst_test.dir/wst_test.cpp.o"
+  "CMakeFiles/wst_test.dir/wst_test.cpp.o.d"
+  "wst_test"
+  "wst_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmldb_test.dir/xmldb_test.cpp.o"
+  "CMakeFiles/xmldb_test.dir/xmldb_test.cpp.o.d"
+  "xmldb_test"
+  "xmldb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmldb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
