@@ -32,7 +32,10 @@ void register_grid() {
     auto rig = std::make_shared<GridRig>(combo.stack, /*distributed=*/true);
     auto add = [&](const char* op, auto fn) {
       std::string name = std::string("Fig6/") + op + "/" + combo.label;
-      benchmark::RegisterBenchmark(name.c_str(), fn)
+      auto instrumented = [fn, name](benchmark::State& s) {
+        run_with_telemetry(s, name, fn);
+      };
+      benchmark::RegisterBenchmark(name.c_str(), instrumented)
           ->UseManualTime()
           ->Unit(benchmark::kMillisecond);
     };
@@ -84,5 +87,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  gs::bench::BenchTelemetry::instance().write("Fig6");
   return 0;
 }

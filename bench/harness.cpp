@@ -1,8 +1,103 @@
 #include "harness.hpp"
 
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
 
 namespace gs::bench {
+
+// ---------------------------------------------------------------------------
+// BenchTelemetry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchTelemetry& BenchTelemetry::instance() {
+  static BenchTelemetry t;
+  return t;
+}
+
+void BenchTelemetry::add(std::string bench_name, std::int64_t iterations,
+                         telemetry::MetricsSnapshot delta) {
+  std::lock_guard lock(mu_);
+  // google-benchmark calls the function several times (estimation runs,
+  // then the measured one, last); keep only the final run per benchmark.
+  for (Record& r : records_) {
+    if (r.name == bench_name) {
+      r.iterations = iterations;
+      r.delta = std::move(delta);
+      return;
+    }
+  }
+  records_.push_back({std::move(bench_name), iterations, std::move(delta)});
+}
+
+void BenchTelemetry::write(const std::string& figure) const {
+  std::lock_guard lock(mu_);
+  std::string path = "BENCH_" + figure + ".json";
+  std::ofstream out(path);
+  out << "[\n";
+  bool first_record = true;
+  for (const Record& r : records_) {
+    if (!first_record) out << ",\n";
+    first_record = false;
+    out << "  {\n    \"name\": \"" << json_escape(r.name) << "\",\n"
+        << "    \"iterations\": " << r.iterations << ",\n";
+
+    out << "    \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : r.delta.counters) {
+      if (value == 0) continue;  // quiet metrics: noise in the report
+      out << (first ? "" : ", ") << "\"" << json_escape(name)
+          << "\": " << value;
+      first = false;
+    }
+    out << "},\n";
+
+    out << "    \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : r.delta.gauges) {
+      out << (first ? "" : ", ") << "\"" << json_escape(name)
+          << "\": " << value;
+      first = false;
+    }
+    out << "},\n";
+
+    out << "    \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : r.delta.histograms) {
+      if (h.count == 0) continue;
+      out << (first ? "" : ", ") << "\n      \"" << json_escape(name)
+          << "\": {\"count\": " << h.count << ", \"sum_us\": " << h.sum_us
+          << ", \"p50_us\": " << json_double(h.percentile(50))
+          << ", \"p90_us\": " << json_double(h.percentile(90))
+          << ", \"p99_us\": " << json_double(h.percentile(99)) << "}";
+      first = false;
+    }
+    out << (first ? "" : "\n    ") << "}\n  }";
+  }
+  out << "\n]\n";
+  std::printf("per-layer telemetry for %zu benchmarks written to %s\n",
+              records_.size(), path.c_str());
+}
 
 const char* stack_name(Stack stack) {
   return stack == Stack::kWsrf ? "WSRF.NET" : "WS-Transfer/WS-Eventing";

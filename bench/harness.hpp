@@ -17,13 +17,61 @@
 
 #include <chrono>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "counter/wsrf_counter.hpp"
 #include "counter/wst_counter.hpp"
 #include "gridbox/clients.hpp"
+#include "telemetry/metrics.hpp"
 #include "wsn/consumer.hpp"
 
 namespace gs::bench {
+
+// ---------------------------------------------------------------------------
+// Per-benchmark telemetry capture
+// ---------------------------------------------------------------------------
+
+/// Accumulates one global-registry snapshot delta per benchmark and writes
+/// them all to BENCH_<figure>.json: the per-layer breakdown (container
+/// dispatch/security/handler, xmldb ops, net, delivery) behind each
+/// end-to-end bar the figure plots.
+class BenchTelemetry {
+ public:
+  static BenchTelemetry& instance();
+
+  void add(std::string bench_name, std::int64_t iterations,
+           telemetry::MetricsSnapshot delta);
+
+  /// Writes BENCH_<figure>.json in the current directory (an array of
+  /// records: name, iterations, counters, gauges, and histograms as
+  /// count/sum_us/p50_us/p90_us/p99_us over the benchmark's own interval).
+  void write(const std::string& figure) const;
+
+ private:
+  struct Record {
+    std::string name;
+    std::int64_t iterations;
+    telemetry::MetricsSnapshot delta;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Record> records_;
+};
+
+/// Runs `fn(state)` bracketed by global-registry snapshots and records the
+/// delta under `bench_name`.
+template <typename Fn>
+void run_with_telemetry(benchmark::State& state, const std::string& bench_name,
+                        Fn&& fn) {
+  telemetry::MetricsSnapshot before =
+      telemetry::MetricsRegistry::global().snapshot();
+  fn(state);
+  telemetry::MetricsSnapshot after =
+      telemetry::MetricsRegistry::global().snapshot();
+  BenchTelemetry::instance().add(bench_name, state.iterations(),
+                                 telemetry::delta(before, after));
+}
 
 enum class Stack { kWsrf, kWst };
 enum class Security { kNone, kHttps, kX509 };

@@ -31,7 +31,13 @@ inline void register_hello_world(const char* figure, Security security) {
       return std::string(figure) + "/" + op + "/" + combo.label;
     };
     auto add = [&](const char* op, auto fn) {
-      benchmark::RegisterBenchmark(name(op).c_str(), fn)
+      // Bracket every benchmark with registry snapshots so the figure's
+      // JSON carries a per-layer breakdown next to each end-to-end bar.
+      std::string bench_name = name(op);
+      auto instrumented = [fn, bench_name](benchmark::State& s) {
+        run_with_telemetry(s, bench_name, fn);
+      };
+      benchmark::RegisterBenchmark(bench_name.c_str(), instrumented)
           ->UseManualTime()
           ->Unit(benchmark::kMillisecond);
     };
@@ -68,6 +74,7 @@ inline int hello_world_main(int argc, char** argv, const char* figure,
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  BenchTelemetry::instance().write(figure);
   return 0;
 }
 

@@ -2,6 +2,17 @@
 
 namespace gs::common {
 
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
@@ -22,7 +33,9 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
+    ++submitted_;
+    if (g_queue_depth_) g_queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
   }
   cv_task_.notify_one();
 }
@@ -32,9 +45,39 @@ void ThreadPool::drain() {
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+unsigned ThreadPool::active_workers() const {
+  std::lock_guard lock(mu_);
+  return active_;
+}
+
+std::uint64_t ThreadPool::tasks_submitted() const {
+  std::lock_guard lock(mu_);
+  return submitted_;
+}
+
+std::uint64_t ThreadPool::tasks_completed() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+void ThreadPool::attach_metrics(telemetry::MetricsRegistry& registry,
+                                const std::string& prefix) {
+  std::lock_guard lock(mu_);
+  g_queue_depth_ = &registry.gauge(prefix + ".queue_depth");
+  g_active_ = &registry.gauge(prefix + ".active_workers");
+  c_tasks_ = &registry.counter(prefix + ".tasks");
+  h_queue_wait_ = &registry.histogram(prefix + ".queue_wait_us");
+  h_task_run_ = &registry.histogram(prefix + ".task_run_us");
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mu_);
       cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -42,11 +85,20 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      if (g_queue_depth_)
+        g_queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+      if (g_active_) g_active_->set(active_);
+      if (h_queue_wait_) h_queue_wait_->record(elapsed_us(task.enqueued));
     }
-    task();
+    auto started = std::chrono::steady_clock::now();
+    task.fn();
     {
       std::lock_guard lock(mu_);
       --active_;
+      ++completed_;
+      if (g_active_) g_active_->set(active_);
+      if (c_tasks_) c_tasks_->add();
+      if (h_task_run_) h_task_run_->record(elapsed_us(started));
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }
   }

@@ -1,12 +1,17 @@
 // Fixed-size thread pool (container request handling, notification fan-out).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "telemetry/metrics.hpp"
 
 namespace gs::common {
 
@@ -31,16 +36,46 @@ class ThreadPool {
 
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
+  // --- introspection (telemetry and tests) ------------------------------------
+
+  /// Tasks queued but not yet started.
+  std::size_t queue_depth() const;
+  /// Workers currently running a task.
+  unsigned active_workers() const;
+  std::uint64_t tasks_submitted() const;
+  std::uint64_t tasks_completed() const;
+
+  /// Mirrors pool state into `registry` under `prefix`: gauges
+  /// `<prefix>.queue_depth` and `<prefix>.active_workers`, counter
+  /// `<prefix>.tasks`, and histograms `<prefix>.queue_wait_us` (submit →
+  /// start) and `<prefix>.task_run_us`. Call once, before load arrives.
+  void attach_metrics(telemetry::MetricsRegistry& registry,
+                      const std::string& prefix);
+
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::vector<std::thread> workers_;
   unsigned active_ = 0;
   bool stopping_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+
+  // Metric handles (null until attach_metrics).
+  telemetry::Gauge* g_queue_depth_ = nullptr;
+  telemetry::Gauge* g_active_ = nullptr;
+  telemetry::Counter* c_tasks_ = nullptr;
+  telemetry::Histogram* h_queue_wait_ = nullptr;
+  telemetry::Histogram* h_task_run_ = nullptr;
 };
 
 }  // namespace gs::common

@@ -1,6 +1,22 @@
 #include "container/container.hpp"
 
+#include <chrono>
+
+#include "telemetry/propagation.hpp"
+#include "telemetry/trace.hpp"
+
 namespace gs::container {
+
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
 
 Container::Container(ContainerConfig config)
     : config_(config), lifetime_(*config.clock) {
@@ -10,6 +26,14 @@ Container::Container(ContainerConfig config)
           "X.509 container security requires an anchor and a credential");
     }
   }
+  telemetry::MetricsRegistry& reg =
+      config_.metrics ? *config_.metrics : telemetry::MetricsRegistry::global();
+  c_requests_ = &reg.counter("container.requests");
+  c_faults_ = &reg.counter("container.faults");
+  h_dispatch_us_ = &reg.histogram("container.dispatch_us");
+  h_handler_us_ = &reg.histogram("container.handler_us");
+  h_security_us_ = &reg.histogram("container.security_us");
+  h_parse_us_ = &reg.histogram("container.parse_us");
 }
 
 void Container::deploy(const std::string& path, Service& service) {
@@ -30,11 +54,25 @@ Service* Container::service_at(const std::string& path) const {
 
 soap::Envelope Container::process(const soap::Envelope& request,
                                   const std::string& path) {
+  // The dispatch span covers the whole pipeline: sweep, security, handler,
+  // response signing. When the request carries a TraceContext header the
+  // provisional spans on this thread (this one, and the enclosing
+  // http.receive if the request came through a server) are re-rooted onto
+  // the caller's trace.
+  telemetry::SpanScope span("container.dispatch", "container");
+  if (auto remote = telemetry::read_trace_header(request)) {
+    telemetry::adopt_remote(*remote);
+  }
+  c_requests_->add();
+  auto dispatch_started = std::chrono::steady_clock::now();
+
   // Scheduled terminations fire before the request sees any state.
   lifetime_.sweep();
 
   Service* service = service_at(path);
   if (!service) {
+    c_faults_->add();
+    h_dispatch_us_->record(elapsed_us(dispatch_started));
     return soap::Envelope::make_fault(
         {"Sender", "no service deployed at " + path, "", ""});
   }
@@ -45,10 +83,16 @@ soap::Envelope Container::process(const soap::Envelope& request,
 
   // Security/Policy handler: verify the signature and establish identity.
   if (config_.security == SecurityMode::kX509) {
+    telemetry::SpanScope security_span("container.security", "container");
+    auto security_started = std::chrono::steady_clock::now();
     try {
       ctx.identity =
           security::verify_envelope(request, *config_.anchor, config_.clock->now());
+      h_security_us_->record(elapsed_us(security_started));
     } catch (const security::SecurityError& e) {
+      h_security_us_->record(elapsed_us(security_started));
+      c_faults_->add();
+      h_dispatch_us_->record(elapsed_us(dispatch_started));
       soap::Envelope fault = soap::Envelope::make_fault(
           {"Sender", std::string("security policy rejected request: ") + e.what(),
            "", ""});
@@ -57,22 +101,36 @@ soap::Envelope Container::process(const soap::Envelope& request,
     }
   }
 
-  soap::Envelope response = service->dispatch(ctx);
+  soap::Envelope response;
+  {
+    telemetry::SpanScope handler_span("container.handler", "container");
+    auto handler_started = std::chrono::steady_clock::now();
+    response = service->dispatch(ctx);
+    h_handler_us_->record(elapsed_us(handler_started));
+  }
+  if (response.is_fault()) c_faults_->add();
 
   // Response passes back through the security handler (digital signature).
   if (config_.security == SecurityMode::kX509) {
+    auto sign_started = std::chrono::steady_clock::now();
     security::sign_envelope(response, *config_.credential);
+    h_security_us_->record(elapsed_us(sign_started));
   }
+  // Echo the server-side trace context (the signature does not cover it).
+  telemetry::write_trace_header(response, span.context());
+  h_dispatch_us_->record(elapsed_us(dispatch_started));
   return response;
 }
 
 net::HttpResponse Container::handle(const net::HttpRequest& request) {
   soap::Envelope request_env;
+  auto parse_started = std::chrono::steady_clock::now();
   try {
     request_env = soap::Envelope::from_xml(request.body);
   } catch (const std::exception& e) {
     return net::HttpResponse::error(400, "Bad Request", e.what());
   }
+  h_parse_us_->record(elapsed_us(parse_started));
   soap::Envelope response = process(request_env, request.path);
   // SOAP 1.2 over HTTP: faults ride a 500, still with an envelope body.
   if (response.is_fault()) {

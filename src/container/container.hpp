@@ -18,6 +18,7 @@
 #include "container/service.hpp"
 #include "net/virtual_network.hpp"
 #include "security/cert.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace gs::container {
 
@@ -36,6 +37,8 @@ struct ContainerConfig {
   const security::Credential* credential = nullptr;
   /// Time source for lifetime management.
   const common::Clock* clock = &common::RealClock::instance();
+  /// Metrics destination; nullptr = the process-wide registry.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 class Container final : public net::Endpoint {
@@ -66,6 +69,15 @@ class Container final : public net::Endpoint {
   LifetimeManager lifetime_;
   mutable std::mutex mu_;
   std::map<std::string, Service*> services_;
+
+  // Metric handles, resolved once at construction (registry references are
+  // stable; the hot path writes lock-free).
+  telemetry::Counter* c_requests_;
+  telemetry::Counter* c_faults_;
+  telemetry::Histogram* h_dispatch_us_;
+  telemetry::Histogram* h_handler_us_;
+  telemetry::Histogram* h_security_us_;
+  telemetry::Histogram* h_parse_us_;
 };
 
 }  // namespace gs::container

@@ -1,6 +1,8 @@
 #include "container/proxy.hpp"
 
 #include "common/uuid.hpp"
+#include "telemetry/propagation.hpp"
+#include "telemetry/trace.hpp"
 
 namespace gs::container {
 
@@ -18,6 +20,10 @@ soap::Envelope ProxyBase::invoke_with_reply_to(
 soap::Envelope ProxyBase::do_invoke(const std::string& action,
                                     std::unique_ptr<xml::Element> payload,
                                     const soap::EndpointReference* reply_to) const {
+  // Client-side span: the server adopts its trace id from the carried
+  // header, so per-hop timings line up under one trace.
+  telemetry::SpanScope span("client.invoke", "client");
+
   soap::Envelope request;
   soap::MessageInfo info;
   info.target(target_);
@@ -25,6 +31,7 @@ soap::Envelope ProxyBase::do_invoke(const std::string& action,
   info.message_id = common::new_urn_uuid();
   if (reply_to) info.reply_to = *reply_to;
   request.write_addressing(info);
+  telemetry::write_trace_header(request, span.context());
   if (payload) request.add_payload(std::move(payload));
 
   if (security_.credential) {

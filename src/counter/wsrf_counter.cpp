@@ -91,8 +91,11 @@ WsrfCounterDeployment::WsrfCounterDeployment(Params params)
         producer_->notify(kValueChangedTopic, event);
       });
 
+  telemetry_ = std::make_unique<telemetry::TelemetryService>(telemetry_address());
+
   container_.deploy("/Counter", *service_);
   container_.deploy("/CounterSubscriptions", *manager_);
+  container_.deploy("/Telemetry", *telemetry_);
 }
 
 WsrfCounterClient::WsrfCounterClient(net::SoapCaller& caller,

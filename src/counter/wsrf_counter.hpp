@@ -14,6 +14,7 @@
 
 #include "container/container.hpp"
 #include "soap/namespaces.hpp"
+#include "telemetry/service.hpp"
 #include "wsn/client.hpp"
 #include "wsn/producer.hpp"
 #include "wsrf/client.hpp"
@@ -55,6 +56,8 @@ class WsrfCounterDeployment {
   std::string manager_address() const {
     return address_base_ + "/CounterSubscriptions";
   }
+  /// The container's live metrics/trace resource (WSRF + WS-Transfer).
+  std::string telemetry_address() const { return address_base_ + "/Telemetry"; }
 
  private:
   std::string address_base_;
@@ -65,6 +68,7 @@ class WsrfCounterDeployment {
   std::unique_ptr<wsn::SubscriptionManagerService> manager_;
   std::unique_ptr<wsrf::WsrfService> service_;
   std::unique_ptr<wsn::NotificationProducer> producer_;
+  std::unique_ptr<telemetry::TelemetryService> telemetry_;
 };
 
 /// Typed client for the WSRF counter ("the WSRF.NET proxies are able to

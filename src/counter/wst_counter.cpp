@@ -64,9 +64,12 @@ WstCounterDeployment::WstCounterDeployment(Params params)
   service_ = std::make_unique<wst::TransferService>(
       "Counter", db_, "counters", counter_address(), std::move(hooks));
 
+  telemetry_ = std::make_unique<telemetry::TelemetryService>(telemetry_address());
+
   container_.deploy("/Counter", *service_);
   container_.deploy("/CounterEvents", *source_);
   container_.deploy("/CounterEventSubscriptions", *manager_);
+  container_.deploy("/Telemetry", *telemetry_);
 }
 
 WstCounterClient::WstCounterClient(net::SoapCaller& caller,

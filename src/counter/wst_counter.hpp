@@ -15,6 +15,7 @@
 
 #include "container/container.hpp"
 #include "soap/namespaces.hpp"
+#include "telemetry/service.hpp"
 #include "wse/client.hpp"
 #include "wse/service.hpp"
 #include "wst/client.hpp"
@@ -46,6 +47,8 @@ class WstCounterDeployment {
   std::string manager_address() const {
     return address_base_ + "/CounterEventSubscriptions";
   }
+  /// The container's live metrics/trace resource (WSRF + WS-Transfer).
+  std::string telemetry_address() const { return address_base_ + "/Telemetry"; }
 
  private:
   std::string address_base_;
@@ -56,6 +59,7 @@ class WstCounterDeployment {
   std::unique_ptr<wse::EventSourceService> source_;
   std::unique_ptr<wse::NotificationManager> notifier_;
   std::unique_ptr<wst::TransferService> service_;
+  std::unique_ptr<telemetry::TelemetryService> telemetry_;
 };
 
 /// Client for the WS-Transfer counter. Note the shape: every call moves

@@ -5,7 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace gs::net {
 namespace {
@@ -53,6 +57,7 @@ bool send_all(int fd, std::string_view data) {
 
 HttpServer::HttpServer(Endpoint& endpoint, std::uint16_t port, unsigned workers)
     : endpoint_(endpoint), workers_(workers) {
+  workers_.attach_metrics(telemetry::MetricsRegistry::global(), "net.http.pool");
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw NetworkError("socket() failed");
   int one = 1;
@@ -108,7 +113,24 @@ void HttpServer::serve_connection(int fd) {
   if (!wire.empty()) {
     HttpResponse response;
     if (auto request = HttpRequest::parse(wire)) {
-      response = endpoint_.handle(*request);
+      // Scope the receive span to the handle() call only: once the endpoint
+      // re-roots it onto the caller's trace (via the carried TraceContext
+      // header) it must be closed — and thus recorded — before the client
+      // reads the trace log.
+      static telemetry::Counter& requests =
+          telemetry::MetricsRegistry::global().counter("net.http.requests");
+      static telemetry::Histogram& request_us =
+          telemetry::MetricsRegistry::global().histogram("net.http.request_us");
+      auto started = std::chrono::steady_clock::now();
+      {
+        telemetry::SpanScope span("http.receive", "net");
+        response = endpoint_.handle(*request);
+      }
+      requests.add();
+      request_us.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count()));
     } else {
       response = HttpResponse::error(400, "Bad Request");
     }

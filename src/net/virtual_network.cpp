@@ -1,9 +1,38 @@
 #include "net/virtual_network.hpp"
 
+#include <chrono>
+
 #include "common/clock.hpp"
 #include "common/encoding.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace gs::net {
+
+namespace {
+
+// Server-side delivery on the virtual network: same span/metric shape as
+// HttpServer::serve_connection so traces look identical on both fabrics.
+HttpResponse handle_at_server(Endpoint& endpoint, const HttpRequest& request) {
+  static telemetry::Counter& requests =
+      telemetry::MetricsRegistry::global().counter("net.http.requests");
+  static telemetry::Histogram& request_us =
+      telemetry::MetricsRegistry::global().histogram("net.http.request_us");
+  auto started = std::chrono::steady_clock::now();
+  HttpResponse response;
+  {
+    telemetry::SpanScope span("http.receive", "net");
+    response = endpoint.handle(request);
+  }
+  requests.add();
+  request_us.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count()));
+  return response;
+}
+
+}  // namespace
 
 void VirtualNetwork::bind(const std::string& authority, Endpoint& endpoint) {
   std::lock_guard lock(mu_);
@@ -142,7 +171,7 @@ std::string VirtualCaller::exchange_octets(const Url& url,
     if (options_.transport == TransportKind::kHttp) {
       auto request = HttpRequest::parse(octets);
       if (!request) throw NetworkError("malformed HTTP request");
-      response = endpoint->handle(*request);
+      response = handle_at_server(*endpoint, *request);
       std::string wire = response.serialize();
       net_.charge_message(options_.meter, wire.size());
       return wire;
@@ -154,7 +183,7 @@ std::string VirtualCaller::exchange_octets(const Url& url,
     request.host = authority;
     request.path = url.path;
     request.body = octets.substr(4);
-    response = endpoint->handle(request);
+    response = handle_at_server(*endpoint, request);
     std::string frame;
     std::uint32_t len = static_cast<std::uint32_t>(response.body.size());
     for (int i = 0; i < 4; ++i)
@@ -178,7 +207,7 @@ std::string VirtualCaller::exchange_octets(const Url& url,
       std::string_view(reinterpret_cast<const char*>(plain_request.data()),
                        plain_request.size()));
   if (!request) throw NetworkError("malformed HTTPS request");
-  HttpResponse response = endpoint->handle(*request);
+  HttpResponse response = handle_at_server(*endpoint, *request);
   std::string response_wire = response.serialize();
   std::vector<std::uint8_t> sealed_response =
       tls->server.seal(common::as_bytes(response_wire));

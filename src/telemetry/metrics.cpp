@@ -1,0 +1,141 @@
+#include "telemetry/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <thread>
+
+namespace gs::telemetry {
+
+unsigned Counter::shard_index() noexcept {
+  // One shard per thread (hashed): writers on different threads land on
+  // different cache lines with high probability.
+  static thread_local const unsigned slot = static_cast<unsigned>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards);
+  return slot;
+}
+
+unsigned Histogram::bucket_index(std::uint64_t us) noexcept {
+  if (us <= 1) return 0;
+  unsigned index = static_cast<unsigned>(std::bit_width(us - 1));
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (unsigned i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum_us = sum_us_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Nearest-rank (1-based), then interpolate inside the bucket.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (unsigned i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      double lower = i == 0 ? 0.0
+                            : static_cast<double>(Histogram::bucket_upper_bound(i - 1));
+      double upper = static_cast<double>(Histogram::bucket_upper_bound(i));
+      double fraction = static_cast<double>(rank - seen) /
+                        static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * fraction;
+    }
+    seen += buckets[i];
+  }
+  return static_cast<double>(Histogram::bucket_upper_bound(kBuckets - 1));
+}
+
+HistogramSnapshot& HistogramSnapshot::operator-=(const HistogramSnapshot& earlier) {
+  count -= earlier.count;
+  sum_us -= earlier.sum_us;
+  for (unsigned i = 0; i < kBuckets; ++i) buckets[i] -= earlier.buckets[i];
+  return *this;
+}
+
+MetricsSnapshot delta(const MetricsSnapshot& before, const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : after.counters) {
+    auto it = before.counters.find(name);
+    out.counters[name] = value - (it == before.counters.end() ? 0 : it->second);
+  }
+  out.gauges = after.gauges;  // levels, not totals
+  for (const auto& [name, snap] : after.histograms) {
+    HistogramSnapshot d = snap;
+    if (auto it = before.histograms.find(name); it != before.histograms.end()) {
+      d -= it->second;
+    }
+    out.histograms[name] = d;
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->snapshot();
+  return snap;
+}
+
+std::string MetricsRegistry::to_text() const {
+  MetricsSnapshot snap = snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out += name + " count=" + std::to_string(h.count) +
+           " sum_us=" + std::to_string(h.sum_us) +
+           " p50=" + std::to_string(h.percentile(50)) +
+           " p90=" + std::to_string(h.percentile(90)) +
+           " p99=" + std::to_string(h.percentile(99)) + "\n";
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace gs::telemetry

@@ -1,0 +1,59 @@
+// Trace-context carriage in SOAP headers.
+//
+// The TraceContext rides next to the WS-Addressing headers the same way
+// MessageID/RelatesTo do: the sender stamps its trace id and span id, and
+// the receiver's span becomes a child of the sender's — the cross-stack
+// analogue of RelatesTo echoing the request MessageID. The header is NOT
+// covered by the X.509 message signature (which signs Body plus the four
+// wsa headers), so telemetry can be added or dropped by intermediaries
+// without invalidating signed messages.
+//
+// Header-only: used by both the client proxy (gs_container) and the
+// telemetry service (gs_telemetry_service) without creating a library
+// cycle between them.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "soap/envelope.hpp"
+#include "telemetry/trace.hpp"
+#include "xml/qname.hpp"
+
+namespace gs::telemetry {
+
+inline constexpr const char* kTelemetryNs = "http://gridstacks.dev/telemetry";
+
+inline xml::QName trace_header_qname() {
+  return {kTelemetryNs, "TraceContext"};
+}
+
+/// Stamps (or restamps) the envelope with the sender's trace context:
+/// `<t:TraceContext TraceId=".." SpanId=".."/>` in the SOAP header.
+inline void write_trace_header(soap::Envelope& env, const TraceContext& ctx) {
+  if (!ctx.valid()) return;
+  xml::Element& header = env.header();
+  if (const xml::Element* old = header.child(trace_header_qname())) {
+    header.remove_child(*old);
+  }
+  xml::Element& el = header.append_element(trace_header_qname());
+  el.set_attr("TraceId", std::to_string(ctx.trace_id));
+  el.set_attr("SpanId", std::to_string(ctx.span_id));
+}
+
+/// Reads the trace context off an envelope; nullopt when absent/malformed.
+inline std::optional<TraceContext> read_trace_header(const soap::Envelope& env) {
+  const xml::Element* el = env.header().child(trace_header_qname());
+  if (!el) return std::nullopt;
+  TraceContext ctx;
+  try {
+    ctx.trace_id = std::stoull(el->attr("TraceId").value_or("0"));
+    ctx.span_id = std::stoull(el->attr("SpanId").value_or("0"));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!ctx.valid()) return std::nullopt;
+  return ctx;
+}
+
+}  // namespace gs::telemetry

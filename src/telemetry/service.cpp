@@ -1,0 +1,146 @@
+#include "telemetry/service.hpp"
+
+#include <cstdio>
+#include <map>
+
+#include "soap/namespaces.hpp"
+#include "telemetry/propagation.hpp"
+
+namespace gs::telemetry {
+
+namespace {
+
+xml::QName t(const char* local) { return {kTelemetryNs, local}; }
+xml::QName rp(const char* local) { return {soap::ns::kWsrfRp, local}; }
+
+// Action URIs duplicated from the wsrf/wst service headers so this library
+// depends only on gs_container (the strings are spec constants either way).
+const std::string kGetResourceProperty =
+    std::string(soap::ns::kWsrfRp) + "/GetResourceProperty";
+const std::string kGetResourcePropertyDocument =
+    std::string(soap::ns::kWsrfRp) + "/GetResourcePropertyDocument";
+const std::string kTransferGet = std::string(soap::ns::kTransfer) + "/Get";
+
+std::string format_us(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", us);
+  return buf;
+}
+
+}  // namespace
+
+std::unique_ptr<xml::Element> telemetry_document(const MetricsRegistry& registry,
+                                                const TraceLog& log) {
+  auto root = std::make_unique<xml::Element>(t("Telemetry"));
+  root->declare_prefix("t", kTelemetryNs);
+
+  MetricsSnapshot snap = registry.snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    xml::Element& el = root->append_element(t("Counter"));
+    el.set_attr("name", name);
+    el.set_text(std::to_string(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    xml::Element& el = root->append_element(t("Gauge"));
+    el.set_attr("name", name);
+    el.set_text(std::to_string(value));
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    xml::Element& el = root->append_element(t("Histogram"));
+    el.set_attr("name", name);
+    el.set_attr("count", std::to_string(h.count));
+    el.set_attr("sum_us", std::to_string(h.sum_us));
+    el.set_attr("p50_us", format_us(h.percentile(50)));
+    el.set_attr("p90_us", format_us(h.percentile(90)));
+    el.set_attr("p99_us", format_us(h.percentile(99)));
+  }
+
+  // Spans grouped per trace, oldest trace first.
+  std::map<std::uint64_t, std::vector<SpanRecord>> traces;
+  for (SpanRecord& span : log.snapshot()) {
+    traces[span.trace_id].push_back(std::move(span));
+  }
+  for (const auto& [trace_id, spans] : traces) {
+    xml::Element& trace_el = root->append_element(t("Trace"));
+    trace_el.set_attr("id", std::to_string(trace_id));
+    for (const SpanRecord& span : spans) {
+      xml::Element& span_el = trace_el.append_element(t("Span"));
+      span_el.set_attr("id", std::to_string(span.span_id));
+      span_el.set_attr("parent", std::to_string(span.parent_span_id));
+      span_el.set_attr("name", span.name);
+      span_el.set_attr("layer", span.layer);
+      span_el.set_attr("start_us", std::to_string(span.start_us));
+      span_el.set_attr("duration_us", std::to_string(span.duration_us));
+    }
+  }
+  return root;
+}
+
+TelemetryService::TelemetryService(std::string address, MetricsRegistry* registry,
+                                   TraceLog* log)
+    : container::Service("Telemetry"),
+      address_(std::move(address)),
+      registry_(registry),
+      log_(log) {
+  // WSRF: GetResourceProperty selects elements of the telemetry document,
+  // either by metric name (`<prop>net.http.requests</prop>`) or by element
+  // kind ("Counters", "Gauges", "Histograms", "Traces").
+  register_operation(kGetResourceProperty, [this](container::RequestContext& ctx) {
+    std::string requested = ctx.payload().text();
+    // Trim surrounding whitespace from the property name.
+    size_t b = requested.find_first_not_of(" \t\r\n");
+    size_t e = requested.find_last_not_of(" \t\r\n");
+    if (b == std::string::npos) {
+      throw soap::SoapFault("Sender", "empty telemetry property name");
+    }
+    requested = requested.substr(b, e - b + 1);
+
+    static const std::map<std::string, std::string> kKinds = {
+        {"Counters", "Counter"},
+        {"Gauges", "Gauge"},
+        {"Histograms", "Histogram"},
+        {"Traces", "Trace"},
+    };
+    auto kind = kKinds.find(requested);
+
+    auto doc = document();
+    soap::Envelope response =
+        container::make_response(ctx, kGetResourceProperty + "Response");
+    xml::Element& body = response.add_payload(rp("GetResourcePropertyResponse"));
+    bool matched = false;
+    for (const xml::Element* el : doc->child_elements()) {
+      bool wanted = kind != kKinds.end()
+                        ? el->name().local() == kind->second
+                        : el->attr("name") == requested;
+      if (wanted) {
+        body.append(el->clone());
+        matched = true;
+      }
+    }
+    if (!matched && kind == kKinds.end()) {
+      throw soap::SoapFault("Sender",
+                            "unknown telemetry property '" + requested + "'");
+    }
+    return response;
+  });
+
+  // WSRF: the whole document at once.
+  register_operation(
+      kGetResourcePropertyDocument, [this](container::RequestContext& ctx) {
+        soap::Envelope response = container::make_response(
+            ctx, kGetResourcePropertyDocument + "Response");
+        response.add_payload(rp("GetResourcePropertyDocumentResponse"))
+            .append(document());
+        return response;
+      });
+
+  // WS-Transfer: Get returns the representation — the same document.
+  register_operation(kTransferGet, [this](container::RequestContext& ctx) {
+    soap::Envelope response =
+        container::make_response(ctx, kTransferGet + "Response");
+    response.add_payload(document());
+    return response;
+  });
+}
+
+}  // namespace gs::telemetry

@@ -1,0 +1,55 @@
+// Live telemetry exposed *the paper's way*: as WS-Resource state.
+//
+// One deployed TelemetryService serves the same snapshot document on both
+// of the paper's stacks —
+//   * WSRF:        GetResourceProperty / GetResourcePropertyDocument
+//   * WS-Transfer: Get
+// — so either stack's tooling can read the container's own metrics, the
+// per-service monitoring JClarens exposed as first-class grid-service
+// state. The telemetry resource is a singleton: no resource-id reference
+// header is required (requests carrying one are served the same document).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "container/service.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace gs::telemetry {
+
+/// Builds the snapshot document:
+///
+///   <t:Telemetry xmlns:t="http://gridstacks.dev/telemetry">
+///     <t:Counter name="net.http.requests">123</t:Counter>
+///     <t:Gauge name="net.http.pool.queue_depth">0</t:Gauge>
+///     <t:Histogram name="container.dispatch_us" count=".." sum_us=".."
+///                  p50_us=".." p90_us=".." p99_us=".."/>
+///     <t:Trace id="..">
+///       <t:Span id=".." parent=".." name="http.receive" layer="net"
+///               start_us=".." duration_us=".."/>
+///     </t:Trace>
+///   </t:Telemetry>
+std::unique_ptr<xml::Element> telemetry_document(const MetricsRegistry& registry,
+                                                const TraceLog& log);
+
+class TelemetryService final : public container::Service {
+ public:
+  explicit TelemetryService(std::string address,
+                            MetricsRegistry* registry = &MetricsRegistry::global(),
+                            TraceLog* log = &TraceLog::global());
+
+  const std::string& address() const noexcept { return address_; }
+
+ private:
+  std::unique_ptr<xml::Element> document() const {
+    return telemetry_document(*registry_, *log_);
+  }
+
+  std::string address_;
+  MetricsRegistry* registry_;
+  TraceLog* log_;
+};
+
+}  // namespace gs::telemetry

@@ -1,0 +1,130 @@
+#include "telemetry/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace gs::telemetry {
+
+namespace {
+
+thread_local SpanScope* tl_top = nullptr;
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t new_trace_id() {
+  static std::atomic<std::uint64_t> next{1};
+  std::uint64_t raw = next.fetch_add(1, std::memory_order_relaxed);
+  // splitmix64: sequential allocation, uncorrelated-looking ids.
+  raw += 0x9e3779b97f4a7c15ULL;
+  raw = (raw ^ (raw >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  raw = (raw ^ (raw >> 27)) * 0x94d049bb133111ebULL;
+  raw ^= raw >> 31;
+  return raw == 0 ? 1 : raw;
+}
+
+TraceContext current_context() {
+  return tl_top ? tl_top->context() : TraceContext{};
+}
+
+SpanScope::SpanScope(std::string name, std::string layer, TraceLog* log)
+    : name_(std::move(name)),
+      layer_(std::move(layer)),
+      log_(log),
+      span_id_(new_trace_id()),
+      start_us_(steady_now_us()),
+      prev_(tl_top) {
+  if (prev_) {
+    trace_id_ = prev_->trace_id_;
+    parent_span_id_ = prev_->span_id_;
+  } else {
+    trace_id_ = new_trace_id();
+    parent_span_id_ = 0;
+  }
+  tl_top = this;
+}
+
+SpanScope::~SpanScope() {
+  tl_top = prev_;
+  if (!log_) return;
+  SpanRecord record;
+  record.trace_id = trace_id_;
+  record.span_id = span_id_;
+  record.parent_span_id = parent_span_id_;
+  record.name = std::move(name_);
+  record.layer = std::move(layer_);
+  record.start_us = start_us_;
+  record.duration_us = steady_now_us() - start_us_;
+  log_->record(std::move(record));
+}
+
+void adopt_remote(const TraceContext& remote) {
+  if (!remote.valid()) return;
+  SpanScope* outermost_rewritten = nullptr;
+  for (SpanScope* s = tl_top; s && s->trace_id_ != remote.trace_id; s = s->prev_) {
+    s->trace_id_ = remote.trace_id;
+    outermost_rewritten = s;
+  }
+  if (outermost_rewritten) {
+    outermost_rewritten->parent_span_id_ = remote.span_id;
+  }
+}
+
+TraceLog::TraceLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceLog::record(SpanRecord span) {
+  std::lock_guard lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[next_] = std::move(span);
+    wrapped_ = true;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> TraceLog::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  std::size_t start = wrapped_ ? next_ : 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> TraceLog::spans_for(std::uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  for (SpanRecord& span : snapshot()) {
+    if (span.trace_id == trace_id) out.push_back(std::move(span));
+  }
+  return out;
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard lock(mu_);
+  return ring_.size();
+}
+
+void TraceLog::clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+}
+
+TraceLog& TraceLog::global() {
+  static TraceLog log;
+  return log;
+}
+
+}  // namespace gs::telemetry

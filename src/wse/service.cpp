@@ -1,6 +1,11 @@
 #include "wse/service.hpp"
 
+#include <chrono>
+
 #include "common/uuid.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/propagation.hpp"
+#include "telemetry/trace.hpp"
 
 namespace gs::wse {
 
@@ -180,12 +185,27 @@ size_t NotificationManager::notify(const std::string& topic,
     // WS-Eventing events are plain messages — the event document is the
     // body, no Notify wrapper.
     env.body().append(event.clone());
+    static telemetry::Counter& events =
+        telemetry::MetricsRegistry::global().counter("wse.events");
+    static telemetry::Counter& failures =
+        telemetry::MetricsRegistry::global().counter("wse.delivery_failures");
+    static telemetry::Histogram& deliver_us =
+        telemetry::MetricsRegistry::global().histogram("wse.deliver_us");
+    telemetry::SpanScope span("wse.deliver", "delivery");
+    telemetry::write_trace_header(env, span.context());
+    auto started = std::chrono::steady_clock::now();
     try {
       sink_caller_.call(sub.notify_to.address(), env);
       ++delivered;
+      events.add();
     } catch (const std::exception&) {
       // Best-effort delivery.
+      failures.add();
     }
+    deliver_us.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count()));
   }
   return delivered;
 }

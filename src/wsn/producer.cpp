@@ -1,6 +1,11 @@
 #include "wsn/producer.hpp"
 
+#include <chrono>
+
 #include "common/uuid.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/propagation.hpp"
+#include "telemetry/trace.hpp"
 #include "wsrf/base_faults.hpp"
 
 namespace gs::wsn {
@@ -147,13 +152,28 @@ size_t NotificationProducer::notify(const std::string& topic,
             ? make_raw_notify_envelope(payload, sub.consumer)
             : make_notify_envelope(topic, payload, config_.producer_address,
                                    sub.consumer);
+    static telemetry::Counter& notifications =
+        telemetry::MetricsRegistry::global().counter("wsn.notifications");
+    static telemetry::Counter& failures =
+        telemetry::MetricsRegistry::global().counter("wsn.delivery_failures");
+    static telemetry::Histogram& deliver_us =
+        telemetry::MetricsRegistry::global().histogram("wsn.deliver_us");
+    telemetry::SpanScope span("wsn.deliver", "delivery");
+    telemetry::write_trace_header(env, span.context());
+    auto started = std::chrono::steady_clock::now();
     try {
       config_.sink_caller->call(sub.consumer.address(), env);
       ++delivered;
+      notifications.add();
     } catch (const std::exception&) {
       // Best-effort delivery: unreachable consumers do not fail the
       // publish or starve other subscribers.
+      failures.add();
     }
+    deliver_us.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count()));
   }
   return delivered;
 }

@@ -1,9 +1,38 @@
 #include "xmldb/database.hpp"
 
+#include <chrono>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "xml/parser.hpp"
 #include "xml/writer.hpp"
 
 namespace gs::xmldb {
+
+namespace {
+
+// RAII: span for the trace plus a latency histogram sample on exit.
+class StorageOp {
+ public:
+  StorageOp(const char* span_name, const char* histogram_name)
+      : span_(span_name, "storage"),
+        histogram_(
+            telemetry::MetricsRegistry::global().histogram(histogram_name)),
+        started_(std::chrono::steady_clock::now()) {}
+  ~StorageOp() {
+    histogram_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started_)
+            .count()));
+  }
+
+ private:
+  telemetry::SpanScope span_;
+  telemetry::Histogram& histogram_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace
 
 XmlDatabase::XmlDatabase(std::unique_ptr<Backend> backend, Options options)
     : backend_(std::move(backend)), options_(options) {}
@@ -15,6 +44,7 @@ std::string XmlDatabase::cache_key(const std::string& collection,
 
 void XmlDatabase::store(const std::string& collection, const std::string& id,
                         const xml::Element& document) {
+  StorageOp op("xmldb.store", "xmldb.store_us");
   std::string octets = xml::write(document);
   backend_->put(collection, id, octets);
   std::lock_guard lock(mu_);
@@ -26,6 +56,7 @@ void XmlDatabase::store(const std::string& collection, const std::string& id,
 
 std::unique_ptr<xml::Element> XmlDatabase::load(const std::string& collection,
                                                 const std::string& id) {
+  StorageOp op("xmldb.load", "xmldb.load_us");
   {
     std::lock_guard lock(mu_);
     ++stats_.loads;
@@ -52,6 +83,7 @@ std::unique_ptr<xml::Element> XmlDatabase::load(const std::string& collection,
 }
 
 bool XmlDatabase::remove(const std::string& collection, const std::string& id) {
+  StorageOp op("xmldb.remove", "xmldb.remove_us");
   bool removed = backend_->remove(collection, id);
   std::lock_guard lock(mu_);
   ++stats_.removes;
@@ -76,6 +108,7 @@ std::vector<std::string> XmlDatabase::ids(const std::string& collection) {
 
 std::vector<QueryMatch> XmlDatabase::query(const std::string& collection,
                                            const xml::XPathExpr& expr) {
+  StorageOp op("xmldb.query", "xmldb.query_us");
   std::vector<QueryMatch> out;
   for (const std::string& id : backend_->list(collection)) {
     std::unique_ptr<xml::Element> doc = load(collection, id);
