@@ -1,11 +1,23 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite.
 #   $ scripts/tier1.sh [build-dir]
+# Opt-in sanitizers (ASan + UBSan, Debug config, separate build dir):
+#   $ SANITIZE=1 scripts/tier1.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
+if [[ "${SANITIZE:-0}" == "1" ]]; then
+  BUILD_DIR="${1:-build-asan}"
+  SAN_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+else
+  BUILD_DIR="${1:-build}"
+  cmake -B "$BUILD_DIR" -S .
+fi
+
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

@@ -65,12 +65,18 @@ std::uint64_t ThreadPool::tasks_completed() const {
   return completed_;
 }
 
+std::uint64_t ThreadPool::tasks_failed() const {
+  std::lock_guard lock(mu_);
+  return failed_;
+}
+
 void ThreadPool::attach_metrics(telemetry::MetricsRegistry& registry,
                                 const std::string& prefix) {
   std::lock_guard lock(mu_);
   g_queue_depth_ = &registry.gauge(prefix + ".queue_depth");
   g_active_ = &registry.gauge(prefix + ".active_workers");
   c_tasks_ = &registry.counter(prefix + ".tasks");
+  c_task_exceptions_ = &registry.counter(prefix + ".task_exceptions");
   h_queue_wait_ = &registry.histogram(prefix + ".queue_wait_us");
   h_task_run_ = &registry.histogram(prefix + ".task_run_us");
 }
@@ -91,11 +97,20 @@ void ThreadPool::worker_loop() {
       if (h_queue_wait_) h_queue_wait_->record(elapsed_us(task.enqueued));
     }
     auto started = std::chrono::steady_clock::now();
-    task.fn();
+    bool threw = false;
+    try {
+      task.fn();
+    } catch (...) {
+      threw = true;
+    }
     {
       std::lock_guard lock(mu_);
       --active_;
       ++completed_;
+      if (threw) {
+        ++failed_;
+        if (c_task_exceptions_) c_task_exceptions_->add();
+      }
       if (g_active_) g_active_->set(active_);
       if (c_tasks_) c_tasks_->add();
       if (h_task_run_) h_task_run_->record(elapsed_us(started));

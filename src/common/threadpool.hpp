@@ -28,7 +28,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw; exceptions terminate.
+  /// Enqueues a task. A task that throws does not take the process down:
+  /// the exception is swallowed and counted (`tasks_failed`, and the
+  /// `<prefix>.task_exceptions` counter when metrics are attached) — one
+  /// bad delivery must not kill a container serving everyone else.
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has completed.
@@ -44,6 +47,8 @@ class ThreadPool {
   unsigned active_workers() const;
   std::uint64_t tasks_submitted() const;
   std::uint64_t tasks_completed() const;
+  /// Tasks whose callable threw (still counted in tasks_completed).
+  std::uint64_t tasks_failed() const;
 
   /// Mirrors pool state into `registry` under `prefix`: gauges
   /// `<prefix>.queue_depth` and `<prefix>.active_workers`, counter
@@ -69,11 +74,13 @@ class ThreadPool {
   bool stopping_ = false;
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
 
   // Metric handles (null until attach_metrics).
   telemetry::Gauge* g_queue_depth_ = nullptr;
   telemetry::Gauge* g_active_ = nullptr;
   telemetry::Counter* c_tasks_ = nullptr;
+  telemetry::Counter* c_task_exceptions_ = nullptr;
   telemetry::Histogram* h_queue_wait_ = nullptr;
   telemetry::Histogram* h_task_run_ = nullptr;
 };

@@ -1,6 +1,21 @@
 #include "container/lifetime.hpp"
 
+#include <charconv>
+
+#include "soap/envelope.hpp"
+
 namespace gs::container {
+
+common::TimeMs parse_lifetime_ms(const std::string& text) {
+  common::TimeMs value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [p, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || p != end || text.empty()) {
+    throw soap::SoapFault("Sender", "malformed lifetime '" + text + "'");
+  }
+  return value;
+}
 
 LifetimeManager::Handle LifetimeManager::schedule(
     common::TimeMs termination_time, std::function<void()> on_destroy) {

@@ -62,4 +62,13 @@ class LifetimeManager {
   Handle next_ = 1;
 };
 
+/// Strictly parses a client-supplied lifetime field (milliseconds, an
+/// optionally-signed decimal integer, nothing else). Throws
+/// soap::SoapFault("Sender", ...) on malformed text — client garbage must
+/// come back as a fault envelope, never escape as std::invalid_argument
+/// from std::stoll (which also silently accepted trailing junk).
+/// Callers interpret the value (relative offset vs absolute) and handle
+/// their own "infinity"/"infinite" keyword before calling.
+common::TimeMs parse_lifetime_ms(const std::string& text);
+
 }  // namespace gs::container

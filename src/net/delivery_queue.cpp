@@ -1,0 +1,183 @@
+#include "net/delivery_queue.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace gs::net {
+
+DeliveryQueue::DeliveryQueue(Config config) : config_(std::move(config)) {
+  if (!config_.caller) {
+    throw std::invalid_argument("DeliveryQueue needs a caller");
+  }
+}
+
+DeliveryQueue::~DeliveryQueue() {
+  std::unique_lock lock(mu_);
+  stopping_ = true;
+  for (auto& [destination, route] : routes_) route.backlog.clear();
+  cv_idle_.wait(lock, [this] {
+    for (const auto& [destination, route] : routes_) {
+      if (route.draining) return false;
+    }
+    return true;
+  });
+}
+
+bool DeliveryQueue::deliver(const std::string& destination,
+                            const soap::Envelope& envelope) {
+  auto started = std::chrono::steady_clock::now();
+  bool ok = false;
+  try {
+    config_.caller->call(destination, envelope);
+    ok = true;
+  } catch (const std::exception&) {
+    // Transport exhausted its retries (or the response was garbage); the
+    // route's failure accounting decides what happens next.
+  }
+  if (config_.deliver_us) {
+    config_.deliver_us->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count()));
+  }
+  if (ok && config_.delivered) config_.delivered->add();
+  if (!ok && config_.failures) config_.failures->add();
+  return ok;
+}
+
+std::size_t DeliveryQueue::evict_locked(Route& route) {
+  route.evicted = true;
+  std::size_t dropped = route.backlog.size();
+  route.backlog.clear();
+  dead_lettered_ += dropped;
+  if (config_.dead_letters && dropped > 0)
+    config_.dead_letters->add(dropped);
+  if (config_.evictions) config_.evictions->add();
+  return dropped;
+}
+
+DeliveryQueue::Submit DeliveryQueue::submit(const std::string& destination,
+                                            soap::Envelope envelope) {
+  if (!config_.pool) {
+    // Inline mode: one call sequence on the submitting thread.
+    bool evict_now = false;
+    {
+      std::lock_guard lock(mu_);
+      Route& route = routes_[destination];
+      if (route.evicted) {
+        ++dead_lettered_;
+        if (config_.dead_letters) config_.dead_letters->add();
+        return Submit::kRejected;
+      }
+    }
+    bool ok = deliver(destination, envelope);
+    {
+      std::lock_guard lock(mu_);
+      Route& route = routes_[destination];
+      if (ok) {
+        route.consecutive_failures = 0;
+        return Submit::kDelivered;
+      }
+      ++dead_lettered_;
+      if (config_.dead_letters) config_.dead_letters->add();
+      ++route.consecutive_failures;
+      if (config_.evict_after_consecutive_failures > 0 && !route.evicted &&
+          route.consecutive_failures >= config_.evict_after_consecutive_failures) {
+        evict_locked(route);
+        evict_now = true;
+      }
+    }
+    if (evict_now && config_.on_evict) config_.on_evict(destination);
+    return Submit::kRejected;
+  }
+
+  bool start_drain = false;
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return Submit::kRejected;
+    Route& route = routes_[destination];
+    if (route.evicted ||
+        route.backlog.size() >= config_.max_queued_per_destination) {
+      ++dead_lettered_;
+      if (config_.dead_letters) config_.dead_letters->add();
+      return Submit::kRejected;
+    }
+    route.backlog.push_back(std::move(envelope));
+    if (!route.draining) {
+      route.draining = true;
+      start_drain = true;
+    }
+  }
+  if (start_drain) {
+    config_.pool->submit([this, destination] { drain(destination); });
+  }
+  return Submit::kQueued;
+}
+
+void DeliveryQueue::drain(const std::string& destination) {
+  for (;;) {
+    soap::Envelope envelope;
+    {
+      std::lock_guard lock(mu_);
+      Route& route = routes_[destination];
+      if (route.backlog.empty() || stopping_) {
+        route.draining = false;
+        cv_idle_.notify_all();
+        return;
+      }
+      envelope = std::move(route.backlog.front());
+      route.backlog.pop_front();
+    }
+    bool ok = deliver(destination, envelope);
+    bool evict_now = false;
+    {
+      std::lock_guard lock(mu_);
+      Route& route = routes_[destination];
+      if (ok) {
+        route.consecutive_failures = 0;
+      } else {
+        ++dead_lettered_;
+        if (config_.dead_letters) config_.dead_letters->add();
+        ++route.consecutive_failures;
+        if (config_.evict_after_consecutive_failures > 0 && !route.evicted &&
+            route.consecutive_failures >=
+                config_.evict_after_consecutive_failures) {
+          evict_locked(route);
+          evict_now = true;
+        }
+      }
+    }
+    if (evict_now && config_.on_evict) config_.on_evict(destination);
+  }
+}
+
+void DeliveryQueue::flush() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] {
+    for (const auto& [destination, route] : routes_) {
+      if (route.draining || !route.backlog.empty()) return false;
+    }
+    return true;
+  });
+}
+
+bool DeliveryQueue::evicted(const std::string& destination) const {
+  std::lock_guard lock(mu_);
+  auto it = routes_.find(destination);
+  return it != routes_.end() && it->second.evicted;
+}
+
+void DeliveryQueue::reinstate(const std::string& destination) {
+  std::lock_guard lock(mu_);
+  auto it = routes_.find(destination);
+  if (it == routes_.end()) return;
+  it->second.evicted = false;
+  it->second.consecutive_failures = 0;
+}
+
+std::uint64_t DeliveryQueue::dead_lettered() const {
+  std::lock_guard lock(mu_);
+  return dead_lettered_;
+}
+
+}  // namespace gs::net

@@ -5,8 +5,26 @@
 namespace gs::net {
 namespace {
 
+char ascii_lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + ('a' - 'A')) : c;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
+}
+
+// Headers whose framing the serializers own; caller-set copies are skipped
+// so a message never carries two Content-Length values (ambiguous framing).
+bool is_framing_header(std::string_view name) noexcept {
+  return iequals(name, "Content-Length");
+}
+
 // Splits header block lines; returns false on malformed framing.
-bool parse_headers(std::string_view block, std::map<std::string, std::string>& out) {
+bool parse_headers(std::string_view block, HeaderMap& out) {
   size_t pos = 0;
   while (pos < block.size()) {
     size_t eol = block.find("\r\n", pos);
@@ -26,10 +44,23 @@ bool parse_headers(std::string_view block, std::map<std::string, std::string>& o
 
 }  // namespace
 
+bool HeaderNameLess::operator()(std::string_view a, std::string_view b) const noexcept {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    char ca = ascii_lower(a[i]);
+    char cb = ascii_lower(b[i]);
+    if (ca != cb) return ca < cb;
+  }
+  return a.size() < b.size();
+}
+
 std::string HttpRequest::serialize() const {
   std::string out = method + " " + path + " HTTP/1.1\r\n";
   out += "Host: " + host + "\r\n";
-  for (const auto& [name, value] : headers) out += name + ": " + value + "\r\n";
+  for (const auto& [name, value] : headers) {
+    if (is_framing_header(name)) continue;
+    out += name + ": " + value + "\r\n";
+  }
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
   out += body;
   return out;
@@ -73,7 +104,10 @@ std::optional<HttpRequest> HttpRequest::parse(std::string_view wire) {
 
 std::string HttpResponse::serialize() const {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
-  for (const auto& [name, value] : headers) out += name + ": " + value + "\r\n";
+  for (const auto& [name, value] : headers) {
+    if (is_framing_header(name)) continue;
+    out += name + ": " + value + "\r\n";
+  }
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
   out += body;
   return out;
@@ -155,7 +189,10 @@ std::optional<Url> Url::parse(std::string_view url) {
     int port = 0;
     auto [p, ec] =
         std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
-    if (ec != std::errc() || port <= 0 || port > 65535) return std::nullopt;
+    if (ec != std::errc() || p != port_text.data() + port_text.size() ||
+        port <= 0 || port > 65535) {
+      return std::nullopt;
+    }
     out.port = port;
     out.host = std::string(authority.substr(0, colon));
   } else {

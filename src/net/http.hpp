@@ -11,14 +11,27 @@
 
 namespace gs::net {
 
+/// Case-insensitive ordering for header field names (RFC 7230 §3.2:
+/// "Each header field consists of a case-insensitive field name").
+struct HeaderNameLess {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept;
+};
+
+/// Header map keyed case-insensitively: a peer sending `content-length`
+/// or `HOST` is as well-formed as one sending the canonical spelling.
+using HeaderMap = std::map<std::string, std::string, HeaderNameLess>;
+
 struct HttpRequest {
   std::string method = "POST";
   std::string path = "/";
   std::string host;
-  std::map<std::string, std::string> headers;
+  HeaderMap headers;
   std::string body;
 
-  /// Full request octets (adds Host/Content-Length automatically).
+  /// Full request octets. Host and Content-Length are framing-owned: they
+  /// are emitted from `host`/`body.size()`, and any caller-set spelling of
+  /// Content-Length in `headers` is ignored (never duplicated).
   std::string serialize() const;
   /// Parses a complete request; nullopt on malformed input.
   static std::optional<HttpRequest> parse(std::string_view wire);
@@ -27,7 +40,7 @@ struct HttpRequest {
 struct HttpResponse {
   int status = 200;
   std::string reason = "OK";
-  std::map<std::string, std::string> headers;
+  HeaderMap headers;
   std::string body;
 
   std::string serialize() const;

@@ -1,0 +1,82 @@
+#include "net/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+
+namespace gs::net {
+
+namespace {
+
+// Uniform double in [0, 1) from the top 53 bits of one RNG draw — written
+// out instead of uniform_real_distribution so the schedule is identical on
+// every standard library.
+double canonical(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+common::TimeMs RetryPolicy::delay_after(int failed_attempts,
+                                        std::mt19937_64& rng) const {
+  double delay = static_cast<double>(base_delay_ms) *
+                 std::pow(multiplier, failed_attempts - 1);
+  delay = std::min(delay, static_cast<double>(max_delay_ms));
+  if (jitter > 0.0) delay *= 1.0 + jitter * (2.0 * canonical(rng) - 1.0);
+  return std::max<common::TimeMs>(0, static_cast<common::TimeMs>(std::llround(delay)));
+}
+
+RetryingCaller::RetryingCaller(SoapCaller& inner, RetryPolicy policy,
+                               const common::Clock* clock, Sleeper sleeper)
+    : inner_(inner),
+      policy_(policy),
+      clock_(clock),
+      sleeper_(std::move(sleeper)),
+      rng_(policy.seed) {
+  if (!sleeper_) {
+    sleeper_ = [](common::TimeMs ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
+}
+
+soap::Envelope RetryingCaller::call(const std::string& address,
+                                    const soap::Envelope& request) {
+  static telemetry::Counter& retries =
+      telemetry::MetricsRegistry::global().counter("net.retry.attempts");
+  static telemetry::Counter& recovered =
+      telemetry::MetricsRegistry::global().counter("net.retry.recovered");
+  static telemetry::Counter& exhausted =
+      telemetry::MetricsRegistry::global().counter("net.retry.exhausted");
+
+  const common::TimeMs started = clock_->now();
+  for (int attempt = 1;; ++attempt) {
+    try {
+      soap::Envelope response = inner_.call(address, request);
+      if (attempt > 1) recovered.add();
+      return response;
+    } catch (const NetworkError&) {
+      if (attempt >= policy_.max_attempts) {
+        exhausted.add();
+        throw;
+      }
+      common::TimeMs delay;
+      {
+        std::lock_guard lock(rng_mu_);
+        delay = policy_.delay_after(attempt, rng_);
+      }
+      if (policy_.call_timeout_ms > 0 &&
+          clock_->now() - started + delay >= policy_.call_timeout_ms) {
+        exhausted.add();
+        throw;
+      }
+      sleeper_(delay);
+      retries.add();
+    }
+  }
+}
+
+}  // namespace gs::net

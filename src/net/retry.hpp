@@ -1,0 +1,72 @@
+// Delivery retry: a policy (attempts, exponential backoff, seeded jitter,
+// per-call time budget) and a SoapCaller decorator that applies it.
+//
+// The paper's notification comparison assumes messages arrive; both 2005
+// prototypes were fire-and-forget, and the evaluation papers (JClarens,
+// the Globus measurements) call out delivery reliability as the gap
+// between demo-grade and deployable middleware. RetryingCaller closes it
+// at the transport seam so every client — notification sinks first — can
+// opt in without touching service code.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <random>
+
+#include "common/clock.hpp"
+#include "net/virtual_network.hpp"
+
+namespace gs::net {
+
+/// Retry schedule. Attempt n (1-based) that fails waits
+/// `base_delay_ms * multiplier^(n-1)` (capped at `max_delay_ms`), spread by
+/// `± jitter` (a fraction, drawn from a seeded RNG so schedules are
+/// reproducible), before attempt n+1 — unless `max_attempts` or the
+/// `call_timeout_ms` budget is exhausted, in which case the last transport
+/// error propagates.
+struct RetryPolicy {
+  int max_attempts = 3;             // total tries, including the first
+  common::TimeMs base_delay_ms = 10;
+  double multiplier = 2.0;          // exponential backoff factor
+  common::TimeMs max_delay_ms = 1000;
+  double jitter = 0.1;              // ± fraction of the computed delay
+  common::TimeMs call_timeout_ms = 0;  // budget across all attempts; 0 = none
+  std::uint64_t seed = 0x5eed;      // jitter RNG seed
+
+  /// A policy that never retries (the historical fire-and-forget shape).
+  static RetryPolicy none() { return {.max_attempts = 1}; }
+
+  /// Backoff before the attempt after `failed_attempts` failures (>= 1).
+  /// Pure function of the policy and the RNG state.
+  common::TimeMs delay_after(int failed_attempts, std::mt19937_64& rng) const;
+};
+
+/// SoapCaller decorator: forwards to `inner`, retrying NetworkError per the
+/// policy. Faults come back as envelopes and are never retried — only
+/// transport failures are. Delays go through the injected sleeper (default:
+/// real sleep); tests pass a sleeper that advances a ManualClock so retry
+/// schedules are fully deterministic. Thread-safe: concurrent calls share
+/// the jitter RNG under a lock but back off independently.
+class RetryingCaller final : public SoapCaller {
+ public:
+  using Sleeper = std::function<void(common::TimeMs)>;
+
+  RetryingCaller(SoapCaller& inner, RetryPolicy policy,
+                 const common::Clock* clock = &common::RealClock::instance(),
+                 Sleeper sleeper = {});
+
+  soap::Envelope call(const std::string& address,
+                      const soap::Envelope& request) override;
+
+  const RetryPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  SoapCaller& inner_;
+  RetryPolicy policy_;
+  const common::Clock* clock_;
+  Sleeper sleeper_;
+  std::mutex rng_mu_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace gs::net

@@ -50,6 +50,50 @@ Endpoint* VirtualNetwork::resolve(const std::string& authority) const {
   return it == endpoints_.end() ? nullptr : it->second;
 }
 
+void VirtualNetwork::set_fault_policy(const std::string& authority,
+                                      FaultPolicy policy) {
+  std::lock_guard lock(mu_);
+  faults_[authority] = FaultState{policy, std::mt19937_64(policy.seed)};
+}
+
+void VirtualNetwork::clear_fault_policy(const std::string& authority) {
+  std::lock_guard lock(mu_);
+  faults_.erase(authority);
+}
+
+void VirtualNetwork::apply_faults(const std::string& authority,
+                                  WireMeter* meter) {
+  static telemetry::Counter& injected =
+      telemetry::MetricsRegistry::global().counter("net.faults.injected");
+  bool fail = false;
+  const char* why = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    auto it = faults_.find(authority);
+    if (it == faults_.end()) return;
+    FaultState& state = it->second;
+    if (state.policy.added_latency_ms > 0.0 && meter) {
+      meter->charge_ms(state.policy.added_latency_ms);
+    }
+    if (state.policy.partitioned) {
+      fail = true;
+      why = "partitioned route to ";
+    } else if (state.policy.drop_probability > 0.0) {
+      // Top 53 bits of one draw -> [0, 1); written out (instead of
+      // uniform_real_distribution) so sequences match on every stdlib.
+      double u = static_cast<double>(state.rng() >> 11) * 0x1.0p-53;
+      if (u < state.policy.drop_probability) {
+        fail = true;
+        why = "injected drop on route to ";
+      }
+    }
+  }
+  if (fail) {
+    injected.add();
+    throw NetworkError(std::string(why) + authority);
+  }
+}
+
 void VirtualNetwork::charge_message(WireMeter* meter, std::size_t bytes) const {
   if (!meter) return;
   meter->add_message(bytes);
@@ -117,10 +161,23 @@ soap::Envelope VirtualCaller::call(const std::string& address,
 
 std::string VirtualCaller::exchange_octets(const Url& url,
                                            const std::string& octets) {
-  Endpoint* endpoint = net_.resolve(url.authority());
-  if (!endpoint) throw NetworkError("no endpoint bound at " + url.authority());
+  const std::string authority = url.authority();
 
-  const std::string& authority = url.authority();
+  // Scripted faults fire before anything else — a partitioned or lossy
+  // route fails whether or not a server is listening. An injected failure
+  // also tears down the pooled connection (and any TLS channel), so the
+  // next attempt pays reconnection like a real broken socket would.
+  try {
+    net_.apply_faults(authority, options_.meter);
+  } catch (const NetworkError&) {
+    std::lock_guard lock(mu_);
+    connected_.erase(authority);
+    tls_.erase(authority);
+    throw;
+  }
+
+  Endpoint* endpoint = net_.resolve(authority);
+  if (!endpoint) throw NetworkError("no endpoint bound at " + authority);
   bool https = options_.transport == TransportKind::kHttps;
 
   // Connection management: charge a connect when no pooled connection

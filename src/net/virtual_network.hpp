@@ -51,6 +51,19 @@ class NetworkError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Deterministic per-route fault policy. Tests script failures against a
+/// destination authority: every exchange to it may be dropped with a
+/// seeded probability, delayed by a fixed simulated latency, or refused
+/// outright (hard partition). Drop decisions come from a per-route RNG
+/// seeded by `seed`, so a given call sequence fails identically on every
+/// run — no wall clock, no global randomness.
+struct FaultPolicy {
+  double drop_probability = 0.0;  // [0, 1]; applied per exchange
+  double added_latency_ms = 0.0;  // charged to the caller's meter
+  bool partitioned = false;       // hard partition: every exchange fails
+  std::uint64_t seed = 0x5eed;    // drop-decision RNG seed
+};
+
 /// The in-process network fabric.
 class VirtualNetwork {
  public:
@@ -64,13 +77,28 @@ class VirtualNetwork {
   const NetworkProfile& profile() const noexcept { return profile_; }
   void set_profile(NetworkProfile p) { profile_ = p; }
 
+  /// Installs (or replaces) the fault policy for exchanges to `authority`;
+  /// replacing reseeds the route's drop RNG from `policy.seed`.
+  void set_fault_policy(const std::string& authority, FaultPolicy policy);
+  void clear_fault_policy(const std::string& authority);
+  /// Applies `authority`'s fault policy to one exchange: charges any added
+  /// latency to `meter`, throws NetworkError on partition or a drop.
+  /// No-op for routes without a policy.
+  void apply_faults(const std::string& authority, WireMeter* meter);
+
   /// Charges one message of `bytes` octets on the meter (if any).
   void charge_message(WireMeter* meter, std::size_t bytes) const;
   void charge_connect(WireMeter* meter) const;
 
  private:
+  struct FaultState {
+    FaultPolicy policy;
+    std::mt19937_64 rng;
+  };
+
   mutable std::mutex mu_;
   std::map<std::string, Endpoint*> endpoints_;
+  std::map<std::string, FaultState> faults_;
   NetworkProfile profile_;
 };
 

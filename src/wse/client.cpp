@@ -1,5 +1,7 @@
 #include "wse/client.hpp"
 
+#include "container/lifetime.hpp"
+
 namespace gs::wse {
 
 namespace {
@@ -7,8 +9,9 @@ xml::QName wse(const char* local) { return {soap::ns::kEventing, local}; }
 
 common::TimeMs parse_expires(const xml::Element* expires) {
   if (!expires) throw soap::SoapFault("Receiver", "response missing Expires");
-  return expires->text() == "infinite" ? WseSubscription::kNever
-                                       : std::stoll(expires->text());
+  return expires->text() == "infinite"
+             ? WseSubscription::kNever
+             : container::parse_lifetime_ms(expires->text());
 }
 }  // namespace
 

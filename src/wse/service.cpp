@@ -1,8 +1,7 @@
 #include "wse/service.hpp"
 
-#include <chrono>
-
 #include "common/uuid.hpp"
+#include "container/lifetime.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/propagation.hpp"
 #include "telemetry/trace.hpp"
@@ -37,7 +36,7 @@ WseSubscriptionManagerService::WseSubscriptionManagerService(
     common::TimeMs expires =
         expires_el->text() == "infinite"
             ? WseSubscription::kNever
-            : clock_.now() + std::stoll(expires_el->text());
+            : clock_.now() + container::parse_lifetime_ms(expires_el->text());
     if (!store_.renew(id, expires)) {
       throw soap::SoapFault("Sender", "unknown subscription '" + id + "'");
     }
@@ -135,7 +134,7 @@ EventSourceService::EventSourceService(std::string name, SubscriptionStore& stor
     sub.expires = WseSubscription::kNever;
     if (const xml::Element* expires = payload.child(wse("Expires"))) {
       if (expires->text() != "infinite") {
-        sub.expires = clock_.now() + std::stoll(expires->text());
+        sub.expires = clock_.now() + container::parse_lifetime_ms(expires->text());
       }
     }
     common::TimeMs granted = sub.expires;
@@ -152,10 +151,40 @@ EventSourceService::EventSourceService(std::string name, SubscriptionStore& stor
   });
 }
 
+NotificationManager::NotificationManager(SubscriptionStore& store,
+                                         net::SoapCaller& sink_caller,
+                                         const common::Clock& clock)
+    : NotificationManager(store, sink_caller, clock, Options{}) {}
+
+NotificationManager::NotificationManager(SubscriptionStore& store,
+                                         net::SoapCaller& sink_caller,
+                                         const common::Clock& clock,
+                                         Options options)
+    : store_(store),
+      clock_(clock),
+      queue_(net::DeliveryQueue::Config{
+          .caller = &sink_caller,
+          .pool = options.pool,
+          .max_queued_per_destination = options.max_queued_per_sink,
+          .evict_after_consecutive_failures = options.evict_after_failures,
+          .delivered = &telemetry::MetricsRegistry::global().counter("wse.events"),
+          .failures = &telemetry::MetricsRegistry::global().counter(
+              "wse.delivery_failures"),
+          .deliver_us =
+              &telemetry::MetricsRegistry::global().histogram("wse.deliver_us"),
+          .evictions = &telemetry::MetricsRegistry::global().counter(
+              "wse.sinks_evicted"),
+          .dead_letters =
+              &telemetry::MetricsRegistry::global().counter("wse.dead_letters"),
+          .on_evict = {},
+      }) {}
+
 size_t NotificationManager::notify(const std::string& topic,
                                    const xml::Element& event,
                                    const std::string& action) {
   // Expired subscriptions get SubscriptionEnd before delivery fans out.
+  // These ride the same queue as events, so a dark EndTo sink is subject
+  // to the same failure accounting.
   for (const WseSubscription& ended : store_.purge_expired(clock_.now())) {
     if (ended.end_to.empty()) continue;
     soap::Envelope env;
@@ -166,11 +195,7 @@ size_t NotificationManager::notify(const std::string& topic,
     env.write_addressing(info);
     xml::Element& end = env.add_payload(wse("SubscriptionEnd"));
     end.append_element(wse("Status")).set_text("SourceCancelling");
-    try {
-      sink_caller_.call(ended.end_to.address(), env);
-    } catch (const std::exception&) {
-      // Best-effort.
-    }
+    queue_.submit(ended.end_to.address(), std::move(env));
   }
 
   size_t delivered = 0;
@@ -185,27 +210,11 @@ size_t NotificationManager::notify(const std::string& topic,
     // WS-Eventing events are plain messages — the event document is the
     // body, no Notify wrapper.
     env.body().append(event.clone());
-    static telemetry::Counter& events =
-        telemetry::MetricsRegistry::global().counter("wse.events");
-    static telemetry::Counter& failures =
-        telemetry::MetricsRegistry::global().counter("wse.delivery_failures");
-    static telemetry::Histogram& deliver_us =
-        telemetry::MetricsRegistry::global().histogram("wse.deliver_us");
     telemetry::SpanScope span("wse.deliver", "delivery");
     telemetry::write_trace_header(env, span.context());
-    auto started = std::chrono::steady_clock::now();
-    try {
-      sink_caller_.call(sub.notify_to.address(), env);
-      ++delivered;
-      events.add();
-    } catch (const std::exception&) {
-      // Best-effort delivery.
-      failures.add();
-    }
-    deliver_us.record(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - started)
-            .count()));
+    net::DeliveryQueue::Submit result =
+        queue_.submit(sub.notify_to.address(), std::move(env));
+    if (result != net::DeliveryQueue::Submit::kRejected) ++delivered;
   }
   return delivered;
 }

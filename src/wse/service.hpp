@@ -8,6 +8,7 @@
 #pragma once
 
 #include "container/service.hpp"
+#include "net/delivery_queue.hpp"
 #include "net/virtual_network.hpp"
 #include "soap/namespaces.hpp"
 #include "wse/store.hpp"
@@ -66,21 +67,43 @@ class EventSourceService : public container::Service {
 /// event source to trigger notifications".
 class NotificationManager {
  public:
+  /// Delivery-reliability knobs. Defaults preserve the historical shape:
+  /// inline synchronous delivery, no eviction. With a pool, delivery fans
+  /// out asynchronously per sink; with a threshold, a sink that fails that
+  /// many consecutive call sequences is evicted (wse.sinks_evicted, dead
+  /// messages tallied in wse.dead_letters). Wrap `sink_caller` in a
+  /// net::RetryingCaller to retry transport failures within each sequence.
+  struct Options {
+    common::ThreadPool* pool = nullptr;
+    std::size_t max_queued_per_sink = 64;
+    int evict_after_failures = 0;  // consecutive; 0 = never evict
+  };
+
   NotificationManager(SubscriptionStore& store, net::SoapCaller& sink_caller,
-                      const common::Clock& clock)
-      : store_(store), sink_caller_(sink_caller), clock_(clock) {}
+                      const common::Clock& clock);
+  NotificationManager(SubscriptionStore& store, net::SoapCaller& sink_caller,
+                      const common::Clock& clock, Options options);
 
   /// Delivers `event` to every live subscription whose filter accepts
-  /// (topic, event). `action` is the wsa:Action stamped on the event
-  /// messages. Returns the number delivered. Expired subscriptions are
-  /// purged and their EndTo sinks receive SubscriptionEnd.
+  /// (topic, event), through the per-sink delivery queue. `action` is the
+  /// wsa:Action stamped on the event messages. Returns the number
+  /// delivered (inline) or accepted for delivery (pooled). Expired
+  /// subscriptions are purged and their EndTo sinks receive
+  /// SubscriptionEnd.
   size_t notify(const std::string& topic, const xml::Element& event,
                 const std::string& action);
 
+  /// Barrier for pooled delivery; immediate when inline.
+  void flush() { queue_.flush(); }
+
+  /// The reliability queue (eviction state, dead-letter tally,
+  /// reinstating a sink after re-subscribe).
+  net::DeliveryQueue& delivery_queue() noexcept { return queue_; }
+
  private:
   SubscriptionStore& store_;
-  net::SoapCaller& sink_caller_;
   const common::Clock& clock_;
+  net::DeliveryQueue queue_;
 };
 
 }  // namespace gs::wse

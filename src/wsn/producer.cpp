@@ -1,8 +1,7 @@
 #include "wsn/producer.hpp"
 
-#include <chrono>
-
 #include "common/uuid.hpp"
+#include "container/lifetime.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/propagation.hpp"
 #include "telemetry/trace.hpp"
@@ -20,6 +19,19 @@ NotificationProducer::NotificationProducer(Config config, TopicNamespace topics)
     throw std::invalid_argument(
         "NotificationProducer needs a sink caller and a subscription manager");
   }
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  queue_ = std::make_unique<net::DeliveryQueue>(net::DeliveryQueue::Config{
+      .caller = config_.sink_caller,
+      .pool = config_.delivery_pool,
+      .max_queued_per_destination = config_.max_queued_per_subscriber,
+      .evict_after_consecutive_failures = config_.evict_after_failures,
+      .delivered = &registry.counter("wsn.notifications"),
+      .failures = &registry.counter("wsn.delivery_failures"),
+      .deliver_us = &registry.histogram("wsn.deliver_us"),
+      .evictions = &registry.counter("wsn.subscribers_evicted"),
+      .dead_letters = &registry.counter("wsn.dead_letters"),
+      .on_evict = {},
+  });
 }
 
 void NotificationProducer::register_into(container::Service& service) {
@@ -58,10 +70,15 @@ void NotificationProducer::register_into(container::Service& service) {
     common::TimeMs termination = container::LifetimeManager::kNever;
     if (const xml::Element* t = payload.child(wsnt("InitialTerminationTime"))) {
       if (t->text() != "infinity") {
-        // Relative lifetime in milliseconds from now.
-        termination = config_.clock->now() + std::stoll(t->text());
+        // Relative lifetime in milliseconds from now; strictly validated
+        // so client garbage faults instead of escaping std::stoll.
+        termination = config_.clock->now() + container::parse_lifetime_ms(t->text());
       }
     }
+
+    // A fresh Subscribe is evidence the sink is meant to be reachable:
+    // forgive any earlier eviction of this consumer address.
+    queue_->reinstate(sub.consumer.address());
 
     soap::EndpointReference sub_epr =
         config_.manager->store(std::move(sub), termination);
@@ -152,28 +169,15 @@ size_t NotificationProducer::notify(const std::string& topic,
             ? make_raw_notify_envelope(payload, sub.consumer)
             : make_notify_envelope(topic, payload, config_.producer_address,
                                    sub.consumer);
-    static telemetry::Counter& notifications =
-        telemetry::MetricsRegistry::global().counter("wsn.notifications");
-    static telemetry::Counter& failures =
-        telemetry::MetricsRegistry::global().counter("wsn.delivery_failures");
-    static telemetry::Histogram& deliver_us =
-        telemetry::MetricsRegistry::global().histogram("wsn.deliver_us");
     telemetry::SpanScope span("wsn.deliver", "delivery");
     telemetry::write_trace_header(env, span.context());
-    auto started = std::chrono::steady_clock::now();
-    try {
-      config_.sink_caller->call(sub.consumer.address(), env);
-      ++delivered;
-      notifications.add();
-    } catch (const std::exception&) {
-      // Best-effort delivery: unreachable consumers do not fail the
-      // publish or starve other subscribers.
-      failures.add();
-    }
-    deliver_us.record(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - started)
-            .count()));
+    // Delivery is the queue's business now: retries happen inside the
+    // sink caller, failure accounting and eviction inside the queue. An
+    // unreachable consumer still cannot fail the publish or starve the
+    // other subscribers.
+    net::DeliveryQueue::Submit result =
+        queue_->submit(sub.consumer.address(), std::move(env));
+    if (result != net::DeliveryQueue::Submit::kRejected) ++delivered;
   }
   return delivered;
 }

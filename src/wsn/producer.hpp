@@ -15,6 +15,7 @@
 #include <string>
 
 #include "container/service.hpp"
+#include "net/delivery_queue.hpp"
 #include "net/virtual_network.hpp"
 #include "wsn/subscription_manager.hpp"
 #include "wsn/topics.hpp"
@@ -24,7 +25,8 @@ namespace gs::wsn {
 class NotificationProducer {
  public:
   struct Config {
-    /// Transport used to push Notify messages to consumers.
+    /// Transport used to push Notify messages to consumers. Wrap it in a
+    /// net::RetryingCaller to retry transport failures.
     net::SoapCaller* sink_caller = nullptr;
     /// This producer's address (stamped into ProducerReference).
     std::string producer_address;
@@ -32,6 +34,16 @@ class NotificationProducer {
     SubscriptionManagerService* manager = nullptr;
     /// Clock for InitialTerminationTime interpretation.
     const common::Clock* clock = &common::RealClock::instance();
+
+    // --- delivery reliability -------------------------------------------------
+    // All delivery routes through a per-subscriber net::DeliveryQueue. The
+    // defaults preserve the historical shape: inline synchronous delivery,
+    // no eviction. Wire a pool for async fan-out and a threshold to shed
+    // sinks that stay dark (counted as wsn.subscribers_evicted, with every
+    // undeliverable message tallied in wsn.dead_letters).
+    common::ThreadPool* delivery_pool = nullptr;
+    std::size_t max_queued_per_subscriber = 64;
+    int evict_after_failures = 0;  // consecutive; 0 = never evict
   };
 
   NotificationProducer(Config config, TopicNamespace topics);
@@ -43,9 +55,18 @@ class NotificationProducer {
 
   /// Publishes: evaluates every live subscription's filter against
   /// (topic, payload, producer_properties) and delivers to the accepting,
-  /// non-paused ones. Returns the number delivered.
+  /// non-paused ones through the delivery queue. Returns the number
+  /// delivered (inline mode) or accepted for delivery (pooled mode) —
+  /// evicted subscribers count as neither.
   size_t notify(const std::string& topic, const xml::Element& payload,
                 const xml::Element* producer_properties = nullptr);
+
+  /// Blocks until every accepted notification has been delivered or
+  /// dead-lettered (a barrier for pooled delivery; immediate inline).
+  void flush_delivery() { queue_->flush(); }
+
+  /// The reliability queue (tests inspect eviction state through this).
+  net::DeliveryQueue& delivery_queue() noexcept { return *queue_; }
 
   /// True when some live, non-paused subscription would accept `topic`
   /// (the broker's demand test).
@@ -62,6 +83,7 @@ class NotificationProducer {
  private:
   Config config_;
   TopicNamespace topics_;
+  std::unique_ptr<net::DeliveryQueue> queue_;
   std::vector<std::function<void()>> subscribe_hooks_;
   mutable std::mutex current_mu_;
   std::map<std::string, std::unique_ptr<xml::Element>> current_;  // per topic

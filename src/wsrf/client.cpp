@@ -147,7 +147,8 @@ common::TimeMs WsResourceProxy::set_termination_time(common::TimeMs t) {
       payload ? payload->child(rl("NewTerminationTime")) : nullptr;
   if (!granted) throw soap::SoapFault("Receiver", "malformed SetTerminationTime response");
   std::string text = granted->text();
-  return text == "infinity" ? container::LifetimeManager::kNever : std::stoll(text);
+  return text == "infinity" ? container::LifetimeManager::kNever
+                            : container::parse_lifetime_ms(text);
 }
 
 }  // namespace gs::wsrf

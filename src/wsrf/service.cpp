@@ -277,7 +277,7 @@ void WsrfService::import_resource_lifetime() {
     common::TimeMs t = container::LifetimeManager::kNever;
     if (text != "infinity") {
       try {
-        t = std::stoll(text);
+        t = container::parse_lifetime_ms(text);
       } catch (const std::exception&) {
         throw_base_fault(FaultType::kUnableToSetTerminationTime,
                          "malformed termination time '" + text + "'");

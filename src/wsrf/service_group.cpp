@@ -41,7 +41,9 @@ ServiceGroupService::ServiceGroupService(std::string name, ResourceHome& home,
 
     common::TimeMs termination = container::LifetimeManager::kNever;
     if (const xml::Element* t = payload.child(sg("InitialTerminationTime"))) {
-      if (t->text() != "infinity") termination = std::stoll(t->text());
+      if (t->text() != "infinity") {
+        termination = container::parse_lifetime_ms(t->text());
+      }
     }
 
     auto entry_state = std::make_unique<xml::Element>(sg("Entry"));

@@ -69,6 +69,65 @@ TEST(Http, BinaryBodySurvives) {
   EXPECT_EQ(back->body, req.body);
 }
 
+// RFC 7230 §3.2: header field names are case-insensitive. A peer that sends
+// "content-length" or "hOsT" must still frame correctly.
+TEST(Http, RequestHeaderNamesAreCaseInsensitive) {
+  auto req = HttpRequest::parse(
+      "POST /svc HTTP/1.1\r\n"
+      "hOsT: node.example\r\n"
+      "CONTENT-LENGTH: 4\r\n"
+      "content-type: text/xml\r\n\r\n"
+      "bodyEXTRA");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->host, "node.example");
+  EXPECT_EQ(req->body, "body");
+  // Lookups through the map match any spelling too.
+  EXPECT_EQ(req->headers.at("Content-Type"), "text/xml");
+}
+
+TEST(Http, ResponseHeaderNamesAreCaseInsensitive) {
+  auto resp = HttpResponse::parse(
+      "HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nokJUNK");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->body, "ok");
+}
+
+// Counts case-insensitive occurrences of a header name in serialized wire.
+size_t count_header(const std::string& wire, std::string lowered_name) {
+  std::string haystack(wire);
+  for (char& c : haystack) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + ('a' - 'A'));
+  }
+  size_t count = 0;
+  for (size_t pos = haystack.find(lowered_name); pos != std::string::npos;
+       pos = haystack.find(lowered_name, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+// A caller that pre-sets Content-Length (any spelling) must not produce a
+// message with two Content-Length fields — the serializer owns framing.
+TEST(Http, CallerSetContentLengthIsNotDuplicated) {
+  HttpRequest req;
+  req.host = "h";
+  req.body = "hello";
+  req.headers["content-length"] = "999";  // stale and wrong on purpose
+  std::string wire = req.serialize();
+  EXPECT_EQ(count_header(wire, "content-length"), 1u);
+  auto back = HttpRequest::parse(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->body, "hello");
+
+  HttpResponse resp = HttpResponse::ok("payload");
+  resp.headers["Content-Length"] = "1";
+  std::string resp_wire = resp.serialize();
+  EXPECT_EQ(count_header(resp_wire, "content-length"), 1u);
+  auto resp_back = HttpResponse::parse(resp_wire);
+  ASSERT_TRUE(resp_back.has_value());
+  EXPECT_EQ(resp_back->body, "payload");
+}
+
 // --- URLs -----------------------------------------------------------------------
 
 struct UrlCase {
@@ -95,7 +154,12 @@ INSTANTIATE_TEST_SUITE_P(
         UrlCase{"NoScheme", "host/svc", false, "", "", 0, ""},
         UrlCase{"EmptyHost", "http:///svc", false, "", "", 0, ""},
         UrlCase{"BadPort", "http://host:abc/", false, "", "", 0, ""},
-        UrlCase{"PortOutOfRange", "http://host:70000/", false, "", "", 0, ""}),
+        UrlCase{"PortOutOfRange", "http://host:70000/", false, "", "", 0, ""},
+        UrlCase{"PortTrailingJunk", "http://host:8080x/", false, "", "", 0, ""},
+        UrlCase{"EmptyPort", "http://host:/", false, "", "", 0, ""},
+        UrlCase{"EmptyHostWithPort", "http://:8080/", false, "", "", 0, ""},
+        UrlCase{"NegativePort", "http://host:-1/", false, "", "", 0, ""},
+        UrlCase{"PortZero", "http://host:0/", false, "", "", 0, ""}),
     [](const auto& info) { return info.param.name; });
 
 TEST_P(UrlParse, ParsesOrRejects) {

@@ -299,6 +299,29 @@ TEST(Eventing, NonPushDeliveryModeFaults) {
   }
 }
 
+// Regression: non-numeric Expires used to reach std::stoll and escape as an
+// uncaught std::invalid_argument instead of faulting.
+TEST(Eventing, GarbageExpiresFaultsAtSubscribe) {
+  WseFixture fx;
+  soap::Envelope request;
+  soap::MessageInfo info;
+  info.target(soap::EndpointReference("http://s/Events"));
+  info.action = actions::kSubscribe;
+  info.message_id = "urn:test:garbage-expires";
+  request.write_addressing(info);
+  xml::Element& sub =
+      request.add_payload({soap::ns::kEventing, "Subscribe"});
+  xml::Element& delivery =
+      sub.append_element({soap::ns::kEventing, "Delivery"});
+  delivery.append(soap::EndpointReference("http://c/sink")
+                      .to_xml({soap::ns::kEventing, "NotifyTo"}));
+  sub.append_element({soap::ns::kEventing, "Expires"}).set_text("whenever");
+  soap::Envelope response = fx.caller->call("http://s/Events", request);
+  ASSERT_TRUE(response.is_fault());
+  EXPECT_EQ(response.fault().code, "Sender");
+  EXPECT_TRUE(fx.store.active(fx.clock.now()).empty());
+}
+
 TEST(Eventing, GetStatusReportsExpiry) {
   WseFixture fx;
   auto handle = fx.source_proxy().subscribe(

@@ -349,6 +349,31 @@ TEST(Notification, UnreachableConsumerDoesNotStarveOthers) {
   EXPECT_TRUE(fx.consumer.wait_for(1, 1000));
 }
 
+// Regression: a Subscribe whose InitialTerminationTime is not a number must
+// come back as a Sender fault — it used to reach std::stoll and escape as an
+// uncaught std::invalid_argument.
+TEST(Notification, GarbageInitialTerminationTimeFaults) {
+  WsnFixture fx;
+  xml::QName wsnt_q(soap::ns::kWsnBase, "Subscribe");
+  for (const char* bad : {"soon-ish", "", "120q", "12 34"}) {
+    soap::Envelope request;
+    soap::MessageInfo info;
+    info.target(soap::EndpointReference("http://p/Source"));
+    info.action = actions::kSubscribe;
+    info.message_id = "urn:test:garbage-itt";
+    request.write_addressing(info);
+    xml::Element& sub = request.add_payload(wsnt_q);
+    sub.append(soap::EndpointReference("http://c/sink")
+                   .to_xml({soap::ns::kWsnBase, "ConsumerReference"}));
+    sub.append_element({soap::ns::kWsnBase, "InitialTerminationTime"})
+        .set_text(bad);
+    soap::Envelope response = fx.caller->call("http://p/Source", request);
+    ASSERT_TRUE(response.is_fault()) << "no fault for '" << bad << "'";
+    EXPECT_EQ(response.fault().code, "Sender") << "for '" << bad << "'";
+  }
+  EXPECT_TRUE(fx.manager->subscriptions().empty());
+}
+
 // --- broker / demand-based publishing ---------------------------------------------------
 
 struct BrokerFixture {
