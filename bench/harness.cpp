@@ -4,6 +4,10 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "telemetry/event_log.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/trace.hpp"
+
 namespace gs::bench {
 
 // ---------------------------------------------------------------------------
@@ -87,6 +91,7 @@ void BenchTelemetry::write(const std::string& figure) const {
       if (h.count == 0) continue;
       out << (first ? "" : ", ") << "\n      \"" << json_escape(name)
           << "\": {\"count\": " << h.count << ", \"sum_us\": " << h.sum_us
+          << ", \"min_us\": " << h.min_us << ", \"max_us\": " << h.max_us
           << ", \"p50_us\": " << json_double(h.percentile(50))
           << ", \"p90_us\": " << json_double(h.percentile(90))
           << ", \"p99_us\": " << json_double(h.percentile(99)) << "}";
@@ -97,6 +102,17 @@ void BenchTelemetry::write(const std::string& figure) const {
   out << "\n]\n";
   std::printf("per-layer telemetry for %zu benchmarks written to %s\n",
               records_.size(), path.c_str());
+
+  // Post-mortem artifacts for the same figure: whatever the global trace
+  // ring still holds as a chrome://tracing file, and the structured event
+  // log (faults, evictions, retries) as text.
+  std::string trace_path = "BENCH_" + figure + ".trace.json";
+  std::ofstream(trace_path)
+      << telemetry::export_chrome_trace(telemetry::TraceLog::global().snapshot());
+  std::string events_path = "BENCH_" + figure + ".events.log";
+  std::ofstream(events_path) << telemetry::EventLog::global().to_text();
+  std::printf("trace written to %s, event log to %s\n", trace_path.c_str(),
+              events_path.c_str());
 }
 
 const char* stack_name(Stack stack) {

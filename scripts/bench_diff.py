@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare two sets of BENCH_*.json per-layer telemetry dumps.
+
+Usage:
+    scripts/bench_diff.py BASELINE_DIR CANDIDATE_DIR [--threshold 15]
+
+Matches BENCH_<figure>.json files by name, then benchmarks by name, then
+histograms (layers) by name, and compares p50_us. Exits nonzero when any
+layer's p50 regressed by more than the threshold (percent). Layers with
+fewer than MIN_COUNT samples in either run are reported but never fail the
+check — power-of-two-bucket percentiles on a handful of samples are noise.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+MIN_COUNT = 16
+
+
+def load_figures(directory):
+    figures = {}
+    for path in sorted(pathlib.Path(directory).glob("BENCH_*.json")):
+        if path.name.endswith(".trace.json"):
+            continue  # chrome trace dump, not a telemetry report
+        with open(path) as f:
+            figures[path.name] = {record["name"]: record for record in json.load(f)}
+    return figures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=15.0,
+        help="max allowed p50 regression per layer, percent (default 15)",
+    )
+    args = parser.parse_args()
+
+    base_figures = load_figures(args.baseline)
+    cand_figures = load_figures(args.candidate)
+    if not base_figures:
+        print(f"no BENCH_*.json under {args.baseline}", file=sys.stderr)
+        return 2
+
+    failures = []
+    compared = 0
+    for figure, base_records in sorted(base_figures.items()):
+        cand_records = cand_figures.get(figure)
+        if cand_records is None:
+            print(f"~ {figure}: missing from candidate, skipped")
+            continue
+        for bench, base_record in sorted(base_records.items()):
+            cand_record = cand_records.get(bench)
+            if cand_record is None:
+                print(f"~ {figure} {bench}: missing from candidate, skipped")
+                continue
+            base_hists = base_record.get("histograms", {})
+            cand_hists = cand_record.get("histograms", {})
+            for layer, base_h in sorted(base_hists.items()):
+                cand_h = cand_hists.get(layer)
+                if cand_h is None:
+                    continue
+                base_p50 = base_h.get("p50_us", 0.0)
+                cand_p50 = cand_h.get("p50_us", 0.0)
+                if base_p50 <= 0.0:
+                    continue
+                change = (cand_p50 - base_p50) / base_p50 * 100.0
+                compared += 1
+                noisy = (
+                    base_h.get("count", 0) < MIN_COUNT
+                    or cand_h.get("count", 0) < MIN_COUNT
+                )
+                tag = f"{figure} {bench} {layer}"
+                line = (
+                    f"{tag}: p50 {base_p50:.1f} -> {cand_p50:.1f} us "
+                    f"({change:+.1f}%)"
+                )
+                if change > args.threshold and not noisy:
+                    failures.append(line)
+                    print(f"! {line}")
+                elif change > args.threshold:
+                    print(f"~ {line} [low-count, ignored]")
+                else:
+                    print(f"  {line}")
+
+    print(f"\ncompared {compared} layer p50s, {len(failures)} regressions "
+          f"over {args.threshold:.0f}%")
+    if failures:
+        print("\nREGRESSIONS:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

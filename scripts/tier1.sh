@@ -1,23 +1,47 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite.
 #   $ scripts/tier1.sh [build-dir]
-# Opt-in sanitizers (ASan + UBSan, Debug config, separate build dir):
-#   $ SANITIZE=1 scripts/tier1.sh
+# Opt-in sanitizers (Debug config, separate build dir per mode):
+#   $ SANITIZE=1 scripts/tier1.sh       # ASan + UBSan, full suite
+#   $ SANITIZE=tsan scripts/tier1.sh    # TSan, concurrency-heavy suites only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-if [[ "${SANITIZE:-0}" == "1" ]]; then
-  BUILD_DIR="${1:-build-asan}"
-  SAN_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
+TSAN_ONLY=0
+case "${SANITIZE:-0}" in
+  1)
+    BUILD_DIR="${1:-build-asan}"
+    SAN_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
+    ;;
+  tsan)
+    BUILD_DIR="${1:-build-tsan}"
+    SAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+    TSAN_ONLY=1
+    ;;
+  *)
+    BUILD_DIR="${1:-build}"
+    SAN_FLAGS=""
+    ;;
+esac
+
+if [[ -n "$SAN_FLAGS" ]]; then
   cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
     -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
 else
-  BUILD_DIR="${1:-build}"
   cmake -B "$BUILD_DIR" -S .
 fi
 
 cmake --build "$BUILD_DIR" -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+if [[ "$TSAN_ONLY" == "1" ]]; then
+  # Thread sanitizer runs the suites that exercise shared state under
+  # threads: telemetry (sharded counters, span/event rings, monitor
+  # pub/sub) and reliability (delivery queues + pools under faults).
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
+    -R 'telemetry|reliability|monitor'
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+fi

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "telemetry/event_log.hpp"
 #include "telemetry/propagation.hpp"
 #include "telemetry/trace.hpp"
 
@@ -72,6 +73,9 @@ soap::Envelope Container::process(const soap::Envelope& request,
   Service* service = service_at(path);
   if (!service) {
     c_faults_->add();
+    telemetry::EventLog::global().emit(
+        telemetry::Level::kWarn, "container", "fault: no service deployed",
+        {{"path", path}});
     h_dispatch_us_->record(elapsed_us(dispatch_started));
     return soap::Envelope::make_fault(
         {"Sender", "no service deployed at " + path, "", ""});
@@ -92,6 +96,10 @@ soap::Envelope Container::process(const soap::Envelope& request,
     } catch (const security::SecurityError& e) {
       h_security_us_->record(elapsed_us(security_started));
       c_faults_->add();
+      telemetry::EventLog::global().emit(
+          telemetry::Level::kWarn, "container",
+          "fault: security policy rejected request",
+          {{"path", path}, {"error", e.what()}});
       h_dispatch_us_->record(elapsed_us(dispatch_started));
       soap::Envelope fault = soap::Envelope::make_fault(
           {"Sender", std::string("security policy rejected request: ") + e.what(),
@@ -108,7 +116,13 @@ soap::Envelope Container::process(const soap::Envelope& request,
     response = service->dispatch(ctx);
     h_handler_us_->record(elapsed_us(handler_started));
   }
-  if (response.is_fault()) c_faults_->add();
+  if (response.is_fault()) {
+    c_faults_->add();
+    const soap::Fault& fault = response.fault();
+    telemetry::EventLog::global().emit(
+        telemetry::Level::kWarn, "container", "fault returned by handler",
+        {{"path", path}, {"code", fault.code}, {"reason", fault.reason}});
+  }
 
   // Response passes back through the security handler (digital signature).
   if (config_.security == SecurityMode::kX509) {

@@ -45,6 +45,25 @@ bool DeliveryQueue::deliver(const std::string& destination,
   return ok;
 }
 
+void DeliveryQueue::dead_letter_event(const std::string& destination,
+                                      const char* reason) {
+  if (!config_.events) return;
+  config_.events->emit(telemetry::Level::kWarn, config_.component,
+                       "message dead-lettered",
+                       {{"destination", destination}, {"reason", reason}});
+}
+
+void DeliveryQueue::eviction_event(const std::string& destination,
+                                   std::size_t dropped) {
+  if (!config_.events) return;
+  config_.events->emit(
+      telemetry::Level::kError, config_.component, "destination evicted",
+      {{"destination", destination},
+       {"consecutive_failures",
+        std::to_string(config_.evict_after_consecutive_failures)},
+       {"backlog_dropped", std::to_string(dropped)}});
+}
+
 std::size_t DeliveryQueue::evict_locked(Route& route) {
   route.evicted = true;
   std::size_t dropped = route.backlog.size();
@@ -61,14 +80,19 @@ DeliveryQueue::Submit DeliveryQueue::submit(const std::string& destination,
   if (!config_.pool) {
     // Inline mode: one call sequence on the submitting thread.
     bool evict_now = false;
+    bool rejected_evicted = false;
     {
       std::lock_guard lock(mu_);
       Route& route = routes_[destination];
       if (route.evicted) {
         ++dead_lettered_;
         if (config_.dead_letters) config_.dead_letters->add();
-        return Submit::kRejected;
+        rejected_evicted = true;
       }
+    }
+    if (rejected_evicted) {
+      dead_letter_event(destination, "destination evicted");
+      return Submit::kRejected;
     }
     bool ok = deliver(destination, envelope);
     {
@@ -87,11 +111,16 @@ DeliveryQueue::Submit DeliveryQueue::submit(const std::string& destination,
         evict_now = true;
       }
     }
-    if (evict_now && config_.on_evict) config_.on_evict(destination);
+    dead_letter_event(destination, "delivery failed");
+    if (evict_now) {
+      eviction_event(destination, 0);
+      if (config_.on_evict) config_.on_evict(destination);
+    }
     return Submit::kRejected;
   }
 
   bool start_drain = false;
+  const char* reject_reason = nullptr;
   {
     std::lock_guard lock(mu_);
     if (stopping_) return Submit::kRejected;
@@ -100,13 +129,18 @@ DeliveryQueue::Submit DeliveryQueue::submit(const std::string& destination,
         route.backlog.size() >= config_.max_queued_per_destination) {
       ++dead_lettered_;
       if (config_.dead_letters) config_.dead_letters->add();
-      return Submit::kRejected;
+      reject_reason = route.evicted ? "destination evicted" : "backlog full";
+    } else {
+      route.backlog.push_back(std::move(envelope));
+      if (!route.draining) {
+        route.draining = true;
+        start_drain = true;
+      }
     }
-    route.backlog.push_back(std::move(envelope));
-    if (!route.draining) {
-      route.draining = true;
-      start_drain = true;
-    }
+  }
+  if (reject_reason) {
+    dead_letter_event(destination, reject_reason);
+    return Submit::kRejected;
   }
   if (start_drain) {
     config_.pool->submit([this, destination] { drain(destination); });
@@ -130,6 +164,7 @@ void DeliveryQueue::drain(const std::string& destination) {
     }
     bool ok = deliver(destination, envelope);
     bool evict_now = false;
+    std::size_t dropped = 0;
     {
       std::lock_guard lock(mu_);
       Route& route = routes_[destination];
@@ -142,12 +177,16 @@ void DeliveryQueue::drain(const std::string& destination) {
         if (config_.evict_after_consecutive_failures > 0 && !route.evicted &&
             route.consecutive_failures >=
                 config_.evict_after_consecutive_failures) {
-          evict_locked(route);
+          dropped = evict_locked(route);
           evict_now = true;
         }
       }
     }
-    if (evict_now && config_.on_evict) config_.on_evict(destination);
+    if (!ok) dead_letter_event(destination, "delivery failed");
+    if (evict_now) {
+      eviction_event(destination, dropped);
+      if (config_.on_evict) config_.on_evict(destination);
+    }
   }
 }
 
@@ -178,6 +217,15 @@ void DeliveryQueue::reinstate(const std::string& destination) {
 std::uint64_t DeliveryQueue::dead_lettered() const {
   std::lock_guard lock(mu_);
   return dead_lettered_;
+}
+
+std::size_t DeliveryQueue::queued() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [destination, route] : routes_) {
+    total += route.backlog.size();
+  }
+  return total;
 }
 
 }  // namespace gs::net

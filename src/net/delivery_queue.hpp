@@ -24,6 +24,7 @@
 
 #include "common/threadpool.hpp"
 #include "net/virtual_network.hpp"
+#include "telemetry/event_log.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace gs::net {
@@ -52,6 +53,10 @@ class DeliveryQueue {
     telemetry::Counter* dead_letters = nullptr;
     /// Invoked (outside queue locks) when a destination is evicted.
     std::function<void(const std::string& destination)> on_evict;
+    /// Structured event sink for evictions and dead-letter drops (optional);
+    /// events are tagged with `component` ("wsn.delivery", "wse.delivery").
+    telemetry::EventLog* events = nullptr;
+    std::string component = "delivery";
   };
 
   enum class Submit {
@@ -81,6 +86,9 @@ class DeliveryQueue {
   void reinstate(const std::string& destination);
 
   std::uint64_t dead_lettered() const;
+  /// Total messages currently waiting across all destinations — the queue
+  /// depth reported by the monitoring layer's health section.
+  std::size_t queued() const;
 
  private:
   struct Route {
@@ -92,6 +100,10 @@ class DeliveryQueue {
 
   /// One call sequence; returns success. Never throws.
   bool deliver(const std::string& destination, const soap::Envelope& envelope);
+  // Structured-event emitters; call outside mu_ (EventLog has its own lock,
+  // and attrs formatting shouldn't extend the queue's critical sections).
+  void dead_letter_event(const std::string& destination, const char* reason);
+  void eviction_event(const std::string& destination, std::size_t dropped);
   void drain(const std::string& destination);
   /// Marks evicted, dead-letters the backlog; returns messages dropped.
   /// Caller holds mu_.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <thread>
 
+#include "telemetry/event_log.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace gs::net {
@@ -58,9 +59,14 @@ soap::Envelope RetryingCaller::call(const std::string& address,
       soap::Envelope response = inner_.call(address, request);
       if (attempt > 1) recovered.add();
       return response;
-    } catch (const NetworkError&) {
+    } catch (const NetworkError& err) {
       if (attempt >= policy_.max_attempts) {
         exhausted.add();
+        telemetry::EventLog::global().emit(
+            telemetry::Level::kWarn, "net.retry", "retry budget exhausted",
+            {{"address", address},
+             {"attempts", std::to_string(attempt)},
+             {"last_error", err.what()}});
         throw;
       }
       common::TimeMs delay;
@@ -71,6 +77,12 @@ soap::Envelope RetryingCaller::call(const std::string& address,
       if (policy_.call_timeout_ms > 0 &&
           clock_->now() - started + delay >= policy_.call_timeout_ms) {
         exhausted.add();
+        telemetry::EventLog::global().emit(
+            telemetry::Level::kWarn, "net.retry", "retry time budget exhausted",
+            {{"address", address},
+             {"attempts", std::to_string(attempt)},
+             {"budget_ms", std::to_string(policy_.call_timeout_ms)},
+             {"last_error", err.what()}});
         throw;
       }
       sleeper_(delay);

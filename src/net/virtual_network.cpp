@@ -4,6 +4,8 @@
 
 #include "common/clock.hpp"
 #include "common/encoding.hpp"
+#include "security/cert.hpp"
+#include "telemetry/event_log.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -90,6 +92,10 @@ void VirtualNetwork::apply_faults(const std::string& authority,
   }
   if (fail) {
     injected.add();
+    telemetry::EventLog::global().emit(
+        telemetry::Level::kWarn, "net.fabric", "injected fault",
+        {{"authority", authority},
+         {"kind", why[0] == 'p' ? "partition" : "drop"}});
     throw NetworkError(std::string(why) + authority);
   }
 }
@@ -203,9 +209,17 @@ std::string VirtualCaller::exchange_octets(const Url& url,
         if (!options_.anchor) {
           throw NetworkError("https transport requires a trust anchor");
         }
-        security::TlsHandshake hs = security::TlsHandshake::run(
-            *options_.anchor, session_cache_, *cred, authority,
-            common::RealClock::instance().now(), rng_);
+        security::TlsHandshake hs;
+        try {
+          hs = security::TlsHandshake::run(
+              *options_.anchor, session_cache_, *cred, authority,
+              common::RealClock::instance().now(), rng_);
+        } catch (const security::SecurityError& err) {
+          telemetry::EventLog::global().emit(
+              telemetry::Level::kError, "net.tls", "TLS handshake failed",
+              {{"authority", authority}, {"error", err.what()}});
+          throw;
+        }
         if (options_.meter) {
           options_.meter->add_handshake();
           // Handshake wire cost: round trips plus the octets moved.

@@ -1,0 +1,144 @@
+#include "telemetry/event_log.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "telemetry/trace.hpp"
+
+namespace gs::telemetry {
+
+namespace {
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::string format_event(const Event& event) {
+  std::ostringstream out;
+  out << event.ts_us << "us " << level_name(event.level) << " ["
+      << event.component << "] " << event.message;
+  if (!event.attrs.empty()) {
+    out << " {";
+    bool first = true;
+    for (const auto& [key, value] : event.attrs) {
+      if (!first) out << ", ";
+      first = false;
+      out << key << '=' << value;
+    }
+    out << '}';
+  }
+  if (event.trace_id != 0) {
+    out << " trace=" << std::hex << event.trace_id << std::dec;
+  }
+  return out.str();
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), start_us_(steady_now_us()) {
+  ring_.reserve(capacity_);
+}
+
+void EventLog::log(Event event) {
+  level_counts_[static_cast<std::size_t>(event.level)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (event.level < min_level_.load(std::memory_order_relaxed)) return;
+  std::lock_guard lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+    wrapped_ = true;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+void EventLog::emit(Level level, std::string component, std::string message,
+                    std::vector<std::pair<std::string, std::string>> attrs) {
+  Event event;
+  event.ts_us = steady_now_us();
+  event.level = level;
+  event.component = std::move(component);
+  event.message = std::move(message);
+  event.trace_id = current_context().trace_id;
+  event.attrs = std::move(attrs);
+  log(std::move(event));
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  std::size_t start = wrapped_ ? next_ : 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<Event> EventLog::recent(std::size_t n, Level min_level) const {
+  std::vector<Event> all = snapshot();
+  std::vector<Event> out;
+  // Walk newest-to-oldest collecting matches, then restore oldest-first.
+  for (auto it = all.rbegin(); it != all.rend() && out.size() < n; ++it) {
+    if (it->level >= min_level) out.push_back(std::move(*it));
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t EventLog::count(Level level) const {
+  return level_counts_[static_cast<std::size_t>(level)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t EventLog::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard lock(mu_);
+  return ring_.size();
+}
+
+void EventLog::set_min_level(Level level) {
+  min_level_.store(level, std::memory_order_relaxed);
+}
+
+void EventLog::clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+}
+
+std::string EventLog::to_text() const {
+  std::string out;
+  for (const Event& event : snapshot()) {
+    out += format_event(event);
+    out += '\n';
+  }
+  return out;
+}
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  return log;
+}
+
+}  // namespace gs::telemetry

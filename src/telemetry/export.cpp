@@ -1,0 +1,165 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace gs::telemetry {
+
+namespace {
+
+// Stable layer → Chrome pid mapping so the same layer lands on the same
+// track across exports; unknown layers are assigned after the known ones
+// in order of first appearance.
+int pid_for_layer(const std::string& layer,
+                  std::map<std::string, int>& assigned) {
+  static const std::map<std::string, int> kWellKnown = {
+      {"client", 1},    {"net", 2},     {"container", 3},
+      {"storage", 4},   {"delivery", 5}};
+  auto well_known = kWellKnown.find(layer);
+  if (well_known != kWellKnown.end()) return well_known->second;
+  auto it = assigned.find(layer);
+  if (it != assigned.end()) return it->second;
+  int next = static_cast<int>(kWellKnown.size()) + 1 +
+             static_cast<int>(assigned.size());
+  assigned.emplace(layer, next);
+  return next;
+}
+
+void append_json_string(std::string& out, const std::string& raw) {
+  out += '"';
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string hex_id(std::uint64_t id) {
+  std::ostringstream out;
+  out << std::hex << id;
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<TraceTree> assemble_traces(const std::vector<SpanRecord>& spans) {
+  std::vector<TraceTree> trees;
+  std::map<std::uint64_t, std::size_t> tree_index;  // trace_id -> trees slot
+  for (const SpanRecord& span : spans) {
+    auto [it, fresh] = tree_index.try_emplace(span.trace_id, trees.size());
+    if (fresh) {
+      trees.emplace_back();
+      trees.back().trace_id = span.trace_id;
+    }
+    trees[it->second].spans.push_back(span);
+  }
+  for (TraceTree& tree : trees) {
+    tree.children.resize(tree.spans.size());
+    std::map<std::uint64_t, std::size_t> by_span_id;
+    for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+      by_span_id[tree.spans[i].span_id] = i;
+    }
+    for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+      auto parent = by_span_id.find(tree.spans[i].parent_span_id);
+      if (tree.spans[i].parent_span_id != 0 && parent != by_span_id.end()) {
+        tree.children[parent->second].push_back(i);
+      } else {
+        tree.roots.push_back(i);
+      }
+    }
+  }
+  return trees;
+}
+
+std::string export_chrome_trace(const std::vector<SpanRecord>& spans) {
+  std::map<std::string, int> extra_layers;
+  std::map<std::uint64_t, int> trace_tids;
+  std::map<int, std::string> process_names;
+
+  std::string events;
+  for (const SpanRecord& span : spans) {
+    int pid = pid_for_layer(span.layer, extra_layers);
+    process_names.emplace(pid, span.layer);
+    int tid =
+        trace_tids.try_emplace(span.trace_id,
+                               static_cast<int>(trace_tids.size()) + 1)
+            .first->second;
+    if (!events.empty()) events += ",\n";
+    events += R"({"ph":"X","name":)";
+    append_json_string(events, span.name);
+    events += R"(,"cat":)";
+    append_json_string(events, span.layer);
+    events += ",\"ts\":" + std::to_string(span.start_us);
+    events += ",\"dur\":" + std::to_string(span.duration_us);
+    events += ",\"pid\":" + std::to_string(pid);
+    events += ",\"tid\":" + std::to_string(tid);
+    // Ids as hex strings: uint64 doesn't survive a round trip through
+    // JSON doubles.
+    events += R"(,"args":{"trace":")" + hex_id(span.trace_id);
+    events += R"(","span":")" + hex_id(span.span_id);
+    events += R"(","parent":")" + hex_id(span.parent_span_id);
+    events += "\"}}";
+  }
+  for (const auto& [pid, layer] : process_names) {
+    if (!events.empty()) events += ",\n";
+    events += R"({"ph":"M","name":"process_name","pid":)" +
+              std::to_string(pid) + R"(,"tid":0,"args":{"name":)";
+    append_json_string(events, layer);
+    events += "}}";
+  }
+  return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n" + events + "\n]}\n";
+}
+
+std::string critical_path_summary(const TraceTree& tree) {
+  std::ostringstream out;
+  for (std::size_t root : tree.roots) {
+    std::size_t node = root;
+    for (;;) {
+      const SpanRecord& span = tree.spans[node];
+      // Self time: the span's duration minus time covered by children.
+      std::int64_t child_time = 0;
+      for (std::size_t child : tree.children[node]) {
+        child_time += tree.spans[child].duration_us;
+      }
+      std::int64_t self = std::max<std::int64_t>(0, span.duration_us - child_time);
+      out << "  " << span.name << " [" << span.layer << "] "
+          << span.duration_us << "us (self " << self << "us)\n";
+      // Descend into the child that finished last — the one the parent's
+      // wall time actually waited for.
+      const std::vector<std::size_t>& kids = tree.children[node];
+      if (kids.empty()) break;
+      node = *std::max_element(
+          kids.begin(), kids.end(), [&](std::size_t a, std::size_t b) {
+            return tree.spans[a].start_us + tree.spans[a].duration_us <
+                   tree.spans[b].start_us + tree.spans[b].duration_us;
+          });
+    }
+  }
+  return out.str();
+}
+
+std::string critical_path_report(const std::vector<SpanRecord>& spans) {
+  std::string out;
+  for (const TraceTree& tree : assemble_traces(spans)) {
+    out += "trace " + hex_id(tree.trace_id) + ":\n";
+    out += critical_path_summary(tree);
+  }
+  return out;
+}
+
+}  // namespace gs::telemetry

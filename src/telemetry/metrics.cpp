@@ -33,6 +33,8 @@ HistogramSnapshot Histogram::snapshot() const {
     snap.count += snap.buckets[i];
   }
   snap.sum_us = sum_us_.load(std::memory_order_relaxed);
+  snap.min_us = min_us_.load(std::memory_order_relaxed);
+  snap.max_us = max_us_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -63,6 +65,8 @@ double HistogramSnapshot::percentile(double p) const {
 HistogramSnapshot& HistogramSnapshot::operator-=(const HistogramSnapshot& earlier) {
   count -= earlier.count;
   sum_us -= earlier.sum_us;
+  // min/max stay as-is: extremes are lifetime levels (the bucket counts
+  // can't reconstruct an interval's true extremes after subtraction).
   for (unsigned i = 0; i < kBuckets; ++i) buckets[i] -= earlier.buckets[i];
   return *this;
 }
@@ -126,6 +130,8 @@ std::string MetricsRegistry::to_text() const {
   for (const auto& [name, h] : snap.histograms) {
     out += name + " count=" + std::to_string(h.count) +
            " sum_us=" + std::to_string(h.sum_us) +
+           " min_us=" + std::to_string(h.count == 0 ? 0 : h.min_us) +
+           " max_us=" + std::to_string(h.max_us) +
            " p50=" + std::to_string(h.percentile(50)) +
            " p90=" + std::to_string(h.percentile(90)) +
            " p99=" + std::to_string(h.percentile(99)) + "\n";

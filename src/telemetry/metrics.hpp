@@ -66,6 +66,11 @@ struct HistogramSnapshot {
 
   std::uint64_t count = 0;
   std::uint64_t sum_us = 0;
+  /// Exact smallest/largest recorded samples over the histogram's LIFETIME
+  /// (not the subtraction interval: like gauges, extremes are levels —
+  /// `operator-=` keeps the later values). min_us is UINT64_MAX when empty.
+  std::uint64_t min_us = UINT64_MAX;
+  std::uint64_t max_us = 0;
   std::array<std::uint64_t, kBuckets> buckets{};
 
   /// Percentile estimate in microseconds (p in [0, 100]): nearest-rank
@@ -85,11 +90,28 @@ class Histogram {
   void record(std::uint64_t us) noexcept {
     buckets_[bucket_index(us)].fetch_add(1, std::memory_order_relaxed);
     sum_us_.fetch_add(us, std::memory_order_relaxed);
+    // Exact extremes: power-of-two buckets alone can hide a single-outlier
+    // spike (p99 stays put; max jumps), and the alerting rules need max.
+    std::uint64_t seen = min_us_.load(std::memory_order_relaxed);
+    while (us < seen &&
+           !min_us_.compare_exchange_weak(seen, us, std::memory_order_relaxed)) {
+    }
+    seen = max_us_.load(std::memory_order_relaxed);
+    while (us > seen &&
+           !max_us_.compare_exchange_weak(seen, us, std::memory_order_relaxed)) {
+    }
   }
 
   std::uint64_t count() const noexcept;
   std::uint64_t sum_us() const noexcept {
     return sum_us_.load(std::memory_order_relaxed);
+  }
+  /// Smallest recorded sample; UINT64_MAX before the first record().
+  std::uint64_t min_us() const noexcept {
+    return min_us_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_us() const noexcept {
+    return max_us_.load(std::memory_order_relaxed);
   }
   double percentile(double p) const { return snapshot().percentile(p); }
 
@@ -104,6 +126,8 @@ class Histogram {
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> min_us_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_us_{0};
 };
 
 /// Everything in a registry at one instant. Supports subtraction so the
@@ -131,8 +155,8 @@ class MetricsRegistry {
   MetricsSnapshot snapshot() const;
 
   /// Plain-text dump, one metric per line (`name value`, histograms as
-  /// `name count=N sum_us=S p50=.. p90=.. p99=..`) — the bench harness's
-  /// and humans' view of the registry.
+  /// `name count=N sum_us=S min_us=.. max_us=.. p50=.. p90=.. p99=..`) —
+  /// the bench harness's and humans' view of the registry.
   std::string to_text() const;
 
   /// Process-wide registry the built-in instrumentation writes to.

@@ -1,0 +1,312 @@
+#include "telemetry/monitor.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "soap/namespaces.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/propagation.hpp"
+#include "wse/client.hpp"
+#include "wsn/client.hpp"
+
+namespace gs::telemetry {
+
+namespace {
+
+xml::QName t(const char* local) { return {kTelemetryNs, local}; }
+xml::QName wsnt(const char* local) { return {soap::ns::kWsnBase, local}; }
+
+std::string format_us(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", us);
+  return buf;
+}
+
+std::uint64_t parse_u64(const std::optional<std::string>& raw) {
+  return raw ? std::strtoull(raw->c_str(), nullptr, 10) : 0;
+}
+
+}  // namespace
+
+std::string snapshot_action() {
+  return std::string(kTelemetryNs) + "/Snapshot";
+}
+
+std::string alert_action() { return std::string(kTelemetryNs) + "/Alert"; }
+
+wsn::TopicNamespace monitor_topics() {
+  wsn::TopicNamespace topics;
+  topics.add(kAlertTopic);  // intermediates register kTelemetryTopic too
+  return topics;
+}
+
+MonitorProducer::MonitorProducer(Config config) : config_(std::move(config)) {
+  if (!config_.registry) {
+    throw std::invalid_argument("MonitorProducer needs a registry");
+  }
+}
+
+void MonitorProducer::add_rule(AlertRule rule) {
+  std::lock_guard lock(mu_);
+  rules_.push_back(std::move(rule));
+  rule_breached_.push_back(false);
+}
+
+void MonitorProducer::tick() {
+  std::unique_ptr<xml::Element> snapshot_el;
+  std::vector<std::unique_ptr<xml::Element>> alert_els;
+  {
+    std::lock_guard lock(mu_);
+    MetricsSnapshot now_snap = config_.registry->snapshot();
+    MetricsSnapshot d = delta(last_, now_snap);
+    last_ = std::move(now_snap);
+    ++seq_;
+    last_cycle_ = config_.clock->now();
+
+    snapshot_el = std::make_unique<xml::Element>(t("TelemetrySnapshot"));
+    snapshot_el->declare_prefix("t", kTelemetryNs);
+    snapshot_el->set_attr("producer", config_.producer_address);
+    snapshot_el->set_attr("seq", std::to_string(seq_));
+    snapshot_el->set_attr("ts_ms", std::to_string(*last_cycle_));
+    for (const auto& [name, value] : d.counters) {
+      xml::Element& el = snapshot_el->append_element(t("Counter"));
+      el.set_attr("name", name);
+      el.set_attr("total", std::to_string(last_.counters.at(name)));
+      el.set_text(std::to_string(value));  // this tick's increments
+    }
+    for (const auto& [name, value] : d.gauges) {
+      xml::Element& el = snapshot_el->append_element(t("Gauge"));
+      el.set_attr("name", name);
+      el.set_text(std::to_string(value));
+    }
+    for (const auto& [name, h] : d.histograms) {
+      xml::Element& el = snapshot_el->append_element(t("Histogram"));
+      el.set_attr("name", name);
+      el.set_attr("count", std::to_string(h.count));
+      el.set_attr("sum_us", std::to_string(h.sum_us));
+      el.set_attr("min_us", std::to_string(h.count == 0 ? 0 : h.min_us));
+      el.set_attr("max_us", std::to_string(h.max_us));
+      el.set_attr("p50_us", format_us(h.percentile(50)));
+      el.set_attr("p90_us", format_us(h.percentile(90)));
+      el.set_attr("p99_us", format_us(h.percentile(99)));
+    }
+
+    // Threshold rules fire edge-triggered: one alert when a rule starts
+    // breaching, re-armed only after a clean tick — a stuck-high metric
+    // does not flood subscribers with one alert per interval.
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      const AlertRule& rule = rules_[i];
+      double value = 0.0;
+      switch (rule.kind) {
+        case AlertRule::Kind::kCounterRate: {
+          auto it = d.counters.find(rule.metric);
+          value = it == d.counters.end() ? 0.0
+                                         : static_cast<double>(it->second);
+          break;
+        }
+        case AlertRule::Kind::kHistogramP99: {
+          auto it = d.histograms.find(rule.metric);
+          value = (it == d.histograms.end() || it->second.count == 0)
+                      ? 0.0
+                      : it->second.percentile(99);
+          break;
+        }
+      }
+      bool breached = value > rule.threshold;
+      if (breached && !rule_breached_[i]) {
+        auto alert = std::make_unique<xml::Element>(t("Alert"));
+        alert->declare_prefix("t", kTelemetryNs);
+        alert->set_attr("producer", config_.producer_address);
+        alert->set_attr("rule", rule.name);
+        alert->set_attr("metric", rule.metric);
+        alert->set_attr("value", format_us(value));
+        alert->set_attr("threshold", format_us(rule.threshold));
+        alert->set_attr("seq", std::to_string(seq_));
+        alert->set_text("rule '" + rule.name + "' breached: " + rule.metric +
+                        " = " + format_us(value) + " > " +
+                        format_us(rule.threshold));
+        alert_els.push_back(std::move(alert));
+        ++alerts_fired_;
+      }
+      rule_breached_[i] = breached;
+    }
+  }
+
+  // Publishing happens outside mu_: delivery may block on retries, and it
+  // records into the very registry the next tick will snapshot.
+  publish(kTelemetryTopic, *snapshot_el, snapshot_action());
+  for (const auto& alert : alert_els) {
+    EventLog::global().emit(
+        Level::kWarn, "telemetry.monitor", "alert fired",
+        {{"producer", config_.producer_address},
+         {"rule", *alert->attr("rule")},
+         {"metric", *alert->attr("metric")},
+         {"value", *alert->attr("value")}});
+    publish(kAlertTopic, *alert, alert_action());
+  }
+}
+
+bool MonitorProducer::poll() {
+  {
+    std::lock_guard lock(mu_);
+    if (last_cycle_ &&
+        config_.clock->now() - *last_cycle_ < config_.interval_ms) {
+      return false;
+    }
+  }
+  tick();
+  return true;
+}
+
+std::uint64_t MonitorProducer::snapshots_published() const {
+  std::lock_guard lock(mu_);
+  return seq_;
+}
+
+std::uint64_t MonitorProducer::alerts_fired() const {
+  std::lock_guard lock(mu_);
+  return alerts_fired_;
+}
+
+void MonitorProducer::publish(const std::string& topic,
+                              const xml::Element& payload,
+                              const std::string& action) {
+  if (config_.wsn) config_.wsn->notify(topic, payload);
+  if (config_.wse) config_.wse->notify(topic, payload, action);
+}
+
+net::HttpResponse MonitorConsumer::handle(const net::HttpRequest& request) {
+  soap::Envelope env;
+  try {
+    env = soap::Envelope::from_xml(request.body);
+  } catch (const std::exception& e) {
+    return net::HttpResponse::error(400, "Bad Request", e.what());
+  }
+
+  const xml::Element* payload = env.payload();
+  bool wrapped = false;
+  if (payload && payload->name() == wsnt("Notify")) {
+    // WS-Notification wrapped delivery: unwrap to the carried message.
+    wrapped = true;
+    payload = nullptr;
+    if (const xml::Element* message =
+            env.payload()->child(wsnt("NotificationMessage"))) {
+      if (const xml::Element* body = message->child(wsnt("Message"))) {
+        auto kids = body->child_elements();
+        if (!kids.empty()) payload = kids.front();
+      }
+    }
+  }
+
+  if (payload && payload->name() == t("TelemetrySnapshot")) {
+    apply_snapshot(*payload, wrapped);
+  } else if (payload && payload->name() == t("Alert")) {
+    apply_alert(*payload, wrapped);
+  }
+  // Everything else (SubscriptionEnd, unknown events) is acknowledged and
+  // dropped — a monitor must not fault its producers.
+  return net::HttpResponse::ok(soap::Envelope().to_xml());
+}
+
+void MonitorConsumer::apply_snapshot(const xml::Element& snapshot,
+                                     bool wrapped) {
+  std::string producer = snapshot.attr("producer").value_or("");
+  {
+    std::lock_guard lock(mu_);
+    ProducerState& state = table_[producer];
+    state.producer = producer;
+    state.last_seq = std::max(state.last_seq, parse_u64(snapshot.attr("seq")));
+    ++state.snapshots;
+    ++(wrapped ? state.via_wsn : state.via_wse);
+    for (const xml::Element* el : snapshot.child_elements()) {
+      auto name = el->attr("name");
+      if (!name) continue;
+      if (el->name() == t("Counter")) {
+        state.counter_totals[*name] = parse_u64(el->attr("total"));
+      } else if (el->name() == t("Gauge")) {
+        state.gauges[*name] = std::strtoll(el->text().c_str(), nullptr, 10);
+      } else if (el->name() == t("Histogram")) {
+        if (auto p99 = el->attr("p99_us")) {
+          state.histogram_p99_us[*name] =
+              std::strtod(p99->c_str(), nullptr);
+        }
+      }
+    }
+    ++snapshots_seen_;
+  }
+  cv_.notify_all();
+}
+
+void MonitorConsumer::apply_alert(const xml::Element& alert, bool wrapped) {
+  std::string producer = alert.attr("producer").value_or("");
+  {
+    std::lock_guard lock(mu_);
+    ProducerState& state = table_[producer];
+    state.producer = producer;
+    ++state.alerts;
+    ++(wrapped ? state.via_wsn : state.via_wse);
+    state.last_alert = alert.attr("rule").value_or("");
+    ++alerts_seen_;
+  }
+  cv_.notify_all();
+}
+
+std::vector<MonitorConsumer::ProducerState> MonitorConsumer::states() const {
+  std::lock_guard lock(mu_);
+  std::vector<ProducerState> out;
+  out.reserve(table_.size());
+  for (const auto& [producer, state] : table_) out.push_back(state);
+  return out;
+}
+
+std::optional<MonitorConsumer::ProducerState> MonitorConsumer::state_for(
+    const std::string& producer) const {
+  std::lock_guard lock(mu_);
+  auto it = table_.find(producer);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t MonitorConsumer::snapshot_count() const {
+  std::lock_guard lock(mu_);
+  return snapshots_seen_;
+}
+
+std::uint64_t MonitorConsumer::alert_count() const {
+  std::lock_guard lock(mu_);
+  return alerts_seen_;
+}
+
+bool MonitorConsumer::wait_for_snapshots(std::uint64_t n,
+                                         int timeout_ms) const {
+  std::unique_lock lock(mu_);
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [&] { return snapshots_seen_ >= n; });
+}
+
+soap::EndpointReference MonitorConsumer::subscribe_wsn(
+    net::SoapCaller& caller, const std::string& producer_address,
+    const std::string& consumer_address) {
+  wsn::NotificationProducerProxy proxy(
+      caller, soap::EndpointReference(producer_address));
+  wsn::Filter filter;
+  // Simple dialect: the root topic matches its whole subtree, so one
+  // subscription carries both snapshots and alerts.
+  filter.set_topic(wsn::TopicExpression::parse(
+      wsn::TopicExpression::Dialect::kSimple, kTelemetryTopic));
+  return proxy.subscribe(soap::EndpointReference(consumer_address), filter);
+}
+
+soap::EndpointReference MonitorConsumer::subscribe_wse(
+    net::SoapCaller& caller, const std::string& source_address,
+    const std::string& consumer_address) {
+  wse::EventSourceProxy proxy(caller,
+                              soap::EndpointReference(source_address));
+  // No filter: the wse topic filter is an exact string match, which would
+  // miss `gs:Telemetry/Alert` — a monitor wants everything anyway.
+  auto handle =
+      proxy.subscribe(soap::EndpointReference(consumer_address));
+  return handle.manager;
+}
+
+}  // namespace gs::telemetry

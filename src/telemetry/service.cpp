@@ -1,5 +1,6 @@
 #include "telemetry/service.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 
@@ -27,10 +28,17 @@ std::string format_us(double us) {
   return buf;
 }
 
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 std::unique_ptr<xml::Element> telemetry_document(const MetricsRegistry& registry,
-                                                const TraceLog& log) {
+                                                const TraceLog& log,
+                                                const EventLog* events) {
   auto root = std::make_unique<xml::Element>(t("Telemetry"));
   root->declare_prefix("t", kTelemetryNs);
 
@@ -50,6 +58,8 @@ std::unique_ptr<xml::Element> telemetry_document(const MetricsRegistry& registry
     el.set_attr("name", name);
     el.set_attr("count", std::to_string(h.count));
     el.set_attr("sum_us", std::to_string(h.sum_us));
+    el.set_attr("min_us", std::to_string(h.count == 0 ? 0 : h.min_us));
+    el.set_attr("max_us", std::to_string(h.max_us));
     el.set_attr("p50_us", format_us(h.percentile(50)));
     el.set_attr("p90_us", format_us(h.percentile(90)));
     el.set_attr("p99_us", format_us(h.percentile(99)));
@@ -73,15 +83,67 @@ std::unique_ptr<xml::Element> telemetry_document(const MetricsRegistry& registry
       span_el.set_attr("duration_us", std::to_string(span.duration_us));
     }
   }
+
+  if (events) {
+    for (const Event& event : events->snapshot()) {
+      xml::Element& el = root->append_element(t("Event"));
+      el.set_attr("ts_us", std::to_string(event.ts_us));
+      el.set_attr("level", level_name(event.level));
+      el.set_attr("component", event.component);
+      if (event.trace_id != 0) {
+        el.set_attr("trace", std::to_string(event.trace_id));
+      }
+      el.set_text(event.message);
+      for (const auto& [key, value] : event.attrs) {
+        xml::Element& attr_el = el.append_element(t("Attr"));
+        attr_el.set_attr("name", key);
+        attr_el.set_text(value);
+      }
+    }
+
+    // Health: the at-a-glance summary a monitoring client reads first —
+    // uptime, how loud the log has been, delivery queue depths and
+    // evictions (pulled from the registry by naming convention), and the
+    // last few error-level events verbatim.
+    xml::Element& health = root->append_element(t("Health"));
+    health.set_attr("uptime_us", std::to_string(steady_now_us() -
+                                                events->start_us()));
+    health.set_attr("events_warn", std::to_string(events->count(Level::kWarn)));
+    health.set_attr("events_error",
+                    std::to_string(events->count(Level::kError)));
+    health.set_attr("events_dropped", std::to_string(events->dropped()));
+    for (const auto& [name, value] : snap.gauges) {
+      if (name.find("queue_depth") == std::string::npos) continue;
+      xml::Element& el = health.append_element(t("QueueDepth"));
+      el.set_attr("name", name);
+      el.set_text(std::to_string(value));
+    }
+    for (const auto& [name, value] : snap.counters) {
+      if (name.find("evicted") == std::string::npos &&
+          name.find("dead_letters") == std::string::npos) {
+        continue;
+      }
+      xml::Element& el = health.append_element(t("Evictions"));
+      el.set_attr("name", name);
+      el.set_text(std::to_string(value));
+    }
+    for (const Event& event : events->recent(5, Level::kError)) {
+      xml::Element& el = health.append_element(t("LastError"));
+      el.set_attr("ts_us", std::to_string(event.ts_us));
+      el.set_attr("component", event.component);
+      el.set_text(event.message);
+    }
+  }
   return root;
 }
 
 TelemetryService::TelemetryService(std::string address, MetricsRegistry* registry,
-                                   TraceLog* log)
+                                   TraceLog* log, EventLog* events)
     : container::Service("Telemetry"),
       address_(std::move(address)),
       registry_(registry),
-      log_(log) {
+      log_(log),
+      events_(events) {
   // WSRF: GetResourceProperty selects elements of the telemetry document,
   // either by metric name (`<prop>net.http.requests</prop>`) or by element
   // kind ("Counters", "Gauges", "Histograms", "Traces").
@@ -100,6 +162,8 @@ TelemetryService::TelemetryService(std::string address, MetricsRegistry* registr
         {"Gauges", "Gauge"},
         {"Histograms", "Histogram"},
         {"Traces", "Trace"},
+        {"Events", "Event"},
+        {"Health", "Health"},
     };
     auto kind = kKinds.find(requested);
 

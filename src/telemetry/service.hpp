@@ -14,6 +14,7 @@
 #include <string>
 
 #include "container/service.hpp"
+#include "telemetry/event_log.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -25,31 +26,50 @@ namespace gs::telemetry {
 ///     <t:Counter name="net.http.requests">123</t:Counter>
 ///     <t:Gauge name="net.http.pool.queue_depth">0</t:Gauge>
 ///     <t:Histogram name="container.dispatch_us" count=".." sum_us=".."
-///                  p50_us=".." p90_us=".." p99_us=".."/>
+///                  min_us=".." max_us=".." p50_us=".." p90_us=".."
+///                  p99_us=".."/>
 ///     <t:Trace id="..">
 ///       <t:Span id=".." parent=".." name="http.receive" layer="net"
 ///               start_us=".." duration_us=".."/>
 ///     </t:Trace>
+///     <t:Event ts_us=".." level="warn" component="net.retry" trace="..">
+///       retry budget exhausted
+///       <t:Attr name="address">http://node1/..</t:Attr>
+///     </t:Event>
+///     <t:Health uptime_us=".." events_warn=".." events_error=".."
+///               events_dropped="..">
+///       <t:QueueDepth name="..">0</t:QueueDepth>
+///       <t:Evictions name="wsn.subscribers_evicted">0</t:Evictions>
+///       <t:LastError ts_us=".." component="..">message</t:LastError>
+///     </t:Health>
 ///   </t:Telemetry>
+///
+/// Metric/trace names, event messages, and attr values are arbitrary text
+/// (fault reasons, remote addresses); escaping happens in the XML writer on
+/// serialization, including control characters. `events` may be null — the
+/// Event and Health sections are then omitted.
 std::unique_ptr<xml::Element> telemetry_document(const MetricsRegistry& registry,
-                                                const TraceLog& log);
+                                                const TraceLog& log,
+                                                const EventLog* events = nullptr);
 
 class TelemetryService final : public container::Service {
  public:
   explicit TelemetryService(std::string address,
                             MetricsRegistry* registry = &MetricsRegistry::global(),
-                            TraceLog* log = &TraceLog::global());
+                            TraceLog* log = &TraceLog::global(),
+                            EventLog* events = &EventLog::global());
 
   const std::string& address() const noexcept { return address_; }
 
  private:
   std::unique_ptr<xml::Element> document() const {
-    return telemetry_document(*registry_, *log_);
+    return telemetry_document(*registry_, *log_, events_);
   }
 
   std::string address_;
   MetricsRegistry* registry_;
   TraceLog* log_;
+  EventLog* events_;
 };
 
 }  // namespace gs::telemetry

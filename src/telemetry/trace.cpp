@@ -2,12 +2,40 @@
 
 #include <atomic>
 #include <chrono>
+#include <sstream>
+
+#include "telemetry/event_log.hpp"
 
 namespace gs::telemetry {
 
 namespace {
 
 thread_local SpanScope* tl_top = nullptr;
+
+// One warn event per slow trace: the root's identity plus a compact
+// per-span dump, so the EventLog alone is enough to reconstruct where the
+// time went after the span ring has moved on.
+void emit_slow_trace(EventLog& sink, const SpanRecord& root,
+                     const std::vector<SpanRecord>& spans) {
+  std::ostringstream dump;
+  for (const SpanRecord& span : spans) {
+    if (dump.tellp() > 0) dump << "; ";
+    dump << span.name << '[' << span.layer << "] +"
+         << (span.start_us - root.start_us) << "us " << span.duration_us
+         << "us";
+  }
+  Event event;
+  event.ts_us = root.start_us + root.duration_us;
+  event.level = Level::kWarn;
+  event.component = "telemetry.trace";
+  event.message = "slow request captured";
+  event.trace_id = root.trace_id;
+  event.attrs = {{"root", root.name},
+                 {"duration_us", std::to_string(root.duration_us)},
+                 {"spans", std::to_string(spans.size())},
+                 {"detail", dump.str()}};
+  sink.log(std::move(event));
+}
 
 std::int64_t steady_now_us() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -81,14 +109,47 @@ TraceLog::TraceLog(std::size_t capacity)
 }
 
 void TraceLog::record(SpanRecord span) {
-  std::lock_guard lock(mu_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(span));
-  } else {
-    ring_[next_] = std::move(span);
-    wrapped_ = true;
+  EventLog* slow_sink = nullptr;
+  std::vector<SpanRecord> captured;
+  SpanRecord root;
+  {
+    std::lock_guard lock(mu_);
+    bool is_slow_root = slow_sink_ && slow_threshold_us_ > 0 &&
+                        span.parent_span_id == 0 &&
+                        span.duration_us >= slow_threshold_us_;
+    if (is_slow_root) root = span;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(span));
+    } else {
+      ring_[next_] = std::move(span);
+      wrapped_ = true;
+    }
+    next_ = (next_ + 1) % capacity_;
+    if (is_slow_root) {
+      slow_sink = slow_sink_;
+      captured = spans_for_locked(root.trace_id);
+    }
   }
-  next_ = (next_ + 1) % capacity_;
+  // Emit outside mu_: the sink takes its own lock, and formatting a whole
+  // trace shouldn't stall concurrent span completion.
+  if (slow_sink) emit_slow_trace(*slow_sink, root, captured);
+}
+
+std::vector<SpanRecord> TraceLog::spans_for_locked(
+    std::uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  std::size_t start = wrapped_ ? next_ : 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const SpanRecord& span = ring_[(start + i) % ring_.size()];
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
+  return out;
+}
+
+void TraceLog::set_slow_capture(std::int64_t threshold_us, EventLog* sink) {
+  std::lock_guard lock(mu_);
+  slow_threshold_us_ = threshold_us;
+  slow_sink_ = sink;
 }
 
 std::vector<SpanRecord> TraceLog::snapshot() const {

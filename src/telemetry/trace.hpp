@@ -17,6 +17,8 @@
 
 namespace gs::telemetry {
 
+class EventLog;
+
 /// Identity of the currently-executing span within its trace.
 struct TraceContext {
   std::uint64_t trace_id = 0;
@@ -54,12 +56,22 @@ class TraceLog {
   /// Process-wide log the built-in instrumentation records into.
   static TraceLog& global();
 
+  /// Slow-request capture: whenever a trace ROOT span completes with
+  /// duration >= `threshold_us`, the trace's retained spans are copied
+  /// into `sink` as one warn event (root name, duration, per-span dump).
+  /// `sink` nullptr or threshold 0 disables. The sink must outlive the log.
+  void set_slow_capture(std::int64_t threshold_us, EventLog* sink);
+
  private:
+  std::vector<SpanRecord> spans_for_locked(std::uint64_t trace_id) const;
+
   mutable std::mutex mu_;
   std::size_t capacity_;
   std::size_t next_ = 0;
   bool wrapped_ = false;
   std::vector<SpanRecord> ring_;
+  std::int64_t slow_threshold_us_ = 0;
+  EventLog* slow_sink_ = nullptr;
 };
 
 /// Fresh nonzero trace/span id.

@@ -177,6 +177,8 @@ NotificationManager::NotificationManager(SubscriptionStore& store,
           .dead_letters =
               &telemetry::MetricsRegistry::global().counter("wse.dead_letters"),
           .on_evict = {},
+          .events = &telemetry::EventLog::global(),
+          .component = "wse.delivery",
       }) {}
 
 size_t NotificationManager::notify(const std::string& topic,

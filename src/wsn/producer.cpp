@@ -31,6 +31,8 @@ NotificationProducer::NotificationProducer(Config config, TopicNamespace topics)
       .evictions = &registry.counter("wsn.subscribers_evicted"),
       .dead_letters = &registry.counter("wsn.dead_letters"),
       .on_evict = {},
+      .events = &telemetry::EventLog::global(),
+      .component = "wsn.delivery",
   });
 }
 

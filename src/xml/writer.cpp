@@ -195,7 +195,27 @@ std::string escape_text(std::string_view raw, bool in_attribute) {
           out += c;
         }
         break;
-      default: out += c;
+      // Whitespace in attribute values must ride as character references:
+      // a parser normalizes literal tab/CR/LF to spaces, so event messages
+      // and fault text would not round-trip. (Our parser decodes &#n;.)
+      case '\t':
+        out += in_attribute ? "&#9;" : "\t";
+        break;
+      case '\n':
+        out += in_attribute ? "&#10;" : "\n";
+        break;
+      case '\r':
+        out += in_attribute ? "&#13;" : "\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Remaining C0 controls are not legal XML 1.0 characters at all,
+          // even as references; substitute U+FFFD so arbitrary fault/event
+          // payloads can never produce an unparseable document.
+          out += "\xEF\xBF\xBD";
+        } else {
+          out += c;
+        }
     }
   }
   return out;
