@@ -40,7 +40,8 @@ BenchTelemetry& BenchTelemetry::instance() {
 }
 
 void BenchTelemetry::add(std::string bench_name, std::int64_t iterations,
-                         telemetry::MetricsSnapshot delta) {
+                         telemetry::MetricsSnapshot delta,
+                         double ops_per_sec) {
   std::lock_guard lock(mu_);
   // google-benchmark calls the function several times (estimation runs,
   // then the measured one, last); keep only the final run per benchmark.
@@ -48,10 +49,12 @@ void BenchTelemetry::add(std::string bench_name, std::int64_t iterations,
     if (r.name == bench_name) {
       r.iterations = iterations;
       r.delta = std::move(delta);
+      r.ops_per_sec = ops_per_sec;
       return;
     }
   }
-  records_.push_back({std::move(bench_name), iterations, std::move(delta)});
+  records_.push_back(
+      {std::move(bench_name), iterations, std::move(delta), ops_per_sec});
 }
 
 void BenchTelemetry::write(const std::string& figure) const {
@@ -65,6 +68,9 @@ void BenchTelemetry::write(const std::string& figure) const {
     first_record = false;
     out << "  {\n    \"name\": \"" << json_escape(r.name) << "\",\n"
         << "    \"iterations\": " << r.iterations << ",\n";
+    if (r.ops_per_sec > 0.0) {
+      out << "    \"ops_per_sec\": " << json_double(r.ops_per_sec) << ",\n";
+    }
 
     out << "    \"counters\": {";
     bool first = true;

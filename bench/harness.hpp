@@ -40,8 +40,10 @@ class BenchTelemetry {
  public:
   static BenchTelemetry& instance();
 
+  /// `ops_per_sec` > 0 adds a throughput field to the record (the
+  /// concurrent-dispatch bench reports it; latency benches leave it 0).
   void add(std::string bench_name, std::int64_t iterations,
-           telemetry::MetricsSnapshot delta);
+           telemetry::MetricsSnapshot delta, double ops_per_sec = 0.0);
 
   /// Writes BENCH_<figure>.json in the current directory (an array of
   /// records: name, iterations, counters, gauges, and histograms as
@@ -53,6 +55,7 @@ class BenchTelemetry {
     std::string name;
     std::int64_t iterations;
     telemetry::MetricsSnapshot delta;
+    double ops_per_sec = 0.0;
   };
 
   mutable std::mutex mu_;

@@ -9,6 +9,10 @@ histograms (layers) by name, and compares p50_us. Exits nonzero when any
 layer's p50 regressed by more than the threshold (percent). Layers with
 fewer than MIN_COUNT samples in either run are reported but never fail the
 check — power-of-two-bucket percentiles on a handful of samples are noise.
+
+Records carrying an ops_per_sec field (the concurrent-dispatch scaling
+bench) are additionally gated on throughput: a drop of more than the
+threshold (percent) against the baseline fails the check.
 """
 
 import argparse
@@ -59,6 +63,20 @@ def main():
             if cand_record is None:
                 print(f"~ {figure} {bench}: missing from candidate, skipped")
                 continue
+            base_ops = base_record.get("ops_per_sec", 0.0)
+            cand_ops = cand_record.get("ops_per_sec", 0.0)
+            if base_ops > 0.0 and cand_ops > 0.0:
+                drop = (base_ops - cand_ops) / base_ops * 100.0
+                compared += 1
+                line = (
+                    f"{figure} {bench}: ops/sec {base_ops:.1f} -> "
+                    f"{cand_ops:.1f} ({-drop:+.1f}%)"
+                )
+                if drop > args.threshold:
+                    failures.append(line)
+                    print(f"! {line}")
+                else:
+                    print(f"  {line}")
             base_hists = base_record.get("histograms", {})
             cand_hists = cand_record.get("histograms", {})
             for layer, base_h in sorted(base_hists.items()):

@@ -4,9 +4,17 @@
 # Opt-in sanitizers (Debug config, separate build dir per mode):
 #   $ SANITIZE=1 scripts/tier1.sh       # ASan + UBSan, full suite
 #   $ SANITIZE=tsan scripts/tier1.sh    # TSan, concurrency-heavy suites only
+# Concurrency gate (the scaling claim, machine-checked):
+#   $ CONCURRENCY=1 scripts/tier1.sh    # TSan build: concurrency suite
+#                                       # + the scaling bench
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# The concurrency gate runs its suite under ThreadSanitizer.
+if [[ "${CONCURRENCY:-0}" == "1" && -z "${SANITIZE:-}" ]]; then
+  SANITIZE=tsan
+fi
 
 TSAN_ONLY=0
 case "${SANITIZE:-0}" in
@@ -36,12 +44,25 @@ fi
 
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
-if [[ "$TSAN_ONLY" == "1" ]]; then
+if [[ "${CONCURRENCY:-0}" == "1" ]]; then
+  # Concurrency gate, part one: the multi-threaded suite under TSan.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
+    -R 'concurrency'
+  # Part two: the scaling benchmark from an unsanitized build (sanitizer
+  # CPU overhead would mask the overlap being measured). It exits nonzero
+  # unless 8 client threads reach >= 3x single-thread throughput, and
+  # writes BENCH_concurrent_dispatch.json next to the build.
+  BENCH_DIR="build"
+  cmake -B "$BENCH_DIR" -S .
+  cmake --build "$BENCH_DIR" -j"$(nproc)" --target bench_concurrent_dispatch
+  (cd "$BENCH_DIR/bench" && ./bench_concurrent_dispatch)
+elif [[ "$TSAN_ONLY" == "1" ]]; then
   # Thread sanitizer runs the suites that exercise shared state under
   # threads: telemetry (sharded counters, span/event rings, monitor
-  # pub/sub) and reliability (delivery queues + pools under faults).
+  # pub/sub), reliability (delivery queues + pools under faults), and
+  # concurrency (registry pins, per-resource locks, the 8-thread hammer).
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
-    -R 'telemetry|reliability|monitor'
+    -R 'telemetry|reliability|monitor|concurrency'
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 fi

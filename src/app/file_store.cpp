@@ -1,0 +1,88 @@
+#include "app/file_store.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/encoding.hpp"
+#include "security/sha256.hpp"
+#include "soap/envelope.hpp"
+
+namespace gs::app {
+
+FileStore::FileStore(std::filesystem::path root) : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path FileStore::safe_path(const std::string& directory,
+                                           const std::string& filename) const {
+  auto reject = [](const std::string& segment) {
+    if (segment.empty() || segment == "." || segment == ".." ||
+        segment.find('/') != std::string::npos ||
+        segment.find('\\') != std::string::npos) {
+      throw soap::SoapFault("Sender", "illegal path segment '" + segment + "'");
+    }
+  };
+  reject(directory);
+  if (filename.empty()) return root_ / directory;
+  reject(filename);
+  return root_ / directory / filename;
+}
+
+void FileStore::ensure_directory(const std::string& directory) {
+  std::filesystem::create_directories(safe_path(directory));
+}
+
+bool FileStore::directory_exists(const std::string& directory) const {
+  std::error_code ec;
+  return std::filesystem::is_directory(safe_path(directory), ec);
+}
+
+bool FileStore::remove_directory(const std::string& directory) {
+  std::error_code ec;
+  return std::filesystem::remove_all(safe_path(directory), ec) > 0 && !ec;
+}
+
+void FileStore::put(const std::string& directory, const std::string& filename,
+                    const std::string& content) {
+  ensure_directory(directory);
+  std::ofstream out(safe_path(directory, filename),
+                    std::ios::binary | std::ios::trunc);
+  if (!out) throw soap::SoapFault("Receiver", "cannot write " + filename);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+
+std::optional<std::string> FileStore::get(const std::string& directory,
+                                          const std::string& filename) const {
+  std::ifstream in(safe_path(directory, filename), std::ios::binary);
+  if (!in) return std::nullopt;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>{});
+}
+
+bool FileStore::remove(const std::string& directory, const std::string& filename) {
+  std::error_code ec;
+  return std::filesystem::remove(safe_path(directory, filename), ec) && !ec;
+}
+
+std::vector<std::string> FileStore::list(const std::string& directory) const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(safe_path(directory), ec)) {
+    if (entry.is_regular_file()) out.push_back(entry.path().filename().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::filesystem::path FileStore::path_of(const std::string& directory) const {
+  return safe_path(directory);
+}
+
+std::string FileStore::hash_dn(const std::string& dn) {
+  security::Digest256 d = security::Sha256::digest(dn);
+  // 16 hex chars is plenty for a directory name.
+  return common::hex_encode(std::span<const std::uint8_t>(d.data(), 8));
+}
+
+}  // namespace gs::app

@@ -1,0 +1,44 @@
+// File store: the DataService's filesystem (moved here from src/gridbox —
+// shared by both protocol bindings).
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gs::app {
+
+/// Per-directory file storage on the real filesystem. The WSRF DataService
+/// names directories with GUIDs; the WS-Transfer DataService hashes the
+/// user DN into a directory name — both go through this store.
+class FileStore {
+ public:
+  explicit FileStore(std::filesystem::path root);
+
+  /// Creates (or ensures) a directory; returns its name.
+  void ensure_directory(const std::string& directory);
+  bool directory_exists(const std::string& directory) const;
+  /// Removes a directory and all its contents.
+  bool remove_directory(const std::string& directory);
+
+  void put(const std::string& directory, const std::string& filename,
+           const std::string& content);
+  std::optional<std::string> get(const std::string& directory,
+                                 const std::string& filename) const;
+  bool remove(const std::string& directory, const std::string& filename);
+  std::vector<std::string> list(const std::string& directory) const;
+
+  /// Absolute path of a directory (jobs use it as their working dir).
+  std::filesystem::path path_of(const std::string& directory) const;
+
+  /// The deterministic DN -> directory hash of the WS-Transfer variant.
+  static std::string hash_dn(const std::string& dn);
+
+ private:
+  std::filesystem::path safe_path(const std::string& directory,
+                                  const std::string& filename = "") const;
+  std::filesystem::path root_;
+};
+
+}  // namespace gs::app

@@ -1,0 +1,287 @@
+#include "app/gridbox_core.hpp"
+
+#include "common/encoding.hpp"
+#include "soap/envelope.hpp"
+#include "soap/namespaces.hpp"
+
+namespace gs::app {
+
+xml::QName gb(const char* local) { return {soap::ns::kGridBox, local}; }
+
+std::unique_ptr<xml::Element> SiteInfo::to_xml() const {
+  auto el = std::make_unique<xml::Element>(gb("Site"));
+  el->append_element(gb("Host")).set_text(host);
+  el->append_element(gb("ExecAddress")).set_text(exec_address);
+  el->append_element(gb("DataAddress")).set_text(data_address);
+  for (const auto& app : applications) {
+    el->append_element(gb("Application")).set_text(app);
+  }
+  return el;
+}
+
+SiteInfo SiteInfo::from_xml(const xml::Element& el) {
+  SiteInfo out;
+  if (const xml::Element* h = el.child(gb("Host"))) out.host = h->text();
+  if (const xml::Element* e = el.child(gb("ExecAddress"))) {
+    out.exec_address = e->text();
+  }
+  if (const xml::Element* d = el.child(gb("DataAddress"))) {
+    out.data_address = d->text();
+  }
+  for (const xml::Element* a : el.children_named(gb("Application"))) {
+    out.applications.push_back(a->text());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// AccountBook
+// ---------------------------------------------------------------------------
+
+AccountBook::AccountBook(xmldb::XmlDatabase& db, std::string collection)
+    : db_(db), collection_(std::move(collection)) {}
+
+std::unique_ptr<xml::Element> AccountBook::make_document(
+    const std::string& dn, const std::vector<std::string>& privileges) {
+  auto doc = std::make_unique<xml::Element>(gb("Account"));
+  doc->append_element(gb("DN")).set_text(dn);
+  for (const auto& priv : privileges) {
+    doc->append_element(gb("Privilege")).set_text(priv);
+  }
+  return doc;
+}
+
+void AccountBook::put(const std::string& dn, const xml::Element& document) {
+  db_.store(collection_, dn, document);
+}
+
+bool AccountBook::exists(const std::string& dn) const {
+  return db_.contains(collection_, dn);
+}
+
+bool AccountBook::remove(const std::string& dn) {
+  return db_.remove(collection_, dn);
+}
+
+bool AccountBook::has_privilege(const std::string& dn,
+                                const std::string& privilege) const {
+  auto doc = db_.load(collection_, dn);
+  if (!doc) return false;
+  for (const xml::Element* priv : doc->children_named(gb("Privilege"))) {
+    if (priv->text() == privilege) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> AccountBook::privileges(const std::string& dn) const {
+  std::vector<std::string> out;
+  auto doc = db_.load(collection_, dn);
+  if (!doc) return out;
+  for (const xml::Element* priv : doc->children_named(gb("Privilege"))) {
+    out.push_back(priv->text());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SiteDirectory
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void set_child(xml::Element& doc, const xml::QName& name,
+               const std::string& value) {
+  if (xml::Element* el = doc.child(name)) {
+    el->set_text(value);
+  } else {
+    doc.append_element(name).set_text(value);
+  }
+}
+
+}  // namespace
+
+SiteDirectory::SiteDirectory(xmldb::XmlDatabase& db, std::string collection)
+    : db_(db), collection_(std::move(collection)) {}
+
+void SiteDirectory::put(const std::string& host, const xml::Element& site_doc) {
+  db_.store(collection_, host, site_doc);
+}
+
+std::unique_ptr<xml::Element> SiteDirectory::load(
+    const std::string& host) const {
+  return db_.load(collection_, host);
+}
+
+bool SiteDirectory::remove(const std::string& host) {
+  return db_.remove(collection_, host);
+}
+
+std::vector<std::string> SiteDirectory::hosts() const {
+  return db_.ids(collection_);
+}
+
+std::vector<std::unique_ptr<xml::Element>> SiteDirectory::available(
+    const std::string& application,
+    const std::function<bool(const std::string&, const xml::Element&)>&
+        reserved) const {
+  std::vector<std::unique_ptr<xml::Element>> out;
+  for (const std::string& host : db_.ids(collection_)) {
+    auto site = db_.load(collection_, host);
+    if (!site) continue;
+    if (reserved && reserved(host, *site)) continue;
+    bool has_app = false;
+    for (const xml::Element* a : site->children_named(gb("Application"))) {
+      if (a->text() == application) has_app = true;
+    }
+    if (!has_app) continue;
+    out.push_back(std::move(site));
+  }
+  return out;
+}
+
+std::string SiteDirectory::inline_holder(const xml::Element& site_doc) {
+  const xml::Element* reserved = site_doc.child(gb("ReservedBy"));
+  return reserved ? reserved->text() : "";
+}
+
+std::unique_ptr<xml::Element> SiteDirectory::load_or_fault(
+    const std::string& host) const {
+  auto site = db_.load(collection_, host);
+  if (!site) {
+    throw soap::SoapFault("Sender", "unknown site '" + host + "'");
+  }
+  return site;
+}
+
+void SiteDirectory::reserve(const std::string& host, const std::string& owner,
+                            const std::string& until_text) {
+  auto lock = locks_.lock(host);
+  auto site = load_or_fault(host);
+  if (!inline_holder(*site).empty()) {
+    throw soap::SoapFault("Sender", "site '" + host + "' is already reserved");
+  }
+  set_child(*site, gb("ReservedBy"), owner);
+  set_child(*site, gb("ReservedUntil"), until_text);
+  db_.store(collection_, host, *site);
+}
+
+void SiteDirectory::unreserve(const std::string& host,
+                              const std::string& owner) {
+  auto lock = locks_.lock(host);
+  auto site = load_or_fault(host);
+  std::string holder = inline_holder(*site);
+  if (holder.empty()) {
+    throw soap::SoapFault("Sender", "site '" + host + "' is not reserved");
+  }
+  if (holder != owner) {
+    throw soap::SoapFault("Sender",
+                          "reservation on '" + host + "' belongs to " + holder);
+  }
+  set_child(*site, gb("ReservedBy"), "");
+  set_child(*site, gb("ReservedUntil"), "");
+  db_.store(collection_, host, *site);
+}
+
+void SiteDirectory::retime(const std::string& host, const std::string& owner,
+                           const std::optional<std::string>& until_text) {
+  auto lock = locks_.lock(host);
+  auto site = load_or_fault(host);
+  if (inline_holder(*site) != owner) {
+    throw soap::SoapFault("Sender", "no reservation to retime");
+  }
+  if (!until_text) throw soap::SoapFault("Sender", "retime needs Until");
+  set_child(*site, gb("ReservedUntil"), *until_text);
+  db_.store(collection_, host, *site);
+}
+
+// ---------------------------------------------------------------------------
+// DataVault
+// ---------------------------------------------------------------------------
+
+void DataVault::put_base64(const std::string& directory,
+                           const std::string& filename,
+                           const std::string& content_base64) {
+  auto bytes = common::base64_decode(content_base64);
+  if (!bytes) {
+    throw soap::SoapFault("Sender", "Content is not valid base64");
+  }
+  files_.put(directory, filename,
+             std::string(bytes->begin(), bytes->end()));
+}
+
+std::optional<std::string> DataVault::get_base64(
+    const std::string& directory, const std::string& filename) const {
+  auto content = files_.get(directory, filename);
+  if (!content) return std::nullopt;
+  return common::base64_encode(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(content->data()),
+      content->size()));
+}
+
+// ---------------------------------------------------------------------------
+// JobBoard
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<xml::Element> JobBoard::make_document(
+    const std::string& owner, const std::string& command) {
+  auto doc = std::make_unique<xml::Element>(gb("Job"));
+  doc->append_element(gb("Owner")).set_text(owner);
+  doc->append_element(gb("Command")).set_text(command);
+  return doc;
+}
+
+void JobBoard::set_pid(xml::Element& job_doc, const std::string& pid) {
+  set_child(job_doc, gb("Pid"), pid);
+}
+
+std::optional<std::string> JobBoard::pid_of(const xml::Element& job_doc) {
+  const xml::Element* pid = job_doc.child(gb("Pid"));
+  if (!pid || pid->text().empty()) return std::nullopt;
+  return pid->text();
+}
+
+std::optional<JobRunner::Status> JobBoard::status_of(
+    const xml::Element& job_doc) {
+  auto pid = pid_of(job_doc);
+  if (!pid) return std::nullopt;
+  return runner_.status(*pid);
+}
+
+const char* JobBoard::state_name(JobRunner::State state) {
+  switch (state) {
+    case JobRunner::State::kRunning:
+      return "running";
+    case JobRunner::State::kExited:
+      return "exited";
+    case JobRunner::State::kKilled:
+      return "killed";
+  }
+  return "unknown";
+}
+
+void JobBoard::annotate_status(xml::Element& job_doc) {
+  auto status = status_of(job_doc);
+  job_doc.append_element(gb("Status"))
+      .set_text(status ? state_name(status->state) : "unknown");
+  if (status && status->state != JobRunner::State::kRunning) {
+    job_doc.append_element(gb("ExitCode"))
+        .set_text(std::to_string(status->exit_code));
+  }
+}
+
+void JobBoard::terminate(const xml::Element& job_doc) {
+  auto pid = pid_of(job_doc);
+  if (!pid) return;
+  runner_.kill(*pid);
+  runner_.reap(*pid);
+}
+
+std::unique_ptr<xml::Element> JobBoard::completion_event(
+    const soap::EndpointReference& job_epr, int exit_code) {
+  auto event = std::make_unique<xml::Element>(gb(kJobCompletedTopic));
+  event->append(job_epr.to_xml(gb("JobEPR")));
+  event->append_element(gb("ExitCode")).set_text(std::to_string(exit_code));
+  return event;
+}
+
+}  // namespace gs::app

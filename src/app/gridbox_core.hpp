@@ -1,0 +1,201 @@
+// Stack-agnostic Grid-in-a-Box application core.
+//
+// The account book, site directory (with the inline reservation ledger of
+// the unified WS-Transfer allocation service), data vault, and job board
+// hold the business logic once; src/gridbox keeps only the WSRF and
+// WS-Transfer protocol bindings that map wire operations onto these
+// classes. State lives in the deployment's XML database and file store;
+// read-modify-write sequences serialize per resource on lock stripes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/file_store.hpp"
+#include "app/job_runner.hpp"
+#include "common/locks.hpp"
+#include "soap/addressing.hpp"
+#include "xml/node.hpp"
+#include "xmldb/database.hpp"
+
+namespace gs::app {
+
+/// QName in the Grid-in-a-Box namespace.
+xml::QName gb(const char* local);
+
+/// VO privileges.
+inline constexpr const char* kPrivilegeSubmit = "submit";
+inline constexpr const char* kPrivilegeAdmin = "admin";
+
+/// Topic published when a job finishes (both stacks).
+inline constexpr const char* kJobCompletedTopic = "JobCompleted";
+
+/// A registered computing site.
+struct SiteInfo {
+  std::string host;
+  std::string exec_address;
+  std::string data_address;
+  std::vector<std::string> applications;
+
+  std::unique_ptr<xml::Element> to_xml() const;
+  static SiteInfo from_xml(const xml::Element& el);
+};
+
+// ---------------------------------------------------------------------------
+// Account book: the VO's user registry
+// ---------------------------------------------------------------------------
+
+/// Accounts keyed by DN; each document carries the DN and its privileges.
+class AccountBook {
+ public:
+  explicit AccountBook(xmldb::XmlDatabase& db,
+                       std::string collection = "accounts");
+
+  /// <Account><DN>..</DN><Privilege>..</Privilege>*</Account>
+  static std::unique_ptr<xml::Element> make_document(
+      const std::string& dn, const std::vector<std::string>& privileges);
+
+  void put(const std::string& dn, const xml::Element& document);
+  bool exists(const std::string& dn) const;
+  bool remove(const std::string& dn);
+  bool has_privilege(const std::string& dn,
+                     const std::string& privilege) const;
+  std::vector<std::string> privileges(const std::string& dn) const;
+
+ private:
+  xmldb::XmlDatabase& db_;
+  std::string collection_;
+};
+
+// ---------------------------------------------------------------------------
+// Site directory: registered sites + the inline reservation ledger
+// ---------------------------------------------------------------------------
+
+/// Sites keyed by host. The WS-Transfer allocation service folds
+/// reservations into the site document (ReservedBy/ReservedUntil); the
+/// WSRF variant keeps reservations as separate WS-Resources and answers
+/// the `reserved` predicate of `available` from that service instead.
+class SiteDirectory {
+ public:
+  explicit SiteDirectory(xmldb::XmlDatabase& db,
+                         std::string collection = "sites");
+
+  void put(const std::string& host, const xml::Element& site_doc);
+  std::unique_ptr<xml::Element> load(const std::string& host) const;
+  bool remove(const std::string& host);
+  std::vector<std::string> hosts() const;
+
+  /// Site documents offering `application` whose host is not reserved
+  /// according to `reserved` — the availability filter both bindings
+  /// used to duplicate.
+  std::vector<std::unique_ptr<xml::Element>> available(
+      const std::string& application,
+      const std::function<bool(const std::string& host,
+                               const xml::Element& doc)>& reserved) const;
+
+  /// The inline ledger's view of a site document.
+  static std::string inline_holder(const xml::Element& site_doc);
+  static bool inline_reserved(const xml::Element& site_doc) {
+    return !inline_holder(site_doc).empty();
+  }
+
+  /// Inline reservation transitions (read-modify-write under the host's
+  /// lock stripe). Fault texts match the WS-Transfer allocation wire
+  /// contract: "unknown site", "already reserved", "is not reserved",
+  /// "belongs to", "no reservation to retime".
+  void reserve(const std::string& host, const std::string& owner,
+               const std::string& until_text);
+  void unreserve(const std::string& host, const std::string& owner);
+  /// `until_text` is optional so the holder check faults before the
+  /// missing-Until check, matching the wire contract's ordering.
+  void retime(const std::string& host, const std::string& owner,
+              const std::optional<std::string>& until_text);
+
+ private:
+  std::unique_ptr<xml::Element> load_or_fault(const std::string& host) const;
+
+  xmldb::XmlDatabase& db_;
+  std::string collection_;
+  common::StripedLocks locks_;
+};
+
+// ---------------------------------------------------------------------------
+// Data vault: base64 file staging over the FileStore
+// ---------------------------------------------------------------------------
+
+/// The Upload/Download content handling both Data bindings share: wire
+/// content is base64, storage is raw bytes.
+class DataVault {
+ public:
+  explicit DataVault(FileStore& files) : files_(files) {}
+
+  FileStore& files() noexcept { return files_; }
+
+  /// Decodes and stores; faults "Content is not valid base64".
+  void put_base64(const std::string& directory, const std::string& filename,
+                  const std::string& content_base64);
+  /// Base64 of the stored bytes; nullopt when the file is absent.
+  std::optional<std::string> get_base64(const std::string& directory,
+                                        const std::string& filename) const;
+  bool remove(const std::string& directory, const std::string& filename) {
+    return files_.remove(directory, filename);
+  }
+  std::vector<std::string> list(const std::string& directory) const {
+    return files_.list(directory);
+  }
+
+ private:
+  FileStore& files_;
+};
+
+// ---------------------------------------------------------------------------
+// Job board: the exec state machine over the JobRunner
+// ---------------------------------------------------------------------------
+
+/// Job documents (<Job><Owner/><Command/><Pid/></Job>), live status
+/// projection, termination, and the JobCompleted event payload — shared
+/// by both Exec bindings.
+class JobBoard {
+ public:
+  explicit JobBoard(JobRunner& runner) : runner_(runner) {}
+
+  JobRunner& runner() noexcept { return runner_; }
+  void poll() { runner_.poll(); }
+
+  /// <Job> document with owner and command (the Pid is appended by the
+  /// binding once spawned, via `set_pid`).
+  static std::unique_ptr<xml::Element> make_document(
+      const std::string& owner, const std::string& command);
+  static void set_pid(xml::Element& job_doc, const std::string& pid);
+  static std::optional<std::string> pid_of(const xml::Element& job_doc);
+
+  std::string start(const std::string& command, const std::string& working_dir,
+                    JobRunner::ExitCallback on_exit) {
+    return runner_.spawn(command, working_dir, std::move(on_exit));
+  }
+
+  /// Live status of the pid recorded on a job document.
+  std::optional<JobRunner::Status> status_of(const xml::Element& job_doc);
+
+  static const char* state_name(JobRunner::State state);
+
+  /// Appends <Status> (always) and <ExitCode> (when finished) to a job
+  /// document — the WS-Transfer Get augmentation; the WSRF computed
+  /// properties project the same fields.
+  void annotate_status(xml::Element& job_doc);
+
+  /// Kills and reaps the pid recorded on a job document (if any).
+  void terminate(const xml::Element& job_doc);
+
+  /// The JobCompleted payload: JobEPR + ExitCode.
+  static std::unique_ptr<xml::Element> completion_event(
+      const soap::EndpointReference& job_epr, int exit_code);
+
+ private:
+  JobRunner& runner_;
+};
+
+}  // namespace gs::app

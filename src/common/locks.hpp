@@ -1,0 +1,35 @@
+// Striped lock map: a fixed pool of mutexes indexed by key hash.
+//
+// Read-modify-write sequences over the XML database (load, mutate, store)
+// are individually thread-safe but not atomic; callers serialize them per
+// logical resource by holding the key's stripe for the duration. A fixed
+// stripe pool bounds memory for unbounded key spaces (resource GUIDs, DNs)
+// at the cost of occasional false sharing between keys — harmless, since
+// the stripes only order writers.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <mutex>
+#include <string_view>
+
+namespace gs::common {
+
+class StripedLocks {
+ public:
+  static constexpr size_t kStripes = 64;
+
+  /// Locks the stripe owning `key` for the caller's scope.
+  std::unique_lock<std::mutex> lock(std::string_view key) {
+    return std::unique_lock<std::mutex>(stripe(key));
+  }
+
+  std::mutex& stripe(std::string_view key) {
+    return stripes_[std::hash<std::string_view>{}(key) % kStripes];
+  }
+
+ private:
+  std::array<std::mutex, kStripes> stripes_;
+};
+
+}  // namespace gs::common

@@ -1,26 +1,9 @@
 #include "container/container.hpp"
 
-#include <chrono>
-
-#include "telemetry/event_log.hpp"
-#include "telemetry/propagation.hpp"
-#include "telemetry/trace.hpp"
-
 namespace gs::container {
 
-namespace {
-
-std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - since)
-          .count());
-}
-
-}  // namespace
-
 Container::Container(ContainerConfig config)
-    : config_(config), lifetime_(*config.clock) {
+    : config_(config), lifetime_(*config.clock), chain_(default_chain()) {
   if (config_.security == SecurityMode::kX509) {
     if (!config_.anchor || !config_.credential) {
       throw std::invalid_argument(
@@ -29,131 +12,59 @@ Container::Container(ContainerConfig config)
   }
   telemetry::MetricsRegistry& reg =
       config_.metrics ? *config_.metrics : telemetry::MetricsRegistry::global();
-  c_requests_ = &reg.counter("container.requests");
-  c_faults_ = &reg.counter("container.faults");
-  h_dispatch_us_ = &reg.histogram("container.dispatch_us");
-  h_handler_us_ = &reg.histogram("container.handler_us");
-  h_security_us_ = &reg.histogram("container.security_us");
-  h_parse_us_ = &reg.histogram("container.parse_us");
+  metrics_.requests = &reg.counter("container.requests");
+  metrics_.faults = &reg.counter("container.faults");
+  metrics_.dispatch_us = &reg.histogram("container.dispatch_us");
+  metrics_.handler_us = &reg.histogram("container.handler_us");
+  metrics_.security_us = &reg.histogram("container.security_us");
+  metrics_.parse_us = &reg.histogram("container.parse_us");
+}
+
+HandlerChain Container::default_chain() {
+  HandlerChain chain;
+  chain.append(std::make_shared<ParseHandler>())
+      .append(std::make_shared<TelemetryHandler>())
+      .append(std::make_shared<LifetimeSweepHandler>())
+      .append(std::make_shared<ResolveHandler>())
+      .append(std::make_shared<SecurityHandler>())
+      .append(std::make_shared<DispatchHandler>());
+  return chain;
 }
 
 void Container::deploy(const std::string& path, Service& service) {
-  std::lock_guard lock(mu_);
-  services_[path] = &service;
+  registry_.deploy(path, service);
 }
 
-void Container::undeploy(const std::string& path) {
-  std::lock_guard lock(mu_);
-  services_.erase(path);
-}
+void Container::undeploy(const std::string& path) { registry_.undeploy(path); }
 
-Service* Container::service_at(const std::string& path) const {
-  std::lock_guard lock(mu_);
-  auto it = services_.find(path);
-  return it == services_.end() ? nullptr : it->second;
+ServiceHandle Container::service_at(const std::string& path) const {
+  return registry_.pin(path);
 }
 
 soap::Envelope Container::process(const soap::Envelope& request,
                                   const std::string& path) {
-  // The dispatch span covers the whole pipeline: sweep, security, handler,
-  // response signing. When the request carries a TraceContext header the
-  // provisional spans on this thread (this one, and the enclosing
-  // http.receive if the request came through a server) are re-rooted onto
-  // the caller's trace.
-  telemetry::SpanScope span("container.dispatch", "container");
-  if (auto remote = telemetry::read_trace_header(request)) {
-    telemetry::adopt_remote(*remote);
-  }
-  c_requests_->add();
-  auto dispatch_started = std::chrono::steady_clock::now();
-
-  // Scheduled terminations fire before the request sees any state.
-  lifetime_.sweep();
-
-  Service* service = service_at(path);
-  if (!service) {
-    c_faults_->add();
-    telemetry::EventLog::global().emit(
-        telemetry::Level::kWarn, "container", "fault: no service deployed",
-        {{"path", path}});
-    h_dispatch_us_->record(elapsed_us(dispatch_started));
-    return soap::Envelope::make_fault(
-        {"Sender", "no service deployed at " + path, "", ""});
-  }
-
-  RequestContext ctx;
+  PipelineContext ctx(*this, path);
   ctx.request = &request;
-  ctx.info = request.read_addressing();
-
-  // Security/Policy handler: verify the signature and establish identity.
-  if (config_.security == SecurityMode::kX509) {
-    telemetry::SpanScope security_span("container.security", "container");
-    auto security_started = std::chrono::steady_clock::now();
-    try {
-      ctx.identity =
-          security::verify_envelope(request, *config_.anchor, config_.clock->now());
-      h_security_us_->record(elapsed_us(security_started));
-    } catch (const security::SecurityError& e) {
-      h_security_us_->record(elapsed_us(security_started));
-      c_faults_->add();
-      telemetry::EventLog::global().emit(
-          telemetry::Level::kWarn, "container",
-          "fault: security policy rejected request",
-          {{"path", path}, {"error", e.what()}});
-      h_dispatch_us_->record(elapsed_us(dispatch_started));
-      soap::Envelope fault = soap::Envelope::make_fault(
-          {"Sender", std::string("security policy rejected request: ") + e.what(),
-           "", ""});
-      security::sign_envelope(fault, *config_.credential);
-      return fault;
-    }
-  }
-
-  soap::Envelope response;
-  {
-    telemetry::SpanScope handler_span("container.handler", "container");
-    auto handler_started = std::chrono::steady_clock::now();
-    response = service->dispatch(ctx);
-    h_handler_us_->record(elapsed_us(handler_started));
-  }
-  if (response.is_fault()) {
-    c_faults_->add();
-    const soap::Fault& fault = response.fault();
-    telemetry::EventLog::global().emit(
-        telemetry::Level::kWarn, "container", "fault returned by handler",
-        {{"path", path}, {"code", fault.code}, {"reason", fault.reason}});
-  }
-
-  // Response passes back through the security handler (digital signature).
-  if (config_.security == SecurityMode::kX509) {
-    auto sign_started = std::chrono::steady_clock::now();
-    security::sign_envelope(response, *config_.credential);
-    h_security_us_->record(elapsed_us(sign_started));
-  }
-  // Echo the server-side trace context (the signature does not cover it).
-  telemetry::write_trace_header(response, span.context());
-  h_dispatch_us_->record(elapsed_us(dispatch_started));
-  return response;
+  chain_.run(ctx);
+  return std::move(ctx.response);
 }
 
 net::HttpResponse Container::handle(const net::HttpRequest& request) {
-  soap::Envelope request_env;
-  auto parse_started = std::chrono::steady_clock::now();
-  try {
-    request_env = soap::Envelope::from_xml(request.body);
-  } catch (const std::exception& e) {
-    return net::HttpResponse::error(400, "Bad Request", e.what());
+  PipelineContext ctx(*this, request.path);
+  ctx.http_request = &request;
+  chain_.run(ctx);
+  if (!ctx.http_done) {
+    // A chain without a transport stage still answers HTTP: map the
+    // envelope the inner stages produced.
+    if (ctx.response.is_fault()) {
+      net::HttpResponse http = net::HttpResponse::error(
+          500, "Internal Server Error", ctx.response.to_xml());
+      http.headers["Content-Type"] = "application/soap+xml";
+      return http;
+    }
+    return net::HttpResponse::ok(ctx.response.to_xml(), "application/soap+xml");
   }
-  h_parse_us_->record(elapsed_us(parse_started));
-  soap::Envelope response = process(request_env, request.path);
-  // SOAP 1.2 over HTTP: faults ride a 500, still with an envelope body.
-  if (response.is_fault()) {
-    net::HttpResponse http =
-        net::HttpResponse::error(500, "Internal Server Error", response.to_xml());
-    http.headers["Content-Type"] = "application/soap+xml";
-    return http;
-  }
-  return net::HttpResponse::ok(response.to_xml());
+  return std::move(ctx.http_response);
 }
 
 }  // namespace gs::container

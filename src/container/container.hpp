@@ -1,20 +1,21 @@
 // The resource-aware container (paper Figure 1).
 //
-// Request path: Dispatch (path -> service, wsa:Action -> operation) behind
-// a Security/Policy handler (X.509 verification when configured), with
-// Lifetime Management swept on every request and the storage binding
-// shared by the deployed services. One Container per simulated host; it is
-// a net::Endpoint, so it mounts on the virtual network and on the real
-// TCP HttpServer alike.
+// Request path: an explicit HandlerChain — parse, telemetry, lifetime
+// sweep, resolve (path -> pinned service), security/policy (X.509
+// verification when configured), dispatch (wsa:Action -> operation) — over
+// the storage binding shared by the deployed services. One Container per
+// simulated host; it is a net::Endpoint, so it mounts on the virtual
+// network and on the real TCP HttpServer alike. Deployments may compose
+// their own chain (Container::chain / set_chain) before taking traffic.
 #pragma once
 
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/clock.hpp"
+#include "container/handler.hpp"
 #include "container/lifetime.hpp"
+#include "container/registry.hpp"
 #include "container/service.hpp"
 #include "net/virtual_network.hpp"
 #include "security/cert.hpp"
@@ -41,6 +42,18 @@ struct ContainerConfig {
   telemetry::MetricsRegistry* metrics = nullptr;
 };
 
+/// Metric handles resolved once at construction (registry references are
+/// stable; the hot path writes lock-free). Chain handlers record through
+/// these so a composed chain keeps the same metric names.
+struct ContainerMetrics {
+  telemetry::Counter* requests = nullptr;
+  telemetry::Counter* faults = nullptr;
+  telemetry::Histogram* dispatch_us = nullptr;
+  telemetry::Histogram* handler_us = nullptr;
+  telemetry::Histogram* security_us = nullptr;
+  telemetry::Histogram* parse_us = nullptr;
+};
+
 class Container final : public net::Endpoint {
  public:
   explicit Container(ContainerConfig config);
@@ -48,36 +61,43 @@ class Container final : public net::Endpoint {
   /// Deploys a service at a path, e.g. "/CounterService". The container
   /// does not own the service.
   void deploy(const std::string& path, Service& service);
+  /// Undeploys and blocks until requests already dispatched to the
+  /// service drain (see ServiceRegistry::undeploy).
   void undeploy(const std::string& path);
-  Service* service_at(const std::string& path) const;
+  /// Pins the service at a path for the handle's lifetime; empty handle
+  /// when none is deployed.
+  ServiceHandle service_at(const std::string& path) const;
 
   LifetimeManager& lifetime() noexcept { return lifetime_; }
   const ContainerConfig& config() const noexcept { return config_; }
+  ServiceRegistry& registry() noexcept { return registry_; }
+  const ServiceRegistry& registry() const noexcept { return registry_; }
+  const ContainerMetrics& metrics() const noexcept { return metrics_; }
 
-  /// net::Endpoint: full request pipeline — parse, security, sweep,
-  /// dispatch, security (response), serialize.
+  /// The request pipeline. Edit or replace at deployment time only —
+  /// running requests read the chain unsynchronized.
+  HandlerChain& chain() noexcept { return chain_; }
+  void set_chain(HandlerChain chain) { chain_ = std::move(chain); }
+  /// The standard pipeline: parse, telemetry, lifetime-sweep, resolve,
+  /// security, dispatch.
+  static HandlerChain default_chain();
+
+  /// net::Endpoint: runs the chain from the transport boundary.
   net::HttpResponse handle(const net::HttpRequest& request) override;
   const security::Credential* tls_credential() const override {
     return config_.credential;
   }
 
-  /// Processes an envelope directly (used by in-process tests).
+  /// Processes an envelope directly (in-process callers and tests); the
+  /// parse stage passes through.
   soap::Envelope process(const soap::Envelope& request, const std::string& path);
 
  private:
   ContainerConfig config_;
   LifetimeManager lifetime_;
-  mutable std::mutex mu_;
-  std::map<std::string, Service*> services_;
-
-  // Metric handles, resolved once at construction (registry references are
-  // stable; the hot path writes lock-free).
-  telemetry::Counter* c_requests_;
-  telemetry::Counter* c_faults_;
-  telemetry::Histogram* h_dispatch_us_;
-  telemetry::Histogram* h_handler_us_;
-  telemetry::Histogram* h_security_us_;
-  telemetry::Histogram* h_parse_us_;
+  ServiceRegistry registry_;
+  ContainerMetrics metrics_;
+  HandlerChain chain_;
 };
 
 }  // namespace gs::container

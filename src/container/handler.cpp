@@ -1,0 +1,238 @@
+#include "container/handler.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "container/container.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/propagation.hpp"
+#include "telemetry/trace.hpp"
+
+namespace gs::container {
+
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+net::HttpResponse serialize_response(const soap::Envelope& response) {
+  // SOAP 1.2 over HTTP: faults ride a 500, still with an envelope body;
+  // both paths carry the SOAP content type.
+  if (response.is_fault()) {
+    net::HttpResponse http = net::HttpResponse::error(
+        500, "Internal Server Error", response.to_xml());
+    http.headers["Content-Type"] = "application/soap+xml";
+    return http;
+  }
+  return net::HttpResponse::ok(response.to_xml(), "application/soap+xml");
+}
+
+}  // namespace
+
+void Handler::Next::operator()(PipelineContext& ctx) const {
+  chain_->run_from(ctx, index_);
+}
+
+HandlerChain& HandlerChain::append(std::shared_ptr<Handler> handler) {
+  handlers_.push_back(std::move(handler));
+  return *this;
+}
+
+size_t HandlerChain::index_of(std::string_view name) const {
+  for (size_t i = 0; i < handlers_.size(); ++i) {
+    if (name == handlers_[i]->name()) return i;
+  }
+  return handlers_.size();
+}
+
+HandlerChain& HandlerChain::insert_before(std::string_view name,
+                                          std::shared_ptr<Handler> handler) {
+  size_t at = index_of(name);
+  if (at == handlers_.size()) {
+    throw std::invalid_argument("no chain stage named '" + std::string(name) +
+                                "'");
+  }
+  handlers_.insert(handlers_.begin() + static_cast<long>(at),
+                   std::move(handler));
+  return *this;
+}
+
+HandlerChain& HandlerChain::insert_after(std::string_view name,
+                                         std::shared_ptr<Handler> handler) {
+  size_t at = index_of(name);
+  if (at == handlers_.size()) {
+    throw std::invalid_argument("no chain stage named '" + std::string(name) +
+                                "'");
+  }
+  handlers_.insert(handlers_.begin() + static_cast<long>(at) + 1,
+                   std::move(handler));
+  return *this;
+}
+
+bool HandlerChain::remove(std::string_view name) {
+  size_t at = index_of(name);
+  if (at == handlers_.size()) return false;
+  handlers_.erase(handlers_.begin() + static_cast<long>(at));
+  return true;
+}
+
+std::vector<std::string> HandlerChain::names() const {
+  std::vector<std::string> out;
+  out.reserve(handlers_.size());
+  for (const auto& h : handlers_) out.emplace_back(h->name());
+  return out;
+}
+
+void HandlerChain::run(PipelineContext& ctx) const { run_from(ctx, 0); }
+
+void HandlerChain::run_from(PipelineContext& ctx, size_t index) const {
+  if (index >= handlers_.size()) return;
+  handlers_[index]->handle(ctx, Handler::Next(*this, index + 1));
+}
+
+// --- parse ------------------------------------------------------------------
+
+void ParseHandler::handle(PipelineContext& ctx, Next next) {
+  if (!ctx.http_request) {
+    // In-process entry: the caller supplied the envelope already.
+    next(ctx);
+    return;
+  }
+  const ContainerMetrics& m = ctx.container.metrics();
+  auto parse_started = std::chrono::steady_clock::now();
+  try {
+    ctx.parsed = soap::Envelope::from_xml(ctx.http_request->body);
+  } catch (const std::exception& e) {
+    m.parse_us->record(elapsed_us(parse_started));
+    m.faults->add();
+    telemetry::EventLog::global().emit(
+        telemetry::Level::kWarn, "container", "fault: malformed request body",
+        {{"path", ctx.path}, {"error", e.what()}});
+    ctx.http_response = net::HttpResponse::error(400, "Bad Request", e.what());
+    ctx.http_done = true;
+    return;
+  }
+  m.parse_us->record(elapsed_us(parse_started));
+  ctx.request = &ctx.parsed;
+
+  next(ctx);
+
+  ctx.http_response = serialize_response(ctx.response);
+  ctx.http_done = true;
+}
+
+// --- telemetry --------------------------------------------------------------
+
+void TelemetryHandler::handle(PipelineContext& ctx, Next next) {
+  // The dispatch span covers the inner stages: sweep, security, handler,
+  // response signing. When the request carries a TraceContext header the
+  // provisional spans on this thread (this one, and the enclosing
+  // http.receive if the request came through a server) are re-rooted onto
+  // the caller's trace.
+  telemetry::SpanScope span("container.dispatch", "container");
+  if (auto remote = telemetry::read_trace_header(*ctx.request)) {
+    telemetry::adopt_remote(*remote);
+  }
+  const ContainerMetrics& m = ctx.container.metrics();
+  m.requests->add();
+  auto dispatch_started = std::chrono::steady_clock::now();
+
+  next(ctx);
+
+  // Echo the server-side trace context (the signature does not cover it).
+  telemetry::write_trace_header(ctx.response, span.context());
+  m.dispatch_us->record(elapsed_us(dispatch_started));
+}
+
+// --- lifetime sweep ---------------------------------------------------------
+
+void LifetimeSweepHandler::handle(PipelineContext& ctx, Next next) {
+  // Scheduled terminations fire before the request sees any state.
+  ctx.container.lifetime().sweep();
+  next(ctx);
+}
+
+// --- resolve ----------------------------------------------------------------
+
+void ResolveHandler::handle(PipelineContext& ctx, Next next) {
+  ctx.service = ctx.container.registry().pin(ctx.path);
+  if (!ctx.service) {
+    const ContainerMetrics& m = ctx.container.metrics();
+    m.faults->add();
+    telemetry::EventLog::global().emit(
+        telemetry::Level::kWarn, "container", "fault: no service deployed",
+        {{"path", ctx.path}});
+    ctx.response = soap::Envelope::make_fault(
+        {"Sender", "no service deployed at " + ctx.path, "", ""});
+    return;
+  }
+  ctx.rpc.request = ctx.request;
+  ctx.rpc.info = ctx.request->read_addressing();
+  next(ctx);
+}
+
+// --- security ---------------------------------------------------------------
+
+void SecurityHandler::handle(PipelineContext& ctx, Next next) {
+  const ContainerConfig& cfg = ctx.container.config();
+  if (cfg.security != SecurityMode::kX509) {
+    next(ctx);
+    return;
+  }
+  const ContainerMetrics& m = ctx.container.metrics();
+  {
+    telemetry::SpanScope security_span("container.security", "container");
+    auto security_started = std::chrono::steady_clock::now();
+    try {
+      ctx.rpc.identity =
+          security::verify_envelope(*ctx.request, *cfg.anchor, cfg.clock->now());
+      m.security_us->record(elapsed_us(security_started));
+    } catch (const security::SecurityError& e) {
+      m.security_us->record(elapsed_us(security_started));
+      m.faults->add();
+      telemetry::EventLog::global().emit(
+          telemetry::Level::kWarn, "container",
+          "fault: security policy rejected request",
+          {{"path", ctx.path}, {"error", e.what()}});
+      ctx.response = soap::Envelope::make_fault(
+          {"Sender",
+           std::string("security policy rejected request: ") + e.what(), "",
+           ""});
+      security::sign_envelope(ctx.response, *cfg.credential);
+      return;
+    }
+  }
+
+  next(ctx);
+
+  // Response passes back through the security handler (digital signature).
+  auto sign_started = std::chrono::steady_clock::now();
+  security::sign_envelope(ctx.response, *cfg.credential);
+  m.security_us->record(elapsed_us(sign_started));
+}
+
+// --- dispatch ---------------------------------------------------------------
+
+void DispatchHandler::handle(PipelineContext& ctx, Next next) {
+  const ContainerMetrics& m = ctx.container.metrics();
+  {
+    telemetry::SpanScope handler_span("container.handler", "container");
+    auto handler_started = std::chrono::steady_clock::now();
+    ctx.response = ctx.service->dispatch(ctx.rpc);
+    m.handler_us->record(elapsed_us(handler_started));
+  }
+  if (ctx.response.is_fault()) {
+    m.faults->add();
+    const soap::Fault& fault = ctx.response.fault();
+    telemetry::EventLog::global().emit(
+        telemetry::Level::kWarn, "container", "fault returned by handler",
+        {{"path", ctx.path}, {"code", fault.code}, {"reason", fault.reason}});
+  }
+  next(ctx);
+}
+
+}  // namespace gs::container

@@ -1,0 +1,118 @@
+#include "container/registry.hpp"
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+
+namespace gs::container {
+
+// The in-flight count is a plain integer under the entry's mutex: pins are
+// taken once per request, far from any inner loop, and the mutex pairs the
+// final decrement with the condition variable undeploy waits on.
+struct ServiceHandle::Entry {
+  Service* service = nullptr;
+  std::mutex mu;
+  std::condition_variable drained;
+  long inflight = 0;  // guarded by mu
+};
+
+ServiceHandle::ServiceHandle(std::shared_ptr<Entry> entry)
+    : entry_(std::move(entry)) {}
+
+ServiceHandle::~ServiceHandle() { release(); }
+
+ServiceHandle::ServiceHandle(ServiceHandle&& other) noexcept
+    : entry_(std::move(other.entry_)) {
+  other.entry_ = nullptr;
+}
+
+ServiceHandle& ServiceHandle::operator=(ServiceHandle&& other) noexcept {
+  if (this != &other) {
+    release();
+    entry_ = std::move(other.entry_);
+    other.entry_ = nullptr;
+  }
+  return *this;
+}
+
+Service* ServiceHandle::get() const noexcept {
+  return entry_ ? entry_->service : nullptr;
+}
+
+void ServiceHandle::release() {
+  if (!entry_) return;
+  bool last = false;
+  {
+    std::lock_guard lock(entry_->mu);
+    last = --entry_->inflight == 0;
+  }
+  if (last) entry_->drained.notify_all();
+  entry_ = nullptr;
+}
+
+struct ServiceRegistry::Shard {
+  mutable std::shared_mutex mu;
+  std::map<std::string, std::shared_ptr<ServiceHandle::Entry>> entries;
+};
+
+ServiceRegistry::ServiceRegistry(size_t shard_count)
+    : shard_count_(shard_count == 0 ? 1 : shard_count),
+      shards_(new Shard[shard_count_]) {}
+
+ServiceRegistry::~ServiceRegistry() = default;
+
+ServiceRegistry::Shard& ServiceRegistry::shard_for(
+    const std::string& path) const {
+  return shards_[std::hash<std::string_view>{}(path) % shard_count_];
+}
+
+void ServiceRegistry::deploy(const std::string& path, Service& service) {
+  auto entry = std::make_shared<ServiceHandle::Entry>();
+  entry->service = &service;
+  Shard& shard = shard_for(path);
+  std::unique_lock lock(shard.mu);
+  shard.entries[path] = std::move(entry);
+}
+
+bool ServiceRegistry::undeploy(const std::string& path) {
+  std::shared_ptr<ServiceHandle::Entry> entry;
+  {
+    Shard& shard = shard_for(path);
+    std::unique_lock lock(shard.mu);
+    auto it = shard.entries.find(path);
+    if (it == shard.entries.end()) return false;
+    entry = std::move(it->second);
+    shard.entries.erase(it);
+  }
+  // The path is gone from the table: no new pins. Wait out existing ones
+  // so the caller can destroy the service after we return.
+  std::unique_lock lock(entry->mu);
+  entry->drained.wait(lock, [&] { return entry->inflight == 0; });
+  return true;
+}
+
+ServiceHandle ServiceRegistry::pin(const std::string& path) const {
+  Shard& shard = shard_for(path);
+  std::shared_lock lock(shard.mu);
+  auto it = shard.entries.find(path);
+  if (it == shard.entries.end()) return ServiceHandle();
+  // Increment while still holding the shard lock: once we return, undeploy
+  // either saw this pin or has not yet erased the entry.
+  {
+    std::lock_guard entry_lock(it->second->mu);
+    ++it->second->inflight;
+  }
+  return ServiceHandle(it->second);
+}
+
+std::vector<std::string> ServiceRegistry::paths() const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::shared_lock lock(shards_[i].mu);
+    for (const auto& [path, entry] : shards_[i].entries) out.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace gs::container

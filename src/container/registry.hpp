@@ -1,0 +1,81 @@
+// Concurrent service registry with request-scoped pinning.
+//
+// The container used to keep a `map<path, Service*>` behind one mutex and
+// return the raw pointer after unlocking — so a concurrent undeploy could
+// free the service mid-request. Here lookups return a ServiceHandle that
+// pins the deployment entry for the request's duration; `undeploy` removes
+// the path (no new pins) and then blocks until every in-flight request on
+// that entry drains, after which the caller may safely destroy the
+// Service. The path table is sharded under `shared_mutex` so concurrent
+// dispatch never serializes on one lock.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gs::container {
+
+class Service;
+
+/// RAII pin on a deployed service. While any handle is live, `undeploy`
+/// of that path blocks; destroying (or releasing) the handle lets the
+/// drain complete. Empty handles (no service at the path) are falsy.
+class ServiceHandle {
+ public:
+  ServiceHandle() = default;
+  ~ServiceHandle();
+  ServiceHandle(ServiceHandle&& other) noexcept;
+  ServiceHandle& operator=(ServiceHandle&& other) noexcept;
+  ServiceHandle(const ServiceHandle&) = delete;
+  ServiceHandle& operator=(const ServiceHandle&) = delete;
+
+  explicit operator bool() const noexcept { return entry_ != nullptr; }
+  Service* get() const noexcept;
+  Service* operator->() const noexcept { return get(); }
+  Service& operator*() const noexcept { return *get(); }
+
+  /// Drops the pin early (before the handle goes out of scope).
+  void release();
+
+ private:
+  friend class ServiceRegistry;
+  struct Entry;
+  explicit ServiceHandle(std::shared_ptr<Entry> entry);
+  std::shared_ptr<Entry> entry_;
+};
+
+/// Sharded path -> service table. Deploy/undeploy take one shard's write
+/// lock; pins take its read lock, so requests to different paths — and
+/// concurrent requests to the same path — proceed in parallel.
+class ServiceRegistry {
+ public:
+  explicit ServiceRegistry(size_t shard_count = 8);
+  ~ServiceRegistry();
+  ServiceRegistry(const ServiceRegistry&) = delete;
+  ServiceRegistry& operator=(const ServiceRegistry&) = delete;
+
+  /// Mounts `service` at `path`, replacing any previous deployment (pins
+  /// on the replaced entry keep the old service alive from the registry's
+  /// point of view; its owner must still outlive them).
+  void deploy(const std::string& path, Service& service);
+
+  /// Unmounts `path` and blocks until in-flight requests pinning it have
+  /// drained. Returns false when nothing was deployed there. Must not be
+  /// called from a request holding a pin on the same path (deadlock).
+  bool undeploy(const std::string& path);
+
+  /// Pins the service at `path`; empty handle when none is deployed.
+  ServiceHandle pin(const std::string& path) const;
+
+  std::vector<std::string> paths() const;
+
+ private:
+  struct Shard;
+  Shard& shard_for(const std::string& path) const;
+
+  size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace gs::container

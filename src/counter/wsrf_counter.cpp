@@ -2,12 +2,14 @@
 
 namespace gs::counter {
 
+using app::CounterCore;
+
 namespace {
-xml::QName counter_qn(const char* local) { return {soap::ns::kCounter, local}; }
+xml::QName counter_qn(const char* local) { return CounterCore::qn(local); }
 }  // namespace
 
-xml::QName cv_qname() { return counter_qn("cv"); }
-xml::QName double_value_qname() { return counter_qn("DoubleValue"); }
+xml::QName cv_qname() { return CounterCore::value_qname(); }
+xml::QName double_value_qname() { return CounterCore::double_value_qname(); }
 
 const std::string& wsrf_counter_create_action() {
   static const std::string action = std::string(soap::ns::kCounter) + "/Create";
@@ -19,7 +21,8 @@ WsrfCounterDeployment::WsrfCounterDeployment(Params params)
       db_(std::move(params.backend),
           {.write_through_cache = params.write_through_cache}),
       container_(params.container) {
-  counter_home_ = std::make_unique<wsrf::ResourceHome>(db_, "counters",
+  core_ = std::make_unique<CounterCore>(db_);
+  counter_home_ = std::make_unique<wsrf::ResourceHome>(db_, core_->collection(),
                                                        &container_.lifetime());
   subscription_home_ = std::make_unique<wsrf::ResourceHome>(
       db_, "counter-subscriptions", &container_.lifetime());
@@ -34,12 +37,8 @@ WsrfCounterDeployment::WsrfCounterDeployment(Params params)
   props.declare_computed(
       double_value_qname(), [](const xml::Element& state) {
         std::vector<std::unique_ptr<xml::Element>> out;
-        int v = 0;
-        if (const xml::Element* cv = state.child(cv_qname())) {
-          v = std::stoi(cv->text());
-        }
         auto el = std::make_unique<xml::Element>(double_value_qname());
-        el->set_text(std::to_string(v * 2));
+        el->set_text(std::to_string(CounterCore::double_value_of(state)));
         out.push_back(std::move(el));
         return out;
       });
@@ -54,9 +53,8 @@ WsrfCounterDeployment::WsrfCounterDeployment(Params params)
   // The single author-defined WebMethod: create.
   service_->register_operation(
       wsrf_counter_create_action(), [this](container::RequestContext& ctx) {
-        auto state = std::make_unique<xml::Element>(counter_qn("Counter"));
-        state->append_element(cv_qname()).set_text("0");
-        soap::EndpointReference epr = service_->create_resource(std::move(state));
+        soap::EndpointReference epr =
+            service_->create_resource(CounterCore::make_document(0));
         soap::Envelope response = container::make_response(
             ctx, wsrf_counter_create_action() + "Response");
         response.body().append(epr.to_xml(counter_qn("CounterEPR")));
@@ -74,21 +72,20 @@ WsrfCounterDeployment::WsrfCounterDeployment(Params params)
       }());
   producer_->register_into(*service_);
 
-  // Publish CounterValueChanged whenever cv is set. The message carries
-  // the counter EPR so a client with many counters can tell which fired.
+  // Publish CounterValueChanged whenever cv is set: the WSRF property
+  // change feeds the core's signal, and the core's signal feeds the
+  // WS-Notification producer.
+  core_->on_value_changed([this](const std::string& id,
+                                 const std::string& value) {
+    auto event = CounterCore::changed_event(
+        value, counter_home_->epr_for(id, counter_address()));
+    producer_->notify(kValueChangedTopic, *event);
+  });
   service_->on_property_changed(
       [this](const std::string& id, const xml::QName& prop) {
         if (prop != cv_qname()) return;
         if (manager_->count() == 0) return;  // nobody listening: skip
-        auto state = counter_home_->try_load(id);
-        if (!state) return;
-        xml::Element event(counter_qn(kValueChangedTopic));
-        const xml::Element* cv = state->child(cv_qname());
-        event.append_element(counter_qn("Value"))
-            .set_text(cv ? cv->text() : "");
-        event.append(counter_home_->epr_for(id, counter_address())
-                         .to_xml(counter_qn("CounterEPR")));
-        producer_->notify(kValueChangedTopic, event);
+        core_->note_changed(id);
       });
 
   telemetry_ = std::make_unique<telemetry::TelemetryService>(telemetry_address());

@@ -12,6 +12,7 @@
 
 #include <memory>
 
+#include "app/counter_core.hpp"
 #include "container/container.hpp"
 #include "soap/namespaces.hpp"
 #include "telemetry/service.hpp"
@@ -51,6 +52,7 @@ class WsrfCounterDeployment {
   wsrf::WsrfService& service() noexcept { return *service_; }
   wsn::NotificationProducer& producer() noexcept { return *producer_; }
   xmldb::XmlDatabase& db() noexcept { return db_; }
+  app::CounterCore& core() noexcept { return *core_; }
 
   std::string counter_address() const { return address_base_ + "/Counter"; }
   std::string manager_address() const {
@@ -63,6 +65,7 @@ class WsrfCounterDeployment {
   std::string address_base_;
   xmldb::XmlDatabase db_;
   container::Container container_;
+  std::unique_ptr<app::CounterCore> core_;
   std::unique_ptr<wsrf::ResourceHome> counter_home_;
   std::unique_ptr<wsrf::ResourceHome> subscription_home_;
   std::unique_ptr<wsn::SubscriptionManagerService> manager_;

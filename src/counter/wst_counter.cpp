@@ -4,20 +4,13 @@
 
 namespace gs::counter {
 
-namespace {
-xml::QName counter_qn(const char* local) { return {soap::ns::kCounter, local}; }
-
-std::unique_ptr<xml::Element> counter_document(int value) {
-  auto doc = std::make_unique<xml::Element>(counter_qn("Counter"));
-  doc->append_element(cv_qname()).set_text(std::to_string(value));
-  return doc;
-}
-}  // namespace
+using app::CounterCore;
 
 WstCounterDeployment::WstCounterDeployment(Params params)
     : address_base_(params.address_base),
       db_(std::move(params.backend), {.write_through_cache = false}),
       container_(params.container) {
+  core_ = std::make_unique<CounterCore>(db_);
   store_ = params.subscription_file.empty()
                ? std::make_unique<wse::SubscriptionStore>()
                : std::make_unique<wse::SubscriptionStore>(params.subscription_file);
@@ -29,40 +22,26 @@ WstCounterDeployment::WstCounterDeployment(Params params)
       *store_, *params.notification_sink, *params.container.clock);
 
   wst::TransferService::Hooks hooks;
-  // Put is read-modify-write per the paper: fetch the stored document,
-  // replace cv with the incoming value, store it back — one extra database
-  // read that the WSRF.NET cache never pays.
+  // Put is read-modify-write per the paper: the core fetches the stored
+  // document, replaces cv with the incoming value, and stores it back —
+  // one extra database read that the WSRF.NET cache never pays.
   hooks.on_put = [this](const std::string& id, const xml::Element& replacement,
                         container::RequestContext&)
       -> std::unique_ptr<xml::Element> {
-    auto current = db_.load("counters", id);
-    if (!current) {
-      throw soap::SoapFault("Sender", "unknown resource '" + id + "'");
-    }
-    const xml::Element* new_cv = replacement.child(cv_qname());
-    if (!new_cv) {
-      // The out-of-band schema contract was violated; WS-Transfer itself
-      // cannot catch this earlier (no input schema).
-      throw soap::SoapFault("Sender", "replacement document has no cv element");
-    }
-    if (xml::Element* cv = current->child(cv_qname())) {
-      cv->set_text(new_cv->text());
-    } else {
-      current->append_element(cv_qname()).set_text(new_cv->text());
-    }
-    db_.store("counters", id, *current);
-
-    // Trigger the CounterValueChanged event via the Notification Manager.
-    xml::Element event(counter_qn(kValueChangedTopic));
-    event.append_element(counter_qn("Value")).set_text(new_cv->text());
-    event.append(service_->epr_for(id).to_xml(counter_qn("CounterEPR")));
-    notifier_->notify(kValueChangedTopic, event,
-                      std::string(soap::ns::kCounter) + "/" + kValueChangedTopic);
+    core_->apply_put(id, replacement);
     return nullptr;
   };
+  // The core's value-changed signal feeds the WS-Eventing Notification
+  // Manager.
+  core_->on_value_changed([this](const std::string& id,
+                                 const std::string& value) {
+    auto event = CounterCore::changed_event(value, service_->epr_for(id));
+    notifier_->notify(kValueChangedTopic, *event,
+                      std::string(soap::ns::kCounter) + "/" + kValueChangedTopic);
+  });
 
   service_ = std::make_unique<wst::TransferService>(
-      "Counter", db_, "counters", counter_address(), std::move(hooks));
+      "Counter", db_, core_->collection(), counter_address(), std::move(hooks));
 
   telemetry_ = std::make_unique<telemetry::TelemetryService>(telemetry_address());
 
@@ -82,7 +61,8 @@ WstCounterClient::WstCounterClient(net::SoapCaller& caller,
       resource_(caller_, soap::EndpointReference(counter_address), security_) {}
 
 soap::EndpointReference WstCounterClient::create() {
-  wst::TransferProxy::CreateResult result = resource_.create(counter_document(0));
+  wst::TransferProxy::CreateResult result =
+      resource_.create(CounterCore::make_document(0));
   resource_.retarget(result.resource);
   return result.resource;
 }
@@ -99,7 +79,9 @@ int WstCounterClient::get() {
   return std::stoi(cv->text());
 }
 
-void WstCounterClient::set(int value) { resource_.put(counter_document(value)); }
+void WstCounterClient::set(int value) {
+  resource_.put(CounterCore::make_document(value));
+}
 
 void WstCounterClient::remove() { resource_.remove(); }
 

@@ -13,6 +13,7 @@
 
 #include <memory>
 
+#include "app/counter_core.hpp"
 #include "container/container.hpp"
 #include "soap/namespaces.hpp"
 #include "telemetry/service.hpp"
@@ -41,6 +42,7 @@ class WstCounterDeployment {
   container::Container& container() noexcept { return container_; }
   wst::TransferService& service() noexcept { return *service_; }
   xmldb::XmlDatabase& db() noexcept { return db_; }
+  app::CounterCore& core() noexcept { return *core_; }
 
   std::string counter_address() const { return address_base_ + "/Counter"; }
   std::string source_address() const { return address_base_ + "/CounterEvents"; }
@@ -54,6 +56,7 @@ class WstCounterDeployment {
   std::string address_base_;
   xmldb::XmlDatabase db_;
   container::Container container_;
+  std::unique_ptr<app::CounterCore> core_;
   std::unique_ptr<wse::SubscriptionStore> store_;
   std::unique_ptr<wse::WseSubscriptionManagerService> manager_;
   std::unique_ptr<wse::EventSourceService> source_;

@@ -1,17 +1,6 @@
 #include "gridbox/common.hpp"
 
-#include <signal.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
-#include <fstream>
-
-#include "common/encoding.hpp"
-#include "security/sha256.hpp"
-
 namespace gs::gridbox {
-
-xml::QName gb(const char* local) { return {soap::ns::kGridBox, local}; }
 
 xml::QName on_behalf_of_qname() { return gb("OnBehalfOf"); }
 
@@ -21,256 +10,6 @@ std::string resolve_caller(const container::RequestContext& ctx) {
   throw soap::SoapFault("Sender",
                         "cannot establish caller identity: message is neither "
                         "signed nor carries an OnBehalfOf header");
-}
-
-// ---------------------------------------------------------------------------
-// JobRunner
-// ---------------------------------------------------------------------------
-
-namespace {
-
-// Parses "sim:duration=<ms>,exit=<code>".
-std::pair<common::TimeMs, int> parse_command(const std::string& command) {
-  common::TimeMs duration = 0;
-  int exit_code = 0;
-  if (command.starts_with("sim:")) {
-    std::string rest = command.substr(4);
-    size_t pos = 0;
-    while (pos < rest.size()) {
-      size_t comma = rest.find(',', pos);
-      if (comma == std::string::npos) comma = rest.size();
-      std::string kv = rest.substr(pos, comma - pos);
-      size_t eq = kv.find('=');
-      if (eq != std::string::npos) {
-        std::string key = kv.substr(0, eq);
-        std::string value = kv.substr(eq + 1);
-        try {
-          if (key == "duration") duration = std::stoll(value);
-          if (key == "exit") exit_code = std::stoi(value);
-        } catch (const std::exception&) {
-          // Malformed pieces keep defaults; the job still runs.
-        }
-      }
-      pos = comma + 1;
-    }
-  }
-  return {duration, exit_code};
-}
-
-}  // namespace
-
-JobRunner::~JobRunner() {
-  // Reap any real children still running so they do not outlive the grid.
-  std::lock_guard lock(mu_);
-  for (auto& [pid, job] : jobs_) {
-    if (job.os_pid >= 0 && job.status.state == State::kRunning) {
-      ::kill(job.os_pid, SIGKILL);
-      ::waitpid(job.os_pid, nullptr, 0);
-    }
-  }
-}
-
-std::string JobRunner::spawn(const std::string& command,
-                             const std::string& working_dir,
-                             ExitCallback on_exit) {
-  Job job;
-  job.command = command;
-  job.working_dir = working_dir;
-  job.status.state = State::kRunning;
-  job.status.started = clock_.now();
-  job.on_exit = std::move(on_exit);
-
-  if (command.starts_with("exec:")) {
-    std::string shell_command = command.substr(5);
-    pid_t child = ::fork();
-    if (child < 0) {
-      throw soap::SoapFault("Receiver", "cannot fork job process");
-    }
-    if (child == 0) {
-      if (!working_dir.empty() && ::chdir(working_dir.c_str()) != 0) {
-        ::_exit(127);
-      }
-      ::execl("/bin/sh", "sh", "-c", shell_command.c_str(),
-              static_cast<char*>(nullptr));
-      ::_exit(127);
-    }
-    job.os_pid = child;
-    job.deadline = 0;
-    job.exit_code = 0;
-  } else {
-    auto [duration, exit_code] = parse_command(command);
-    job.deadline = clock_.now() + duration;
-    job.exit_code = exit_code;
-  }
-
-  std::lock_guard lock(mu_);
-  std::string pid = "pid-" + std::to_string(next_pid_++);
-  jobs_[pid] = std::move(job);
-  return pid;
-}
-
-std::optional<JobRunner::Status> JobRunner::status(const std::string& pid) {
-  poll();
-  std::lock_guard lock(mu_);
-  auto it = jobs_.find(pid);
-  if (it == jobs_.end()) return std::nullopt;
-  return it->second.status;
-}
-
-bool JobRunner::kill(const std::string& pid) {
-  poll();
-  std::lock_guard lock(mu_);
-  auto it = jobs_.find(pid);
-  if (it == jobs_.end() || it->second.status.state != State::kRunning) {
-    return false;
-  }
-  if (it->second.os_pid >= 0) {
-    ::kill(it->second.os_pid, SIGKILL);
-    ::waitpid(it->second.os_pid, nullptr, 0);
-    it->second.os_pid = -1;
-  }
-  it->second.status.state = State::kKilled;
-  it->second.status.ended = clock_.now();
-  it->second.status.exit_code = -9;
-  return true;
-}
-
-bool JobRunner::reap(const std::string& pid) {
-  std::lock_guard lock(mu_);
-  auto it = jobs_.find(pid);
-  if (it == jobs_.end() || it->second.status.state == State::kRunning) {
-    return false;
-  }
-  jobs_.erase(it);
-  return true;
-}
-
-size_t JobRunner::poll() {
-  common::TimeMs now = clock_.now();
-  std::vector<std::pair<std::string, Status>> callbacks;
-  {
-    std::lock_guard lock(mu_);
-    for (auto& [pid, job] : jobs_) {
-      if (job.status.state != State::kRunning) continue;
-      if (job.os_pid >= 0) {
-        // Real process: non-blocking reap.
-        int wstatus = 0;
-        pid_t reaped = ::waitpid(job.os_pid, &wstatus, WNOHANG);
-        if (reaped == job.os_pid) {
-          job.status.state = State::kExited;
-          job.status.exit_code =
-              WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
-          job.status.ended = now;
-          job.os_pid = -1;
-          if (job.on_exit) callbacks.emplace_back(pid, job.status);
-        }
-      } else if (now >= job.deadline) {
-        job.status.state = State::kExited;
-        job.status.exit_code = job.exit_code;
-        job.status.ended = now;
-        if (job.on_exit) callbacks.emplace_back(pid, job.status);
-      }
-    }
-  }
-  for (auto& [pid, status] : callbacks) {
-    ExitCallback cb;
-    {
-      std::lock_guard lock(mu_);
-      auto it = jobs_.find(pid);
-      if (it != jobs_.end()) cb = it->second.on_exit;
-    }
-    if (cb) cb(pid, status);
-  }
-  return callbacks.size();
-}
-
-size_t JobRunner::running_count() const {
-  std::lock_guard lock(mu_);
-  size_t n = 0;
-  for (const auto& [pid, job] : jobs_) {
-    if (job.status.state == State::kRunning) ++n;
-  }
-  return n;
-}
-
-// ---------------------------------------------------------------------------
-// FileStore
-// ---------------------------------------------------------------------------
-
-FileStore::FileStore(std::filesystem::path root) : root_(std::move(root)) {
-  std::filesystem::create_directories(root_);
-}
-
-std::filesystem::path FileStore::safe_path(const std::string& directory,
-                                           const std::string& filename) const {
-  auto reject = [](const std::string& segment) {
-    if (segment.empty() || segment == "." || segment == ".." ||
-        segment.find('/') != std::string::npos ||
-        segment.find('\\') != std::string::npos) {
-      throw soap::SoapFault("Sender", "illegal path segment '" + segment + "'");
-    }
-  };
-  reject(directory);
-  if (filename.empty()) return root_ / directory;
-  reject(filename);
-  return root_ / directory / filename;
-}
-
-void FileStore::ensure_directory(const std::string& directory) {
-  std::filesystem::create_directories(safe_path(directory));
-}
-
-bool FileStore::directory_exists(const std::string& directory) const {
-  std::error_code ec;
-  return std::filesystem::is_directory(safe_path(directory), ec);
-}
-
-bool FileStore::remove_directory(const std::string& directory) {
-  std::error_code ec;
-  return std::filesystem::remove_all(safe_path(directory), ec) > 0 && !ec;
-}
-
-void FileStore::put(const std::string& directory, const std::string& filename,
-                    const std::string& content) {
-  ensure_directory(directory);
-  std::ofstream out(safe_path(directory, filename),
-                    std::ios::binary | std::ios::trunc);
-  if (!out) throw soap::SoapFault("Receiver", "cannot write " + filename);
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-}
-
-std::optional<std::string> FileStore::get(const std::string& directory,
-                                          const std::string& filename) const {
-  std::ifstream in(safe_path(directory, filename), std::ios::binary);
-  if (!in) return std::nullopt;
-  return std::string(std::istreambuf_iterator<char>(in),
-                     std::istreambuf_iterator<char>{});
-}
-
-bool FileStore::remove(const std::string& directory, const std::string& filename) {
-  std::error_code ec;
-  return std::filesystem::remove(safe_path(directory, filename), ec) && !ec;
-}
-
-std::vector<std::string> FileStore::list(const std::string& directory) const {
-  std::vector<std::string> out;
-  std::error_code ec;
-  for (const auto& entry :
-       std::filesystem::directory_iterator(safe_path(directory), ec)) {
-    if (entry.is_regular_file()) out.push_back(entry.path().filename().string());
-  }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-std::filesystem::path FileStore::path_of(const std::string& directory) const {
-  return safe_path(directory);
-}
-
-std::string FileStore::hash_dn(const std::string& dn) {
-  security::Digest256 d = security::Sha256::digest(dn);
-  // 16 hex chars is plenty for a directory name.
-  return common::hex_encode(std::span<const std::uint8_t>(d.data(), 8));
 }
 
 }  // namespace gs::gridbox

@@ -1,24 +1,28 @@
-// Grid-in-a-Box shared substrate: identity resolution, the simulated
-// process spawner behind ExecService, and the on-disk file store behind
-// DataService.
+// Grid-in-a-Box protocol-side helpers: identity resolution and the wire
+// namespace. The business logic (accounts, sites, reservations, files,
+// jobs) lives in the stack-agnostic core under src/app; this header
+// re-exports those types so both bindings and their callers share one
+// vocabulary.
 #pragma once
 
-#include <filesystem>
-#include <functional>
-#include <map>
-#include <mutex>
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "common/clock.hpp"
+#include "app/gridbox_core.hpp"
 #include "container/service.hpp"
 #include "soap/namespaces.hpp"
 
 namespace gs::gridbox {
 
-/// QName in the Grid-in-a-Box namespace.
-xml::QName gb(const char* local);
+// The application core, re-exported into the binding namespace.
+using app::AccountBook;
+using app::DataVault;
+using app::FileStore;
+using app::JobBoard;
+using app::JobRunner;
+using app::SiteDirectory;
+using app::SiteInfo;
+using app::gb;
+using app::kJobCompletedTopic;
+using app::kPrivilegeAdmin;
+using app::kPrivilegeSubmit;
 
 /// The caller's DN: the X.509-verified identity when the container runs in
 /// signing mode, otherwise the OnBehalfOf header (unsecured deployments
@@ -27,122 +31,5 @@ std::string resolve_caller(const container::RequestContext& ctx);
 
 /// Reference-property name for the unsecured identity fallback.
 xml::QName on_behalf_of_qname();
-
-/// VO privileges.
-inline constexpr const char* kPrivilegeSubmit = "submit";
-inline constexpr const char* kPrivilegeAdmin = "admin";
-
-/// Topic published when a job finishes (both stacks).
-inline constexpr const char* kJobCompletedTopic = "JobCompleted";
-
-/// A registered computing site.
-struct SiteInfo {
-  std::string host;
-  std::string exec_address;
-  std::string data_address;
-  std::vector<std::string> applications;
-
-  std::unique_ptr<xml::Element> to_xml() const;
-  static SiteInfo from_xml(const xml::Element& el);
-};
-
-// ---------------------------------------------------------------------------
-// Job runner: the process-spawning substrate
-// ---------------------------------------------------------------------------
-
-/// Process table with two execution modes. The paper's ExecService spawned
-/// Windows processes; here:
-///   * "sim:duration=<ms>,exit=<code>" jobs are deterministic simulations
-///     driven by the deployment clock (what tests and benches use);
-///   * "exec:<shell command>" jobs fork/exec a real `/bin/sh -c` child in
-///     the job's working directory (what a production deployment uses).
-/// `poll()` retires finished jobs (clock expiry or waitpid) and fires
-/// their completion callbacks — services call it on every request.
-class JobRunner {
- public:
-  enum class State { kRunning, kExited, kKilled };
-
-  struct Status {
-    State state = State::kRunning;
-    int exit_code = 0;
-    common::TimeMs started = 0;
-    common::TimeMs ended = 0;  // meaningful when not running
-  };
-
-  using ExitCallback = std::function<void(const std::string& pid, const Status&)>;
-
-  explicit JobRunner(const common::Clock& clock) : clock_(clock) {}
-  ~JobRunner();
-
-  /// Spawns a job (see the class comment for command forms; anything else
-  /// is a simulation that runs 0 ms and exits 0). Returns the process id.
-  /// Throws SoapFault("Receiver") when a real process cannot be forked.
-  std::string spawn(const std::string& command, const std::string& working_dir,
-                    ExitCallback on_exit = nullptr);
-
-  std::optional<Status> status(const std::string& pid);
-  /// Kills a running job (state -> kKilled). False when unknown/finished.
-  bool kill(const std::string& pid);
-  /// Drops a finished job's record; false when still running or unknown.
-  bool reap(const std::string& pid);
-
-  /// Retires jobs whose simulated duration has elapsed; fires callbacks.
-  /// Returns the number retired.
-  size_t poll();
-
-  size_t running_count() const;
-
- private:
-  struct Job {
-    std::string command;
-    std::string working_dir;
-    common::TimeMs deadline;  // simulation deadline; unused for real jobs
-    int exit_code;
-    Status status;
-    ExitCallback on_exit;
-    int os_pid = -1;  // >= 0 for a real process
-  };
-
-  const common::Clock& clock_;
-  mutable std::mutex mu_;
-  std::map<std::string, Job> jobs_;
-  std::uint64_t next_pid_ = 1000;
-};
-
-// ---------------------------------------------------------------------------
-// File store: the DataService's filesystem
-// ---------------------------------------------------------------------------
-
-/// Per-directory file storage on the real filesystem. The WSRF DataService
-/// names directories with GUIDs; the WS-Transfer DataService hashes the
-/// user DN into a directory name — both go through this store.
-class FileStore {
- public:
-  explicit FileStore(std::filesystem::path root);
-
-  /// Creates (or ensures) a directory; returns its name.
-  void ensure_directory(const std::string& directory);
-  bool directory_exists(const std::string& directory) const;
-  /// Removes a directory and all its contents.
-  bool remove_directory(const std::string& directory);
-
-  void put(const std::string& directory, const std::string& filename,
-           const std::string& content);
-  std::optional<std::string> get(const std::string& directory,
-                                 const std::string& filename) const;
-  bool remove(const std::string& directory, const std::string& filename);
-  std::vector<std::string> list(const std::string& directory) const;
-
-  /// Absolute path of a directory (jobs use it as their working dir).
-  std::filesystem::path path_of(const std::string& directory) const;
-
-  /// The deterministic DN -> directory hash of the WS-Transfer variant.
-  static std::string hash_dn(const std::string& dn);
-
- private:
-  std::filesystem::path safe_path(const std::string& directory,
-                                  const std::string& filename = "") const;
-  std::filesystem::path root_;
-};
 
 }  // namespace gs::gridbox

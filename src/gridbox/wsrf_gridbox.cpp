@@ -2,59 +2,103 @@
 
 #include <set>
 
-#include "common/encoding.hpp"
 #include "wsn/subscription_manager.hpp"
 #include "wsrf/base_faults.hpp"
 
 namespace gs::gridbox {
 
-// SiteInfo is declared in common.hpp; its wire form lives here with the
-// services that exchange it.
-std::unique_ptr<xml::Element> SiteInfo::to_xml() const {
-  auto el = std::make_unique<xml::Element>(gb("Site"));
-  el->append_element(gb("Host")).set_text(host);
-  el->append_element(gb("ExecAddress")).set_text(exec_address);
-  el->append_element(gb("DataAddress")).set_text(data_address);
-  for (const auto& app : applications) {
-    el->append_element(gb("Application")).set_text(app);
-  }
-  return el;
-}
-
-SiteInfo SiteInfo::from_xml(const xml::Element& el) {
-  SiteInfo out;
-  if (const xml::Element* h = el.child(gb("Host"))) out.host = h->text();
-  if (const xml::Element* e = el.child(gb("ExecAddress"))) out.exec_address = e->text();
-  if (const xml::Element* d = el.child(gb("DataAddress"))) out.data_address = d->text();
-  for (const xml::Element* a : el.children_named(gb("Application"))) {
-    out.applications.push_back(a->text());
-  }
-  return out;
-}
-
 namespace {
 
 // ---------------------------------------------------------------------------
-// AccountService — plain (non-resource) web service per the paper.
+// Outcall proxies shared by the services below (the "pair of calls" the
+// paper measures all route through the central AccountService).
+// ---------------------------------------------------------------------------
+
+bool remote_account_exists(net::SoapCaller& caller, const std::string& address,
+                           const container::ProxySecurity& security,
+                           const std::string& dn) {
+  class Proxy : public container::ProxyBase {
+   public:
+    using container::ProxyBase::ProxyBase;
+    bool exists(const std::string& dn) {
+      auto req = std::make_unique<xml::Element>(gb("AccountExists"));
+      req->append_element(gb("DN")).set_text(dn);
+      soap::Envelope r = invoke(wsrf_actions::kAccountExists, std::move(req));
+      const xml::Element* p = r.payload();
+      const xml::Element* e = p ? p->child(gb("Exists")) : nullptr;
+      return e && e->text() == "true";
+    }
+  };
+  Proxy proxy(caller, soap::EndpointReference(address), security);
+  return proxy.exists(dn);
+}
+
+bool remote_check_privilege(net::SoapCaller& caller, const std::string& address,
+                            const container::ProxySecurity& security,
+                            const std::string& dn,
+                            const std::string& privilege) {
+  class Proxy : public container::ProxyBase {
+   public:
+    using container::ProxyBase::ProxyBase;
+    bool check(const std::string& dn, const std::string& privilege) {
+      auto req = std::make_unique<xml::Element>(gb("CheckPrivilege"));
+      req->append_element(gb("DN")).set_text(dn);
+      req->append_element(gb("Privilege")).set_text(privilege);
+      soap::Envelope r = invoke(wsrf_actions::kCheckPrivilege, std::move(req));
+      const xml::Element* p = r.payload();
+      const xml::Element* g = p ? p->child(gb("Granted")) : nullptr;
+      return g && g->text() == "true";
+    }
+  };
+  Proxy proxy(caller, soap::EndpointReference(address), security);
+  return proxy.check(dn, privilege);
+}
+
+std::set<std::string> remote_reserved_hosts(
+    net::SoapCaller& caller, const std::string& address,
+    const container::ProxySecurity& security) {
+  class Proxy : public container::ProxyBase {
+   public:
+    using container::ProxyBase::ProxyBase;
+    std::set<std::string> list() {
+      soap::Envelope r =
+          invoke(wsrf_actions::kListReservedHosts,
+                 std::make_unique<xml::Element>(gb("ListReservedHosts")));
+      std::set<std::string> out;
+      if (const xml::Element* p = r.payload()) {
+        for (const xml::Element* h : p->children_named(gb("Host"))) {
+          out.insert(h->text());
+        }
+      }
+      return out;
+    }
+  };
+  Proxy proxy(caller, soap::EndpointReference(address), security);
+  return proxy.list();
+}
+
+// ---------------------------------------------------------------------------
+// AccountService — plain (non-resource) web service per the paper; the
+// account state machine lives in app::AccountBook.
 // ---------------------------------------------------------------------------
 
 class AccountService final : public container::Service {
  public:
   AccountService(xmldb::XmlDatabase& db, std::string admin_dn)
-      : container::Service("Account"), db_(db), admin_dn_(std::move(admin_dn)) {
+      : container::Service("Account"), book_(db), admin_dn_(std::move(admin_dn)) {
     register_operation(wsrf_actions::kAddAccount,
                        [this](container::RequestContext& ctx) {
                          require_admin(ctx);
                          const xml::Element& p = ctx.payload();
                          const xml::Element* dn = p.child(gb("DN"));
                          if (!dn) throw soap::SoapFault("Sender", "AddAccount needs DN");
-                         auto doc = std::make_unique<xml::Element>(gb("Account"));
-                         doc->append_element(gb("DN")).set_text(dn->text());
+                         std::vector<std::string> privileges;
                          for (const xml::Element* priv :
                               p.children_named(gb("Privilege"))) {
-                           doc->append_element(gb("Privilege")).set_text(priv->text());
+                           privileges.push_back(priv->text());
                          }
-                         db_.store("accounts", dn->text(), *doc);
+                         book_.put(dn->text(), *AccountBook::make_document(
+                                                   dn->text(), privileges));
                          soap::Envelope r = container::make_response(
                              ctx, wsrf_actions::kAddAccount + "Response");
                          r.add_payload(gb("AddAccountResponse"));
@@ -65,7 +109,7 @@ class AccountService final : public container::Service {
                        [this](container::RequestContext& ctx) {
                          const xml::Element* dn = ctx.payload().child(gb("DN"));
                          if (!dn) throw soap::SoapFault("Sender", "needs DN");
-                         bool exists = db_.contains("accounts", dn->text());
+                         bool exists = book_.exists(dn->text());
                          soap::Envelope r = container::make_response(
                              ctx, wsrf_actions::kAccountExists + "Response");
                          r.add_payload(gb("AccountExistsResponse"))
@@ -85,7 +129,9 @@ class AccountService final : public container::Service {
               ctx, wsrf_actions::kCheckPrivilege + "Response");
           r.add_payload(gb("CheckPrivilegeResponse"))
               .append_element(gb("Granted"))
-              .set_text(has_privilege(dn->text(), priv->text()) ? "true" : "false");
+              .set_text(book_.has_privilege(dn->text(), priv->text())
+                            ? "true"
+                            : "false");
           return r;
         });
 
@@ -94,7 +140,7 @@ class AccountService final : public container::Service {
                          require_admin(ctx);
                          const xml::Element* dn = ctx.payload().child(gb("DN"));
                          if (!dn) throw soap::SoapFault("Sender", "needs DN");
-                         db_.remove("accounts", dn->text());
+                         book_.remove(dn->text());
                          soap::Envelope r = container::make_response(
                              ctx, wsrf_actions::kRemoveAccount + "Response");
                          r.add_payload(gb("RemoveAccountResponse"));
@@ -102,25 +148,16 @@ class AccountService final : public container::Service {
                        });
   }
 
-  bool has_privilege(const std::string& dn, const std::string& privilege) {
-    auto doc = db_.load("accounts", dn);
-    if (!doc) return false;
-    for (const xml::Element* p : doc->children_named(gb("Privilege"))) {
-      if (p->text() == privilege) return true;
-    }
-    return false;
-  }
-
  private:
   void require_admin(const container::RequestContext& ctx) {
     std::string caller = resolve_caller(ctx);
-    if (caller != admin_dn_ && !has_privilege(caller, kPrivilegeAdmin)) {
+    if (caller != admin_dn_ && !book_.has_privilege(caller, kPrivilegeAdmin)) {
       throw soap::SoapFault("Sender", "caller '" + caller +
                                           "' lacks the admin privilege");
     }
   }
 
-  xmldb::XmlDatabase& db_;
+  AccountBook book_;
   std::string admin_dn_;
 };
 
@@ -150,7 +187,8 @@ class ReservationService final : public wsrf::WsrfService {
           std::string owner = resolve_caller(ctx);
 
           // Outcall: the VO will not reserve for unknown users.
-          if (!account_exists(owner)) {
+          if (!remote_account_exists(*caller_, account_address_,
+                                     outcall_security_, owner)) {
             throw soap::SoapFault("Sender",
                                   "no VO account for '" + owner + "'");
           }
@@ -202,24 +240,6 @@ class ReservationService final : public wsrf::WsrfService {
     return props;
   }
 
-  bool account_exists(const std::string& dn) {
-    class Proxy : public container::ProxyBase {
-     public:
-      using container::ProxyBase::ProxyBase;
-      bool exists(const std::string& dn) {
-        auto req = std::make_unique<xml::Element>(gb("AccountExists"));
-        req->append_element(gb("DN")).set_text(dn);
-        soap::Envelope r = invoke(wsrf_actions::kAccountExists, std::move(req));
-        const xml::Element* p = r.payload();
-        const xml::Element* e = p ? p->child(gb("Exists")) : nullptr;
-        return e && e->text() == "true";
-      }
-    };
-    Proxy proxy(*caller_, soap::EndpointReference(account_address_),
-                outcall_security_);
-    return proxy.exists(dn);
-  }
-
   std::string account_address_;
   net::SoapCaller* caller_;
   container::ProxySecurity outcall_security_;
@@ -238,7 +258,7 @@ class AllocationService final : public container::Service {
                     container::ProxySecurity outcall_security,
                     std::string admin_dn)
       : container::Service("ResourceAllocation"),
-        db_(db),
+        sites_(db),
         account_address_(std::move(account_address)),
         reservation_address_(std::move(reservation_address)),
         caller_(caller),
@@ -251,7 +271,7 @@ class AllocationService final : public container::Service {
                          if (site.host.empty()) {
                            throw soap::SoapFault("Sender", "RegisterSite needs Host");
                          }
-                         db_.store("sites", site.host, *site.to_xml());
+                         sites_.put(site.host, *site.to_xml());
                          soap::Envelope r = container::make_response(
                              ctx, wsrf_actions::kRegisterSite + "Response");
                          r.add_payload(gb("RegisterSiteResponse"));
@@ -263,7 +283,7 @@ class AllocationService final : public container::Service {
                          require_admin(ctx);
                          const xml::Element* host = ctx.payload().child(gb("Host"));
                          if (!host) throw soap::SoapFault("Sender", "needs Host");
-                         db_.remove("sites", host->text());
+                         sites_.remove(host->text());
                          soap::Envelope r = container::make_response(
                              ctx, wsrf_actions::kUnregisterSite + "Response");
                          r.add_payload(gb("UnregisterSiteResponse"));
@@ -278,28 +298,27 @@ class AllocationService final : public container::Service {
           std::string caller_dn = resolve_caller(ctx);
 
           // Outcall 1: does this user have an account in this VO?
-          if (!account_exists(caller_dn)) {
+          if (!remote_account_exists(*caller_, account_address_,
+                                     outcall_security_, caller_dn)) {
             throw soap::SoapFault("Sender",
                                   "no VO account for '" + caller_dn + "'");
           }
-          // Outcall 2: which hosts are currently reserved?
-          std::set<std::string> reserved = reserved_hosts();
+          // Outcall 2: which hosts are currently reserved? (The WSRF
+          // variant keeps reservations as WS-Resources, so the site
+          // directory's availability filter takes them as a predicate.)
+          std::set<std::string> reserved = remote_reserved_hosts(
+              *caller_, reservation_address_, outcall_security_);
 
           soap::Envelope r = container::make_response(
               ctx, wsrf_actions::kGetAvailableResources + "Response");
           xml::Element& body =
               r.add_payload(gb("GetAvailableResourcesResponse"));
-          for (const std::string& host : db_.ids("sites")) {
-            auto doc = db_.load("sites", host);
-            if (!doc) continue;
-            SiteInfo site = SiteInfo::from_xml(*doc);
-            if (reserved.contains(site.host)) continue;
-            bool has_app = false;
-            for (const auto& a : site.applications) {
-              if (a == app->text()) has_app = true;
-            }
-            if (!has_app) continue;
-            body.append(site.to_xml());
+          for (auto& site : sites_.available(
+                   app->text(), [&reserved](const std::string& host,
+                                            const xml::Element&) {
+                     return reserved.contains(host);
+                   })) {
+            body.append(std::move(site));
           }
           return r;
         });
@@ -313,47 +332,7 @@ class AllocationService final : public container::Service {
     }
   }
 
-  bool account_exists(const std::string& dn) {
-    class Proxy : public container::ProxyBase {
-     public:
-      using container::ProxyBase::ProxyBase;
-      bool exists(const std::string& dn) {
-        auto req = std::make_unique<xml::Element>(gb("AccountExists"));
-        req->append_element(gb("DN")).set_text(dn);
-        soap::Envelope r = invoke(wsrf_actions::kAccountExists, std::move(req));
-        const xml::Element* p = r.payload();
-        const xml::Element* e = p ? p->child(gb("Exists")) : nullptr;
-        return e && e->text() == "true";
-      }
-    };
-    Proxy proxy(*caller_, soap::EndpointReference(account_address_),
-                outcall_security_);
-    return proxy.exists(dn);
-  }
-
-  std::set<std::string> reserved_hosts() {
-    class Proxy : public container::ProxyBase {
-     public:
-      using container::ProxyBase::ProxyBase;
-      std::set<std::string> list() {
-        soap::Envelope r =
-            invoke(wsrf_actions::kListReservedHosts,
-                   std::make_unique<xml::Element>(gb("ListReservedHosts")));
-        std::set<std::string> out;
-        if (const xml::Element* p = r.payload()) {
-          for (const xml::Element* h : p->children_named(gb("Host"))) {
-            out.insert(h->text());
-          }
-        }
-        return out;
-      }
-    };
-    Proxy proxy(*caller_, soap::EndpointReference(reservation_address_),
-                outcall_security_);
-    return proxy.list();
-  }
-
-  xmldb::XmlDatabase& db_;
+  SiteDirectory sites_;
   std::string account_address_;
   std::string reservation_address_;
   net::SoapCaller* caller_;
@@ -371,7 +350,7 @@ class DataService final : public wsrf::WsrfService {
               std::string account_address, net::SoapCaller* caller,
               container::ProxySecurity outcall_security)
       : wsrf::WsrfService("Data", home, make_props(files), std::move(address)),
-        files_(files),
+        vault_(files),
         account_address_(std::move(account_address)),
         caller_(caller),
         outcall_security_(outcall_security) {
@@ -380,7 +359,7 @@ class DataService final : public wsrf::WsrfService {
 
     // Destroy must also remove the directory and its contents; hook in.
     this->home().on_destroyed([this](const std::string& id) {
-      files_.remove_directory(id);
+      vault_.files().remove_directory(id);
     });
 
     register_operation(
@@ -392,7 +371,7 @@ class DataService final : public wsrf::WsrfService {
           // GUID (the id doubles as the directory name).
           soap::EndpointReference epr = create_resource(std::move(state));
           std::string id = *epr.reference_property(wsrf::resource_id_qname());
-          files_.ensure_directory(id);
+          vault_.files().ensure_directory(id);
           // Record the name in the state for the Files property getter.
           auto stored = this->home().load(id);
           stored->append_element(gb("Name")).set_text(id);
@@ -410,7 +389,8 @@ class DataService final : public wsrf::WsrfService {
       require_owner(ctx, *state);
       // Outcall: VO policy — stage-in only for current account holders
       // (the upload's "pair of calls" the paper measures).
-      if (!account_exists(resolve_caller(ctx))) {
+      if (!remote_account_exists(*caller_, account_address_, outcall_security_,
+                                 resolve_caller(ctx))) {
         throw soap::SoapFault("Sender", "no VO account for caller");
       }
       const xml::Element* name = ctx.payload().child(gb("FileName"));
@@ -418,9 +398,7 @@ class DataService final : public wsrf::WsrfService {
       if (!name || !content) {
         throw soap::SoapFault("Sender", "Upload needs FileName and Content");
       }
-      auto bytes = common::base64_decode(content->text());
-      if (!bytes) throw soap::SoapFault("Sender", "Content is not valid base64");
-      files_.put(id, name->text(), std::string(bytes->begin(), bytes->end()));
+      vault_.put_base64(id, name->text(), content->text());
       soap::Envelope r =
           container::make_response(ctx, wsrf_actions::kUpload + "Response");
       r.add_payload(gb("UploadResponse"));
@@ -433,7 +411,7 @@ class DataService final : public wsrf::WsrfService {
       require_owner(ctx, *state);
       const xml::Element* name = ctx.payload().child(gb("FileName"));
       if (!name) throw soap::SoapFault("Sender", "Download needs FileName");
-      std::optional<std::string> content = files_.get(id, name->text());
+      std::optional<std::string> content = vault_.get_base64(id, name->text());
       if (!content) {
         throw soap::SoapFault("Sender", "no file '" + name->text() + "'");
       }
@@ -441,7 +419,7 @@ class DataService final : public wsrf::WsrfService {
           container::make_response(ctx, wsrf_actions::kDownload + "Response");
       r.add_payload(gb("DownloadResponse"))
           .append_element(gb("Content"))
-          .set_text(common::base64_encode(common::as_bytes(*content)));
+          .set_text(*content);
       return r;
     });
 
@@ -451,7 +429,7 @@ class DataService final : public wsrf::WsrfService {
       require_owner(ctx, *state);
       const xml::Element* name = ctx.payload().child(gb("FileName"));
       if (!name) throw soap::SoapFault("Sender", "DeleteFile needs FileName");
-      if (!files_.remove(id, name->text())) {
+      if (!vault_.remove(id, name->text())) {
         throw soap::SoapFault("Sender", "no file '" + name->text() + "'");
       }
       soap::Envelope r =
@@ -490,32 +468,15 @@ class DataService final : public wsrf::WsrfService {
     }
   }
 
-  bool account_exists(const std::string& dn) {
-    class Proxy : public container::ProxyBase {
-     public:
-      using container::ProxyBase::ProxyBase;
-      bool exists(const std::string& dn) {
-        auto req = std::make_unique<xml::Element>(gb("AccountExists"));
-        req->append_element(gb("DN")).set_text(dn);
-        soap::Envelope r = invoke(wsrf_actions::kAccountExists, std::move(req));
-        const xml::Element* p = r.payload();
-        const xml::Element* e = p ? p->child(gb("Exists")) : nullptr;
-        return e && e->text() == "true";
-      }
-    };
-    Proxy proxy(*caller_, soap::EndpointReference(account_address_),
-                outcall_security_);
-    return proxy.exists(dn);
-  }
-
-  FileStore& files_;
+  DataVault vault_;
   std::string account_address_;
   net::SoapCaller* caller_;
   container::ProxySecurity outcall_security_;
 };
 
 // ---------------------------------------------------------------------------
-// ExecService — WS-Resources are jobs.
+// ExecService — WS-Resources are jobs; the job state machine lives in
+// app::JobBoard.
 // ---------------------------------------------------------------------------
 
 class ExecService final : public wsrf::WsrfService {
@@ -529,14 +490,14 @@ class ExecService final : public wsrf::WsrfService {
         account_address_(std::move(account_address)),
         caller_(caller),
         outcall_security_(outcall_security),
-        runner_(runner),
+        jobs_(runner),
         files_(files),
         producer_(producer) {
     import_resource_properties();
     import_resource_lifetime();
 
     register_operation(wsrf_actions::kStartJob, [this](container::RequestContext& ctx) {
-      runner_.poll();
+      jobs_.poll();
       const xml::Element& p = ctx.payload();
       const xml::Element* command = p.child(gb("Command"));
       const xml::Element* res_el = p.child(gb("ReservationEPR"));
@@ -564,7 +525,8 @@ class ExecService final : public wsrf::WsrfService {
                                             "', caller is '" + owner + "'");
       }
       // Outcall 2: VO policy — may this user submit jobs?
-      if (!check_privilege(owner, kPrivilegeSubmit)) {
+      if (!remote_check_privilege(*caller_, account_address_, outcall_security_,
+                                  owner, kPrivilegeSubmit)) {
         throw soap::SoapFault("Sender",
                               "'" + owner + "' lacks the submit privilege");
       }
@@ -581,9 +543,7 @@ class ExecService final : public wsrf::WsrfService {
         if (dir_id) working_dir = files_.path_of(*dir_id).string();
       }
 
-      auto state = std::make_unique<xml::Element>(gb("Job"));
-      state->append_element(gb("Owner")).set_text(owner);
-      state->append_element(gb("Command")).set_text(command->text());
+      auto state = JobBoard::make_document(owner, command->text());
       state->append(res_epr.to_xml(gb("ReservationEPR")));
 
       // Spawn; the exit callback publishes JobCompleted (with the job EPR)
@@ -592,16 +552,14 @@ class ExecService final : public wsrf::WsrfService {
       soap::EndpointReference job_epr = create_resource(std::move(state));
       std::string job_id =
           *job_epr.reference_property(wsrf::resource_id_qname());
-      std::string pid = runner_.spawn(
+      std::string pid = jobs_.start(
           command->text(), working_dir,
-          [this, job_id, job_epr, res_epr](const std::string&,
-                                           const JobRunner::Status& status) {
+          [this, job_epr, res_epr](const std::string&,
+                                   const JobRunner::Status& status) {
             if (producer_) {
-              xml::Element event(gb(kJobCompletedTopic));
-              event.append(job_epr.to_xml(gb("JobEPR")));
-              event.append_element(gb("ExitCode"))
-                  .set_text(std::to_string(status.exit_code));
-              producer_->notify(kJobCompletedTopic, event);
+              auto event =
+                  JobBoard::completion_event(job_epr, status.exit_code);
+              producer_->notify(kJobCompletedTopic, *event);
             }
             try {
               wsrf::WsResourceProxy reservation(*caller_, res_epr,
@@ -613,7 +571,7 @@ class ExecService final : public wsrf::WsrfService {
           });
       // Record the pid for the computed status properties.
       auto stored = this->home().load(job_id);
-      stored->append_element(gb("Pid")).set_text(pid);
+      JobBoard::set_pid(*stored, pid);
       this->home().save(job_id, *stored);
 
       soap::Envelope r =
@@ -624,13 +582,10 @@ class ExecService final : public wsrf::WsrfService {
 
     // Destroy should kill a running job first; wrap the imported Destroy.
     Service::Operation destroy_op = [this](container::RequestContext& ctx) {
-      runner_.poll();
+      jobs_.poll();
       std::string id = resolve_resource(ctx);
       if (auto state = this->home().try_load(id)) {
-        if (const xml::Element* pid = state->child(gb("Pid"))) {
-          runner_.kill(pid->text());
-          runner_.reap(pid->text());
-        }
+        jobs_.terminate(*state);
       }
       if (!this->home().destroy(id)) {
         wsrf::throw_base_fault(wsrf::FaultType::kResourceUnknown,
@@ -646,7 +601,7 @@ class ExecService final : public wsrf::WsrfService {
 
   /// Lets the deployment drive job completion (tests advance a ManualClock
   /// then poll).
-  JobRunner& runner() noexcept { return runner_; }
+  JobRunner& runner() noexcept { return jobs_.runner(); }
 
  private:
   static wsrf::PropertySet make_props(JobRunner& runner) {
@@ -655,23 +610,15 @@ class ExecService final : public wsrf::WsrfService {
     props.declare_stored(gb("Command"));
     auto status_of = [&runner](const xml::Element& state)
         -> std::optional<JobRunner::Status> {
-      const xml::Element* pid = state.child(gb("Pid"));
+      auto pid = JobBoard::pid_of(state);
       if (!pid) return std::nullopt;
-      return runner.status(pid->text());
+      return runner.status(*pid);
     };
     props.declare_computed(gb("Status"), [status_of](const xml::Element& state) {
       std::vector<std::unique_ptr<xml::Element>> out;
       auto el = std::make_unique<xml::Element>(gb("Status"));
       auto status = status_of(state);
-      if (!status) {
-        el->set_text("unknown");
-      } else {
-        switch (status->state) {
-          case JobRunner::State::kRunning: el->set_text("running"); break;
-          case JobRunner::State::kExited: el->set_text("exited"); break;
-          case JobRunner::State::kKilled: el->set_text("killed"); break;
-        }
-      }
+      el->set_text(status ? JobBoard::state_name(status->state) : "unknown");
       out.push_back(std::move(el));
       return out;
     });
@@ -688,30 +635,11 @@ class ExecService final : public wsrf::WsrfService {
     return props;
   }
 
-  bool check_privilege(const std::string& dn, const std::string& privilege) {
-    class Proxy : public container::ProxyBase {
-     public:
-      using container::ProxyBase::ProxyBase;
-      bool check(const std::string& dn, const std::string& privilege) {
-        auto req = std::make_unique<xml::Element>(gb("CheckPrivilege"));
-        req->append_element(gb("DN")).set_text(dn);
-        req->append_element(gb("Privilege")).set_text(privilege);
-        soap::Envelope r = invoke(wsrf_actions::kCheckPrivilege, std::move(req));
-        const xml::Element* p = r.payload();
-        const xml::Element* g = p ? p->child(gb("Granted")) : nullptr;
-        return g && g->text() == "true";
-      }
-    };
-    Proxy proxy(*caller_, soap::EndpointReference(account_address_),
-                outcall_security_);
-    return proxy.check(dn, privilege);
-  }
-
   std::string host_;
   std::string account_address_;
   net::SoapCaller* caller_;
   container::ProxySecurity outcall_security_;
-  JobRunner& runner_;
+  JobBoard jobs_;
   FileStore& files_;
   wsn::NotificationProducer* producer_;
 };
@@ -833,6 +761,10 @@ JobRunner& WsrfGridDeployment::job_runner(const std::string& host) {
     if (h->name == host) return *h->runner;
   }
   throw std::out_of_range("unknown host " + host);
+}
+
+xmldb::XmlDatabase& WsrfGridDeployment::central_db() {
+  return impl_->central_db;
 }
 
 std::string WsrfGridDeployment::account_address() const {

@@ -1,6 +1,5 @@
 #include "gridbox/wst_gridbox.hpp"
 
-#include "common/encoding.hpp"
 #include "common/uuid.hpp"
 #include "wst/client.hpp"
 
@@ -44,13 +43,17 @@ struct WstGridDeployment::Impl {
   Params params;
   xmldb::XmlDatabase central_db;
   container::Container central;
+  AccountBook accounts;
+  SiteDirectory sites;
   std::unique_ptr<wst::TransferService> account;
   std::unique_ptr<wst::TransferService> allocation;
 
   Impl(Params p)
       : params(std::move(p)),
         central_db(std::move(params.backend), {.write_through_cache = false}),
-        central(params.central_container) {
+        central(params.central_container),
+        accounts(central_db),
+        sites(central_db) {
     make_account();
     make_allocation();
     central.deploy("/Account", *account);
@@ -71,7 +74,7 @@ struct WstGridDeployment::Impl {
     hooks.on_delete = [this](const std::string& id,
                              container::RequestContext& ctx) {
       require_admin(ctx);
-      return central_db.remove("accounts", id);
+      return accounts.remove(id);
     };
     account = std::make_unique<wst::TransferService>(
         "Account", central_db, "accounts", params.central_base + "/Account",
@@ -91,7 +94,7 @@ struct WstGridDeployment::Impl {
     hooks.on_delete = [this](const std::string& id,
                              container::RequestContext& ctx) {
       require_admin(ctx);
-      return central_db.remove("sites", id);
+      return sites.remove(id);
     };
     // Get: two modes on the id's first character.
     hooks.on_get = [this](const std::string& id, container::RequestContext& ctx)
@@ -106,28 +109,21 @@ struct WstGridDeployment::Impl {
                                     resolve_caller(ctx));
         std::string app = id.substr(1);
         auto out = std::make_unique<xml::Element>(gb("AvailableResources"));
-        for (const std::string& host : central_db.ids("sites")) {
-          auto site = central_db.load("sites", host);
-          if (!site) continue;
-          const xml::Element* reserved = site->child(gb("ReservedBy"));
-          if (reserved && !reserved->text().empty()) continue;
-          bool has_app = false;
-          for (const xml::Element* a : site->children_named(gb("Application"))) {
-            if (a->text() == app) has_app = true;
-          }
-          if (!has_app) continue;
-          out->append(site->clone());
+        for (auto& site : sites.available(
+                 app, [](const std::string&, const xml::Element& doc) {
+                   return SiteDirectory::inline_reserved(doc);
+                 })) {
+          out->append(std::move(site));
         }
         return out;
       }
       // Otherwise: who has a reservation on this site?
-      auto site = central_db.load("sites", id);
+      auto site = sites.load(id);
       if (!site) return nullptr;
       auto info = std::make_unique<xml::Element>(gb("ReservationInfo"));
-      const xml::Element* reserved = site->child(gb("ReservedBy"));
+      std::string holder = SiteDirectory::inline_holder(*site);
       info->append_element(gb("Owner"))
-          .set_text(reserved && !reserved->text().empty() ? reserved->text()
-                                                          : "none");
+          .set_text(holder.empty() ? "none" : holder);
       if (const xml::Element* until = site->child(gb("ReservedUntil"))) {
         info->append_element(gb("Until")).set_text(until->text());
       }
@@ -140,18 +136,9 @@ struct WstGridDeployment::Impl {
       if (id.empty()) throw soap::SoapFault("Sender", "empty allocation id");
       char mode = id[0];
       std::string host = id.substr(1);
-      auto site = central_db.load("sites", host);
-      if (!site) throw soap::SoapFault("Sender", "unknown site '" + host + "'");
-
-      auto set_child = [&](const xml::QName& name, const std::string& value) {
-        if (xml::Element* el = site->child(name)) {
-          el->set_text(value);
-        } else {
-          site->append_element(name).set_text(value);
-        }
-      };
-      const xml::Element* reserved = site->child(gb("ReservedBy"));
-      std::string holder = reserved ? reserved->text() : "";
+      if (!sites.load(host)) {
+        throw soap::SoapFault("Sender", "unknown site '" + host + "'");
+      }
       std::string caller_dn = resolve_caller(ctx);
 
       switch (mode) {
@@ -162,42 +149,25 @@ struct WstGridDeployment::Impl {
                                       params.outcall_security,
                                       params.central_base + "/Account",
                                       caller_dn);
-          if (!holder.empty()) {
-            throw soap::SoapFault("Sender",
-                                  "site '" + host + "' is already reserved");
-          }
-          set_child(gb("ReservedBy"), caller_dn);
-          set_child(gb("ReservedUntil"),
-                    std::to_string(params.central_container.clock->now() +
-                                   params.reservation_ttl_ms));
+          sites.reserve(host, caller_dn,
+                        std::to_string(params.central_container.clock->now() +
+                                       params.reservation_ttl_ms));
           break;
         }
-        case kModeUnreserve: {
-          if (holder.empty()) {
-            throw soap::SoapFault("Sender", "site '" + host + "' is not reserved");
-          }
-          if (holder != caller_dn) {
-            throw soap::SoapFault(
-                "Sender", "reservation on '" + host + "' belongs to " + holder);
-          }
-          set_child(gb("ReservedBy"), "");
-          set_child(gb("ReservedUntil"), "");
+        case kModeUnreserve:
+          sites.unreserve(host, caller_dn);
           break;
-        }
         case kModeRetime: {
-          if (holder != caller_dn) {
-            throw soap::SoapFault("Sender", "no reservation to retime");
-          }
           const xml::Element* until = replacement.child(gb("Until"));
-          if (!until) throw soap::SoapFault("Sender", "retime needs Until");
-          set_child(gb("ReservedUntil"), until->text());
+          sites.retime(host, caller_dn,
+                       until ? std::optional<std::string>(until->text())
+                             : std::nullopt);
           break;
         }
         default:
           throw soap::SoapFault("Sender",
                                 std::string("unknown Put mode '") + mode + "'");
       }
-      central_db.store("sites", host, *site);
       return nullptr;
     };
     allocation = std::make_unique<wst::TransferService>(
@@ -220,7 +190,9 @@ struct WstGridDeployment::Impl {
     xmldb::XmlDatabase db;
     container::Container container;
     std::unique_ptr<FileStore> files;
+    std::unique_ptr<DataVault> vault;
     std::unique_ptr<JobRunner> runner;
+    std::unique_ptr<JobBoard> jobs;
     std::unique_ptr<wse::SubscriptionStore> store;
     std::unique_ptr<wse::WseSubscriptionManagerService> manager;
     std::unique_ptr<wse::EventSourceService> source;
@@ -234,7 +206,9 @@ struct WstGridDeployment::Impl {
           db(std::move(p.backend), {.write_through_cache = false}),
           container(p.container) {
       files = std::make_unique<FileStore>(p.file_root);
+      vault = std::make_unique<DataVault>(*files);
       runner = std::make_unique<JobRunner>(*p.container.clock);
+      jobs = std::make_unique<JobBoard>(*runner);
       store = p.subscription_file.empty()
                   ? std::make_unique<wse::SubscriptionStore>()
                   : std::make_unique<wse::SubscriptionStore>(p.subscription_file);
@@ -274,11 +248,8 @@ struct WstGridDeployment::Impl {
           throw soap::SoapFault("Sender", "file document needs a name attribute");
         }
         const xml::Element* content = representation.child(gb("Content"));
-        auto bytes =
-            common::base64_decode(content ? content->text() : std::string());
-        if (!bytes) throw soap::SoapFault("Sender", "Content is not valid base64");
-        files->put(FileStore::hash_dn(dn), filename,
-                   std::string(bytes->begin(), bytes->end()));
+        vault->put_base64(FileStore::hash_dn(dn), filename,
+                          content ? content->text() : std::string());
         // The database keeps only a stub (the bytes live on the
         // filesystem — "the only exception is the Data Service").
         auto stub = std::make_unique<xml::Element>(gb("File"));
@@ -292,19 +263,18 @@ struct WstGridDeployment::Impl {
         if (id.ends_with("/")) {
           // Directory listing.
           auto listing = std::make_unique<xml::Element>(gb("Listing"));
-          for (const std::string& f : files->list(dir)) {
+          for (const std::string& f : vault->list(dir)) {
             listing->append_element(gb("File")).set_attr("name", f);
           }
           return listing;
         }
         size_t slash = id.rfind('/');
         std::string filename = slash == std::string::npos ? id : id.substr(slash + 1);
-        std::optional<std::string> content = files->get(dir, filename);
+        std::optional<std::string> content = vault->get_base64(dir, filename);
         if (!content) return nullptr;
         auto doc = std::make_unique<xml::Element>(gb("File"));
         doc->set_attr("name", filename);
-        doc->append_element(gb("Content"))
-            .set_text(common::base64_encode(common::as_bytes(*content)));
+        doc->append_element(gb("Content")).set_text(*content);
         return doc;
       };
       hooks.on_put = [this](const std::string& id, const xml::Element& replacement,
@@ -314,11 +284,8 @@ struct WstGridDeployment::Impl {
         size_t slash = id.rfind('/');
         std::string filename = slash == std::string::npos ? id : id.substr(slash + 1);
         const xml::Element* content = replacement.child(gb("Content"));
-        auto bytes =
-            common::base64_decode(content ? content->text() : std::string());
-        if (!bytes) throw soap::SoapFault("Sender", "Content is not valid base64");
-        files->put(FileStore::hash_dn(dn), filename,
-                   std::string(bytes->begin(), bytes->end()));
+        vault->put_base64(FileStore::hash_dn(dn), filename,
+                          content ? content->text() : std::string());
         return nullptr;
       };
       hooks.on_delete = [this](const std::string& id,
@@ -327,7 +294,7 @@ struct WstGridDeployment::Impl {
         size_t slash = id.rfind('/');
         std::string filename = slash == std::string::npos ? id : id.substr(slash + 1);
         db.remove("files", id);
-        return files->remove(FileStore::hash_dn(dn), filename);
+        return vault->remove(FileStore::hash_dn(dn), filename);
       };
       data = std::make_unique<wst::TransferService>("Data", db, "files",
                                                     base + "/Data",
@@ -341,7 +308,7 @@ struct WstGridDeployment::Impl {
       // itself (the resource-vs-representation ambiguity the paper hit).
       hooks.on_create = [this, &owner](const xml::Element& representation,
                                        container::RequestContext& ctx) {
-        runner->poll();
+        jobs->poll();
         std::string dn = resolve_caller(ctx);
         const xml::Element* command = representation.child(gb("Command"));
         if (!command) throw soap::SoapFault("Sender", "job document needs Command");
@@ -361,58 +328,35 @@ struct WstGridDeployment::Impl {
         job_epr.add_reference_property(wst::transfer_id_qname(), id);
 
         std::string working_dir = files->path_of(FileStore::hash_dn(dn)).string();
-        std::string pid = runner->spawn(
+        std::string pid = jobs->start(
             command->text(), working_dir,
             [this, job_epr](const std::string&, const JobRunner::Status& status) {
-              xml::Element event(gb(kJobCompletedTopic));
-              event.append(job_epr.to_xml(gb("JobEPR")));
-              event.append_element(gb("ExitCode"))
-                  .set_text(std::to_string(status.exit_code));
-              notifier->notify(kJobCompletedTopic, event,
+              auto event = JobBoard::completion_event(job_epr, status.exit_code);
+              notifier->notify(kJobCompletedTopic, *event,
                                std::string(soap::ns::kGridBox) + "/" +
                                    kJobCompletedTopic);
             });
 
-        auto doc = std::make_unique<xml::Element>(gb("Job"));
-        doc->append_element(gb("Owner")).set_text(dn);
-        doc->append_element(gb("Command")).set_text(command->text());
-        doc->append_element(gb("Pid")).set_text(pid);
+        auto doc = JobBoard::make_document(dn, command->text());
+        JobBoard::set_pid(*doc, pid);
         return std::make_pair(std::move(id), std::move(doc));
       };
       hooks.on_get = [this](const std::string& id, container::RequestContext&)
           -> std::unique_ptr<xml::Element> {
-        runner->poll();
+        jobs->poll();
         auto doc = db.load("jobs", id);
         if (!doc) return nullptr;
         // Augment the stored representation with live process state.
-        const xml::Element* pid = doc->child(gb("Pid"));
-        std::optional<JobRunner::Status> status;
-        if (pid) status = runner->status(pid->text());
-        std::string state = "unknown";
-        if (status) {
-          switch (status->state) {
-            case JobRunner::State::kRunning: state = "running"; break;
-            case JobRunner::State::kExited: state = "exited"; break;
-            case JobRunner::State::kKilled: state = "killed"; break;
-          }
-        }
-        doc->append_element(gb("Status")).set_text(state);
-        if (status && status->state != JobRunner::State::kRunning) {
-          doc->append_element(gb("ExitCode"))
-              .set_text(std::to_string(status->exit_code));
-        }
+        jobs->annotate_status(*doc);
         return doc;
       };
       // Delete: the WS-Transfer ambiguity the paper calls out — we chose
       // "terminate the process AND delete the representation".
       hooks.on_delete = [this](const std::string& id,
                                container::RequestContext&) {
-        runner->poll();
+        jobs->poll();
         if (auto doc = db.load("jobs", id)) {
-          if (const xml::Element* pid = doc->child(gb("Pid"))) {
-            runner->kill(pid->text());
-            runner->reap(pid->text());
-          }
+          jobs->terminate(*doc);
         }
         return db.remove("jobs", id);
       };
@@ -449,6 +393,10 @@ JobRunner& WstGridDeployment::job_runner(const std::string& host) {
     if (h->name == host) return *h->runner;
   }
   throw std::out_of_range("unknown host " + host);
+}
+
+xmldb::XmlDatabase& WstGridDeployment::central_db() {
+  return impl_->central_db;
 }
 
 std::string WstGridDeployment::account_address() const {

@@ -80,6 +80,9 @@ class WstGridDeployment {
   container::Container& central_container();
   container::Container& host_container(const std::string& host);
   JobRunner& job_runner(const std::string& host);
+  /// Central-service state (accounts, sites) — lets tests compare the
+  /// stored documents across stack bindings.
+  xmldb::XmlDatabase& central_db();
 
   std::string account_address() const;
   std::string allocation_address() const;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/locks.hpp"
 #include "container/lifetime.hpp"
 #include "soap/addressing.hpp"
 #include "xml/node.hpp"
@@ -112,6 +113,14 @@ class ResourceHome {
   /// and service-group cleanup attach here).
   void on_destroyed(std::function<void(const std::string& id)> hook);
 
+  /// Serializes read-modify-write sequences on one resource: hold the
+  /// returned lock across load/mutate/save so concurrent writers to the
+  /// same resource cannot interleave (writers to other resources usually
+  /// proceed in parallel — ids share a fixed set of lock stripes).
+  std::unique_lock<std::mutex> lock_resource(const std::string& id) const {
+    return locks_.lock(id);
+  }
+
   xmldb::XmlDatabase& db() noexcept { return db_; }
   const std::string& collection() const noexcept { return collection_; }
 
@@ -122,6 +131,7 @@ class ResourceHome {
   std::string collection_;
   container::LifetimeManager* lifetime_;
   mutable std::mutex mu_;
+  mutable common::StripedLocks locks_;
   std::map<std::string, container::LifetimeManager::Handle> handles_;
   std::vector<std::function<void(const std::string&)>> destroy_hooks_;
 };

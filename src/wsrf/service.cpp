@@ -111,6 +111,10 @@ void WsrfService::import_resource_properties() {
   register_operation(actions::kSetResourceProperties, [this](
                          container::RequestContext& ctx) {
     std::string id = resolve_resource(ctx);
+    // Set is read-modify-write over the state document; hold the
+    // resource's lock stripe across load/mutate/save so concurrent Sets
+    // to the same resource cannot lose updates.
+    auto resource_lock = home_.lock_resource(id);
     auto state = home_.load(id);
     std::vector<xml::QName> changed;
 
@@ -169,6 +173,7 @@ void WsrfService::import_resource_properties() {
     }
 
     home_.save(id, *state);
+    resource_lock.unlock();  // listeners may re-enter this resource
     for (const auto& name : changed) fire_property_changed(id, name);
 
     soap::Envelope response = container::make_response(

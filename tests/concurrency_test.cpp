@@ -1,0 +1,342 @@
+// Tests for concurrent dispatch: the pinned service registry, per-resource
+// write serialization in the application core, an 8-thread hammer over one
+// container (run under SANITIZE=tsan), and binding equivalence — the same
+// operation sequence through the WSRF and WS-Transfer front-ends must leave
+// the stack-agnostic core in identical state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "app/counter_core.hpp"
+#include "container/container.hpp"
+#include "counter/wsrf_counter.hpp"
+#include "counter/wst_counter.hpp"
+#include "gridbox/clients.hpp"
+#include "wsn/consumer.hpp"
+#include "wsrf/resource.hpp"
+#include "wst/service.hpp"
+#include "xml/writer.hpp"
+
+namespace gs {
+namespace {
+
+// Prefix-independent canonical form of an element tree: prefixes are
+// assigned by whichever parser/writer the document last travelled through,
+// so equivalence must compare Clark names, attributes, text and children.
+std::string canon(const xml::Element& el) {
+  std::string out = "<" + el.name().clark();
+  for (const auto& attr : el.attributes()) {
+    if (attr.name.local() == "xmlns" ||
+        attr.name.ns() == "http://www.w3.org/2000/xmlns/") {
+      continue;
+    }
+    out += " " + attr.name.clark() + "='" + attr.value + "'";
+  }
+  out += ">";
+  std::vector<const xml::Element*> kids = el.child_elements();
+  if (kids.empty()) {
+    out += el.text();
+  } else {
+    for (const xml::Element* kid : kids) out += canon(*kid);
+  }
+  return out + "</>";
+}
+
+class EchoService : public container::Service {
+ public:
+  EchoService() : Service("Echo") {
+    register_operation("urn:test/Echo", [](container::RequestContext& ctx) {
+      soap::Envelope r = container::make_response(ctx, "urn:test/EchoResponse");
+      r.add_payload(xml::QName("urn:test", "Out"));
+      return r;
+    });
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Service registry: pins and undeploy drains
+// ---------------------------------------------------------------------------
+
+TEST(Registry, PinResolvesDeployedService) {
+  container::ServiceRegistry registry;
+  EchoService svc;
+  registry.deploy("/Echo", svc);
+  container::ServiceHandle handle = registry.pin("/Echo");
+  ASSERT_TRUE(handle);
+  EXPECT_EQ(handle.get(), &svc);
+  EXPECT_FALSE(registry.pin("/Nope"));
+}
+
+TEST(Registry, UndeployAbsentPathReturnsFalse) {
+  container::ServiceRegistry registry;
+  EXPECT_FALSE(registry.undeploy("/Nope"));
+}
+
+TEST(Registry, UndeployBlocksUntilPinReleased) {
+  container::ServiceRegistry registry;
+  EchoService svc;
+  registry.deploy("/Echo", svc);
+
+  container::ServiceHandle handle = registry.pin("/Echo");
+  std::atomic<bool> undeployed{false};
+  std::thread undeployer([&] {
+    registry.undeploy("/Echo");
+    undeployed.store(true);
+  });
+
+  // The path disappears immediately (no new pins) but the drain must wait
+  // for the live handle.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(registry.pin("/Echo"));
+  EXPECT_FALSE(undeployed.load());
+  EXPECT_EQ(handle.get(), &svc);  // still safe to use while pinned
+
+  handle.release();
+  undeployer.join();
+  EXPECT_TRUE(undeployed.load());
+}
+
+TEST(Registry, RedeployKeepsOldPinsAlive) {
+  container::ServiceRegistry registry;
+  EchoService old_svc;
+  EchoService new_svc;
+  registry.deploy("/Echo", old_svc);
+  container::ServiceHandle old_pin = registry.pin("/Echo");
+
+  registry.deploy("/Echo", new_svc);
+  EXPECT_EQ(old_pin.get(), &old_svc);  // replacement does not invalidate
+  container::ServiceHandle new_pin = registry.pin("/Echo");
+  EXPECT_EQ(new_pin.get(), &new_svc);
+}
+
+// ---------------------------------------------------------------------------
+// Application core: per-resource write serialization
+// ---------------------------------------------------------------------------
+
+TEST(Concurrency, ConcurrentApplyPutNeverLosesDocument) {
+  xmldb::XmlDatabase db(std::make_unique<xmldb::MemoryBackend>(),
+                        {.write_through_cache = false});
+  app::CounterCore core(db);
+  db.store(core.collection(), "shared", *app::CounterCore::make_document(0));
+
+  std::atomic<int> fires{0};
+  core.on_value_changed(
+      [&](const std::string&, const std::string&) { ++fires; });
+
+  constexpr int kThreads = 8;
+  constexpr int kPutsPerThread = 100;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPutsPerThread; ++i) {
+        auto doc = app::CounterCore::make_document(t * kPutsPerThread + i);
+        core.apply_put("shared", *doc);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(fires.load(), kThreads * kPutsPerThread);
+  auto final_doc = db.load(core.collection(), "shared");
+  ASSERT_TRUE(final_doc);
+  int value = app::CounterCore::value_of(*final_doc);
+  EXPECT_GE(value, 0);
+  EXPECT_LT(value, kThreads * kPutsPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// 8-thread hammer: mixed counter traffic + deploy/undeploy churn
+// ---------------------------------------------------------------------------
+
+TEST(Concurrency, EightThreadHammerWithDeployChurn) {
+  net::VirtualNetwork net{net::NetworkProfile::colocated()};
+  net::VirtualCaller sink(net, {.transport = net::TransportKind::kSoapTcp});
+  counter::WstCounterDeployment wst(counter::WstCounterDeployment::Params{
+      .backend = std::make_unique<xmldb::MemoryBackend>(),
+      .container = {},
+      .notification_sink = &sink,
+      .address_base = "http://hammer.example",
+      .subscription_file = {},
+  });
+  net.bind("hammer.example", wst.container());
+
+  // A counter every worker hammers concurrently.
+  net::VirtualCaller setup_caller(net, {});
+  counter::WstCounterClient setup(setup_caller, wst.counter_address(),
+                                  wst.source_address());
+  soap::EndpointReference shared_epr = setup.create();
+
+  constexpr int kWorkers = 6;
+  constexpr int kChurners = 2;
+  constexpr int kIters = 30;
+  std::atomic<int> ops{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        net::VirtualCaller caller(net, {});
+        counter::WstCounterClient mine(caller, wst.counter_address(),
+                                       wst.source_address());
+        counter::WstCounterClient shared(caller, wst.counter_address(),
+                                         wst.source_address());
+        shared.attach(shared_epr);
+        for (int i = 0; i < kIters; ++i) {
+          mine.create();
+          mine.set(t * kIters + i);
+          if (mine.get() != t * kIters + i) failed.store(true);
+          mine.remove();
+          shared.set(i);
+          shared.get();
+          ops += 6;
+        }
+      } catch (...) {
+        failed.store(true);
+      }
+    });
+  }
+  for (int t = 0; t < kChurners; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        EchoService churn_svc;
+        std::string path = "/Churn-" + std::to_string(t);
+        for (int i = 0; i < kIters * 4; ++i) {
+          wst.container().deploy(path, churn_svc);
+          container::ServiceHandle pin = wst.container().service_at(path);
+          if (!pin) failed.store(true);
+          pin.release();
+          wst.container().undeploy(path);
+          ops += 1;
+        }
+      } catch (...) {
+        failed.store(true);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(ops.load(), kWorkers * kIters * 6 + kChurners * kIters * 4);
+  // The shared counter survived the storm with a value some worker wrote.
+  int final_value = setup.get();
+  EXPECT_GE(final_value, 0);
+  EXPECT_LT(final_value, kIters);
+}
+
+// ---------------------------------------------------------------------------
+// Binding equivalence: identical core state through either stack
+// ---------------------------------------------------------------------------
+
+TEST(BindingEquivalence, CounterStateIdenticalAcrossStacks) {
+  net::VirtualNetwork net{net::NetworkProfile::colocated()};
+  net::VirtualCaller caller(net, {});
+  net::VirtualCaller http_sink(net, {.keep_alive = false});
+  net::VirtualCaller tcp_sink(net, {.transport = net::TransportKind::kSoapTcp});
+  counter::WsrfCounterDeployment wsrf(counter::WsrfCounterDeployment::Params{
+      .backend = std::make_unique<xmldb::MemoryBackend>(),
+      .container = {},
+      .notification_sink = &http_sink,
+      .address_base = "http://wsrf.example",
+  });
+  counter::WstCounterDeployment wst(counter::WstCounterDeployment::Params{
+      .backend = std::make_unique<xmldb::MemoryBackend>(),
+      .container = {},
+      .notification_sink = &tcp_sink,
+      .address_base = "http://wst.example",
+      .subscription_file = {},
+  });
+  net.bind("wsrf.example", wsrf.container());
+  net.bind("wst.example", wst.container());
+
+  counter::WsrfCounterClient wsrf_client(caller, wsrf.counter_address());
+  counter::WstCounterClient wst_client(caller, wst.counter_address(),
+                                       wst.source_address());
+  soap::EndpointReference wsrf_epr = wsrf_client.create();
+  soap::EndpointReference wst_epr = wst_client.create();
+  for (int v : {5, 17, 42}) {
+    wsrf_client.set(v);
+    wst_client.set(v);
+  }
+  EXPECT_EQ(wsrf_client.get(), wst_client.get());
+
+  auto wsrf_id = wsrf_epr.reference_property(wsrf::resource_id_qname());
+  auto wst_id = wst_epr.reference_property(wst::transfer_id_qname());
+  ASSERT_TRUE(wsrf_id.has_value());
+  ASSERT_TRUE(wst_id.has_value());
+  auto wsrf_doc = wsrf.core().db().load(wsrf.core().collection(), *wsrf_id);
+  auto wst_doc = wst.core().db().load(wst.core().collection(), *wst_id);
+  ASSERT_TRUE(wsrf_doc);
+  ASSERT_TRUE(wst_doc);
+  EXPECT_EQ(canon(*wsrf_doc), canon(*wst_doc));
+  EXPECT_EQ(app::CounterCore::value_of(*wsrf_doc), 42);
+}
+
+TEST(BindingEquivalence, GridAccountsAndSitesIdenticalAcrossStacks) {
+  const std::string admin_dn = "CN=admin,O=VO";
+  const std::string alice_dn = "CN=alice,O=VO";
+  app::SiteInfo site{.host = "node1",
+                     .exec_address = "http://node1.example/Exec",
+                     .data_address = "http://node1.example/Data",
+                     .applications = {"blast", "render"}};
+
+  common::ManualClock clock{1'000'000};
+  container::ContainerConfig cc;
+  cc.clock = &clock;
+
+  net::VirtualNetwork net;
+  net::VirtualCaller caller(net, {});
+  net::VirtualCaller outcalls(net, {});
+  net::VirtualCaller sink(net, {.keep_alive = false});
+  net::VirtualCaller tcp_sink(net, {.transport = net::TransportKind::kSoapTcp});
+
+  gridbox::WsrfGridDeployment wsrf(gridbox::WsrfGridDeployment::Params{
+      .backend = std::make_unique<xmldb::MemoryBackend>(),
+      .central_container = cc,
+      .outcall_caller = &outcalls,
+      .outcall_security = {},
+      .notification_sink = &sink,
+      .central_base = "http://wsrf-vo.example",
+      .reservation_ttl_ms = 4LL * 3600 * 1000,
+      .admin_dn = admin_dn,
+  });
+  gridbox::WstGridDeployment wst(gridbox::WstGridDeployment::Params{
+      .backend = std::make_unique<xmldb::MemoryBackend>(),
+      .central_container = cc,
+      .outcall_caller = &outcalls,
+      .outcall_security = {},
+      .notification_sink = &tcp_sink,
+      .central_base = "http://wst-vo.example",
+      .reservation_ttl_ms = 4LL * 3600 * 1000,
+      .admin_dn = admin_dn,
+  });
+  net.bind("wsrf-vo.example", wsrf.central_container());
+  net.bind("wst-vo.example", wst.central_container());
+
+  gridbox::WsrfAdminClient wsrf_admin(caller, wsrf, {admin_dn, {}});
+  gridbox::WstAdminClient wst_admin(caller, wst, {admin_dn, {}});
+  wsrf_admin.add_account(alice_dn, {gridbox::kPrivilegeSubmit});
+  wst_admin.add_account(alice_dn, {gridbox::kPrivilegeSubmit});
+  wsrf_admin.register_site(site);
+  wst_admin.register_site(site);
+
+  // The stack-agnostic core persisted byte-identical state either way.
+  auto wsrf_account = wsrf.central_db().load("accounts", alice_dn);
+  auto wst_account = wst.central_db().load("accounts", alice_dn);
+  ASSERT_TRUE(wsrf_account);
+  ASSERT_TRUE(wst_account);
+  EXPECT_EQ(canon(*wsrf_account), canon(*wst_account));
+
+  auto wsrf_site = wsrf.central_db().load("sites", "node1");
+  auto wst_site = wst.central_db().load("sites", "node1");
+  ASSERT_TRUE(wsrf_site);
+  ASSERT_TRUE(wst_site);
+  EXPECT_EQ(canon(*wsrf_site), canon(*wst_site));
+  EXPECT_EQ(app::SiteInfo::from_xml(*wsrf_site).applications,
+            app::SiteInfo::from_xml(*wst_site).applications);
+}
+
+}  // namespace
+}  // namespace gs
