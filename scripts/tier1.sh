@@ -45,9 +45,11 @@ fi
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
 if [[ "${CONCURRENCY:-0}" == "1" ]]; then
-  # Concurrency gate, part one: the multi-threaded suite under TSan.
+  # Concurrency gate, part one: the multi-threaded suites under TSan
+  # (registry pins and the 8-thread hammer, plus the scheduler's two-phase
+  # pass / JobRunner callback interplay).
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
-    -R 'concurrency'
+    -R 'concurrency|scheduler'
   # Part two: the scaling benchmark from an unsanitized build (sanitizer
   # CPU overhead would mask the overlap being measured). It exits nonzero
   # unless 8 client threads reach >= 3x single-thread throughput, and
@@ -59,10 +61,11 @@ if [[ "${CONCURRENCY:-0}" == "1" ]]; then
 elif [[ "$TSAN_ONLY" == "1" ]]; then
   # Thread sanitizer runs the suites that exercise shared state under
   # threads: telemetry (sharded counters, span/event rings, monitor
-  # pub/sub), reliability (delivery queues + pools under faults), and
-  # concurrency (registry pins, per-resource locks, the 8-thread hammer).
+  # pub/sub), reliability (delivery queues + pools under faults),
+  # concurrency (registry pins, per-resource locks, the 8-thread hammer),
+  # and scheduler (two-phase passes against JobRunner exit callbacks).
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
-    -R 'telemetry|reliability|monitor|concurrency'
+    -R 'telemetry|reliability|monitor|concurrency|scheduler'
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 fi

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "soap/envelope.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace gs::app {
 
@@ -82,6 +84,18 @@ std::string JobRunner::spawn(const std::string& command,
     job.deadline = 0;
     job.exit_code = 0;
   } else {
+    if (!command.starts_with("sim:")) {
+      // Anything that is neither exec: nor sim: still "runs" as a 0 ms
+      // simulation — a silent success that hides misconfigured
+      // submissions. Make it visible.
+      telemetry::MetricsRegistry::global()
+          .counter("jobrunner.unrecognized_command")
+          .add();
+      telemetry::EventLog::global().emit(
+          telemetry::Level::kWarn, "app.jobrunner",
+          "unrecognized command treated as 0 ms simulation",
+          {{"command", command}});
+    }
     auto [duration, exit_code] = parse_command(command);
     job.deadline = clock_.now() + duration;
     job.exit_code = exit_code;
@@ -103,19 +117,30 @@ std::optional<JobRunner::Status> JobRunner::status(const std::string& pid) {
 
 bool JobRunner::kill(const std::string& pid) {
   poll();
-  std::lock_guard lock(mu_);
-  auto it = jobs_.find(pid);
-  if (it == jobs_.end() || it->second.status.state != State::kRunning) {
-    return false;
+  ExitCallback cb;
+  Status ended;
+  {
+    std::lock_guard lock(mu_);
+    auto it = jobs_.find(pid);
+    if (it == jobs_.end() || it->second.status.state != State::kRunning) {
+      return false;
+    }
+    if (it->second.os_pid >= 0) {
+      ::kill(it->second.os_pid, SIGKILL);
+      ::waitpid(it->second.os_pid, nullptr, 0);
+      it->second.os_pid = -1;
+    }
+    it->second.status.state = State::kKilled;
+    it->second.status.ended = clock_.now();
+    it->second.status.exit_code = -9;
+    // A killed job completes like any other: subscribers (notification
+    // producers, the scheduler's preemption path) hear about it. Fired
+    // outside mu_, like poll()'s callbacks, so the callback may call back
+    // into the runner.
+    cb = it->second.on_exit;
+    ended = it->second.status;
   }
-  if (it->second.os_pid >= 0) {
-    ::kill(it->second.os_pid, SIGKILL);
-    ::waitpid(it->second.os_pid, nullptr, 0);
-    it->second.os_pid = -1;
-  }
-  it->second.status.state = State::kKilled;
-  it->second.status.ended = clock_.now();
-  it->second.status.exit_code = -9;
+  if (cb) cb(pid, ended);
   return true;
 }
 

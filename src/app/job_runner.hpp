@@ -44,7 +44,9 @@ class JobRunner {
                     ExitCallback on_exit = nullptr);
 
   std::optional<Status> status(const std::string& pid);
-  /// Kills a running job (state -> kKilled). False when unknown/finished.
+  /// Kills a running job (state -> kKilled) and fires its ExitCallback —
+  /// killed jobs notify completion subscribers like exited ones do.
+  /// False when unknown/finished.
   bool kill(const std::string& pid);
   /// Drops a finished job's record; false when still running or unknown.
   bool reap(const std::string& pid);

@@ -1,0 +1,101 @@
+// Scheduler client proxy and the simulated node fleet.
+//
+// SchedClient is the submit-side view: WS-Transfer Create/Get/Delete and
+// WSRF resource-property reads against one SchedService, plus the
+// controller operations. FleetSimulator is the execute-side view: it
+// provisions N simulated nodes and heartbeats them over the same fabric
+// (RegisterNode/Heartbeat SOAP calls), so node liveness rides the virtual
+// network — a partitioned or faulty route starves heartbeats and the
+// controller marks nodes DOWN exactly as a real slurmd outage would.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "container/proxy.hpp"
+#include "sched/scheduler.hpp"
+
+namespace gs::sched {
+
+class SchedClient : public container::ProxyBase {
+ public:
+  SchedClient(net::SoapCaller& caller, const std::string& address,
+              container::ProxySecurity security = {})
+      : container::ProxyBase(caller, soap::EndpointReference(address),
+                             security) {}
+
+  struct PassCounts {
+    size_t placed = 0;
+    size_t backfilled = 0;
+    size_t preempted = 0;
+    size_t requeued = 0;
+    size_t timed_out = 0;
+    size_t queue_depth = 0;
+    size_t running = 0;
+  };
+
+  /// WS-Transfer Create: submits, returns the job ids (arrays return all
+  /// task ids).
+  std::vector<std::string> submit(const JobSpec& spec);
+  /// WS-Transfer Delete: cancels; false when the job was already terminal.
+  bool cancel(const std::string& id);
+  /// WS-Transfer Get of one job (`<s:Job .../>`).
+  std::unique_ptr<xml::Element> job(const std::string& id);
+  /// WS-Transfer Get of the whole document.
+  std::unique_ptr<xml::Element> document_wst();
+  /// WSRF GetResourcePropertyDocument — the same document, other stack.
+  std::unique_ptr<xml::Element> document_wsrf();
+  /// WSRF GetResourceProperty: "Queue", "Partitions", "Nodes", "Jobs", or
+  /// a job id. Returns the GetResourcePropertyResponse element.
+  std::unique_ptr<xml::Element> property(const std::string& name);
+
+  // Controller operations.
+  void register_node(const std::string& name,
+                     const std::vector<std::string>& partitions, unsigned cpus,
+                     std::uint64_t mem_mb);
+  /// False = the controller does not know this node (re-register).
+  bool heartbeat(const std::string& node);
+  void drain(const std::string& node);
+  void resume(const std::string& node);
+  PassCounts schedule_pass();
+};
+
+/// Drives a fleet of simulated nodes against a SchedService: provision()
+/// registers them, tick() heartbeats every healthy node. fail()/recover()
+/// silence/revive individual nodes — a failed node simply stops calling
+/// Heartbeat, and the controller's sweep does the rest.
+class FleetSimulator {
+ public:
+  FleetSimulator(net::SoapCaller& caller, const std::string& sched_address)
+      : client_(caller, sched_address) {}
+
+  /// Registers `count` identical nodes named "<prefix><i>".
+  void provision(size_t count, const std::vector<std::string>& partitions,
+                 unsigned cpus, std::uint64_t mem_mb,
+                 const std::string& prefix = "node");
+
+  /// Heartbeats every node not marked failed; re-registers when the
+  /// controller answers known="false". Returns heartbeats delivered.
+  size_t tick();
+
+  void fail(const std::string& node) { failed_.insert(node); }
+  void recover(const std::string& node) { failed_.erase(node); }
+
+  const std::vector<std::string>& names() const noexcept { return names_; }
+
+ private:
+  struct Spec {
+    std::vector<std::string> partitions;
+    unsigned cpus;
+    std::uint64_t mem_mb;
+  };
+
+  SchedClient client_;
+  std::vector<std::string> names_;
+  std::map<std::string, Spec> specs_;
+  std::set<std::string> failed_;
+};
+
+}  // namespace gs::sched

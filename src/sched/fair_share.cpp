@@ -1,0 +1,53 @@
+#include "sched/fair_share.hpp"
+
+namespace gs::sched {
+
+void FairShareTracker::set_shares(const std::string& account, double shares) {
+  accounts_[account].shares = shares > 0 ? shares : 1.0;
+}
+
+void FairShareTracker::record_usage(const std::string& account, double cpu_ms) {
+  if (cpu_ms <= 0) return;
+  accounts_[account].usage_cpu_ms += cpu_ms;
+}
+
+void FairShareTracker::decay(common::TimeMs now) {
+  if (!decayed_once_) {
+    decayed_once_ = true;
+    last_decay_ = now;
+    return;
+  }
+  common::TimeMs elapsed = now - last_decay_;
+  if (elapsed <= 0) return;
+  last_decay_ = now;
+  double factor =
+      std::pow(0.5, static_cast<double>(elapsed) / half_life_ms_);
+  for (auto& [name, account] : accounts_) {
+    account.usage_cpu_ms *= factor;
+  }
+}
+
+double FairShareTracker::factor(const std::string& account) const {
+  auto it = accounts_.find(account);
+  if (it == accounts_.end()) return 1.0;
+
+  double total_usage = 0.0;
+  double total_shares = 0.0;
+  for (const auto& [name, a] : accounts_) {
+    total_usage += a.usage_cpu_ms;
+    total_shares += a.shares;
+  }
+  if (total_usage <= 0.0 || total_shares <= 0.0) return 1.0;
+
+  double u = it->second.usage_cpu_ms / total_usage;
+  double s = it->second.shares / total_shares;
+  if (s <= 0.0) return 0.0;
+  return std::pow(2.0, -u / s);
+}
+
+double FairShareTracker::usage(const std::string& account) const {
+  auto it = accounts_.find(account);
+  return it == accounts_.end() ? 0.0 : it->second.usage_cpu_ms;
+}
+
+}  // namespace gs::sched

@@ -1,0 +1,78 @@
+// Partitions and fair-share: the policy half of the batch controller.
+//
+// Partitions are SLURM-style queues: a named slice of the fleet with a
+// priority weight, time-limit policy, and a preemption tier. Nodes may sit
+// in several partitions (a "batch" and a "scavenge" partition sharing
+// hardware is the classic preemption setup).
+//
+// Fair-share follows SLURM's classic formula: each account owns a share
+// weight, accrues decayed CPU-time usage, and gets the factor
+//
+//   F = 2^-(U/S)
+//
+// where U is the account's fraction of all decayed usage and S its
+// fraction of all shares. F is 1.0 for an idle account, 0.5 when usage
+// exactly matches entitlement, and decays toward 0 for hogs. Usage halves
+// every `half_life_ms`, so history fades.
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "common/clock.hpp"
+
+namespace gs::sched {
+
+struct Partition {
+  std::string name;
+  /// Additive priority weight for jobs submitted here.
+  int priority = 0;
+  /// Preemption tier: a blocked job from a higher tier may preempt running
+  /// preemptable jobs from lower tiers on shared nodes.
+  int preempt_tier = 0;
+  /// Jobs in this partition may be preempted (and are then requeued).
+  bool preemptable = false;
+  /// Applied when a job does not name a limit.
+  common::TimeMs default_time_limit_ms = 60'000;
+  /// Hard cap on any job's limit.
+  common::TimeMs max_time_limit_ms = 24LL * 3600 * 1000;
+
+  common::TimeMs effective_limit(common::TimeMs requested) const {
+    if (requested <= 0) return default_time_limit_ms;
+    return requested < max_time_limit_ms ? requested : max_time_limit_ms;
+  }
+};
+
+class FairShareTracker {
+ public:
+  explicit FairShareTracker(common::TimeMs half_life_ms = 3600'000)
+      : half_life_ms_(half_life_ms) {}
+
+  /// Declares an account's share weight (default 1.0 on first usage).
+  void set_shares(const std::string& account, double shares);
+
+  /// Charges `cpu_ms` of CPU time (cpus × elapsed ms) to the account.
+  void record_usage(const std::string& account, double cpu_ms);
+
+  /// Applies exponential decay for the interval since the last decay call.
+  void decay(common::TimeMs now);
+
+  /// The fair-share factor in (0, 1]; 1.0 for unknown/idle accounts.
+  double factor(const std::string& account) const;
+
+  double usage(const std::string& account) const;
+
+ private:
+  struct Account {
+    double shares = 1.0;
+    double usage_cpu_ms = 0.0;
+  };
+
+  common::TimeMs half_life_ms_;
+  common::TimeMs last_decay_ = 0;
+  bool decayed_once_ = false;
+  std::map<std::string, Account> accounts_;
+};
+
+}  // namespace gs::sched

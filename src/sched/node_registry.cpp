@@ -1,0 +1,200 @@
+#include "sched/node_registry.hpp"
+
+#include <algorithm>
+
+namespace gs::sched {
+
+const char* node_state_name(NodeState state) {
+  switch (state) {
+    case NodeState::kUp:
+      return "up";
+    case NodeState::kDrain:
+      return "drain";
+    case NodeState::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+void NodeRegistry::upsert(const std::string& name,
+                          std::vector<std::string> partitions, unsigned cpus,
+                          std::uint64_t mem_mb, common::TimeMs now) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    NodeInfo node;
+    node.name = name;
+    node.partitions = std::move(partitions);
+    node.cpus = cpus;
+    node.mem_mb = mem_mb;
+    node.last_heartbeat = now;
+    for (const std::string& p : node.partitions) {
+      partition_members_[p].push_back(name);
+    }
+    index_[name] = nodes_.size();
+    nodes_.push_back(std::move(node));
+    return;
+  }
+  NodeInfo& node = nodes_[it->second];
+  // Re-registration refreshes capacity and revives DOWN; drains persist
+  // (an admin decision outlives node restarts).
+  for (const std::string& p : node.partitions) {
+    auto& m = partition_members_[p];
+    m.erase(std::remove(m.begin(), m.end(), name), m.end());
+  }
+  node.partitions = std::move(partitions);
+  for (const std::string& p : node.partitions) {
+    partition_members_[p].push_back(name);
+  }
+  node.cpus = std::max(cpus, node.cpus_used);
+  node.mem_mb = std::max(mem_mb, node.mem_mb_used);
+  node.last_heartbeat = now;
+  if (node.state == NodeState::kDown) node.state = NodeState::kUp;
+}
+
+bool NodeRegistry::heartbeat(const std::string& name, common::TimeMs now) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end()) return false;
+  NodeInfo& node = nodes_[it->second];
+  node.last_heartbeat = now;
+  if (node.state == NodeState::kDown) node.state = NodeState::kUp;
+  return true;
+}
+
+std::vector<std::string> NodeRegistry::sweep(common::TimeMs now,
+                                             common::TimeMs timeout_ms) {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> downed;
+  for (NodeInfo& node : nodes_) {
+    if (node.state == NodeState::kDown) continue;
+    if (now - node.last_heartbeat > timeout_ms) {
+      node.state = NodeState::kDown;
+      downed.push_back(node.name);
+    }
+  }
+  return downed;
+}
+
+bool NodeRegistry::drain(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end()) return false;
+  nodes_[it->second].state = NodeState::kDrain;
+  return true;
+}
+
+bool NodeRegistry::resume(const std::string& name, common::TimeMs now) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end()) return false;
+  NodeInfo& node = nodes_[it->second];
+  node.state = NodeState::kUp;
+  node.last_heartbeat = now;
+  return true;
+}
+
+bool NodeRegistry::allocate(const std::string& name, unsigned cpus,
+                            std::uint64_t mem_mb) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end()) return false;
+  NodeInfo& node = nodes_[it->second];
+  if (!node.schedulable() || node.cpus_free() < cpus ||
+      node.mem_mb_free() < mem_mb) {
+    return false;
+  }
+  node.cpus_used += cpus;
+  node.mem_mb_used += mem_mb;
+  return true;
+}
+
+void NodeRegistry::release(const std::string& name, unsigned cpus,
+                           std::uint64_t mem_mb) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end()) return;
+  NodeInfo& node = nodes_[it->second];
+  node.cpus_used -= std::min(node.cpus_used, cpus);
+  node.mem_mb_used -= std::min(node.mem_mb_used, mem_mb);
+}
+
+std::optional<std::string> NodeRegistry::find_fit(const std::string& partition,
+                                                  unsigned cpus,
+                                                  std::uint64_t mem_mb) const {
+  std::lock_guard lock(mu_);
+  const std::vector<std::string>* m = members(partition);
+  if (!m) return std::nullopt;
+  for (const std::string& name : *m) {
+    const NodeInfo& node = nodes_[index_.at(name)];
+    if (node.schedulable() && node.cpus_free() >= cpus &&
+        node.mem_mb_free() >= mem_mb) {
+      return name;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeInfo> NodeRegistry::info(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return nodes_[it->second];
+}
+
+std::vector<NodeInfo> NodeRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  return nodes_;
+}
+
+std::vector<NodeInfo> NodeRegistry::partition_nodes(
+    const std::string& partition) const {
+  std::lock_guard lock(mu_);
+  std::vector<NodeInfo> out;
+  const std::vector<std::string>* m = members(partition);
+  if (!m) return out;
+  out.reserve(m->size());
+  for (const std::string& name : *m) out.push_back(nodes_[index_.at(name)]);
+  return out;
+}
+
+size_t NodeRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return nodes_.size();
+}
+
+size_t NodeRegistry::count(NodeState state) const {
+  std::lock_guard lock(mu_);
+  size_t n = 0;
+  for (const NodeInfo& node : nodes_) {
+    if (node.state == state) ++n;
+  }
+  return n;
+}
+
+unsigned NodeRegistry::cpus_total() const {
+  std::lock_guard lock(mu_);
+  unsigned n = 0;
+  for (const NodeInfo& node : nodes_) n += node.cpus;
+  return n;
+}
+
+unsigned NodeRegistry::cpus_used() const {
+  std::lock_guard lock(mu_);
+  unsigned n = 0;
+  for (const NodeInfo& node : nodes_) n += node.cpus_used;
+  return n;
+}
+
+std::vector<std::string>* NodeRegistry::members(const std::string& partition) {
+  auto it = partition_members_.find(partition);
+  return it == partition_members_.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::string>* NodeRegistry::members(
+    const std::string& partition) const {
+  auto it = partition_members_.find(partition);
+  return it == partition_members_.end() ? nullptr : &it->second;
+}
+
+}  // namespace gs::sched

@@ -1,0 +1,100 @@
+// Node registry: the scheduler's view of the simulated fleet.
+//
+// Real OGSA grids front batch systems whose controller tracks hundreds to
+// thousands of execution nodes (slurmctld's node table). This registry
+// holds that table: per-node CPU/memory slots, partition memberships
+// (nodes may belong to several partitions, which is how preemption tiers
+// share hardware), and liveness driven by heartbeats — nodes report in
+// over the virtual fabric through SchedService's Heartbeat operation, and
+// `sweep()` marks the silent ones DOWN so the scheduler can requeue their
+// jobs. Administrative drain/resume removes a node from placement without
+// killing what is already on it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace gs::sched {
+
+enum class NodeState { kUp, kDrain, kDown };
+
+const char* node_state_name(NodeState state);
+
+struct NodeInfo {
+  std::string name;
+  std::vector<std::string> partitions;
+  unsigned cpus = 1;
+  std::uint64_t mem_mb = 1024;
+  unsigned cpus_used = 0;
+  std::uint64_t mem_mb_used = 0;
+  NodeState state = NodeState::kUp;
+  common::TimeMs last_heartbeat = 0;
+
+  unsigned cpus_free() const noexcept { return cpus - cpus_used; }
+  std::uint64_t mem_mb_free() const noexcept { return mem_mb - mem_mb_used; }
+  bool schedulable() const noexcept { return state == NodeState::kUp; }
+};
+
+class NodeRegistry {
+ public:
+  NodeRegistry() = default;
+
+  /// Registers (or re-registers) a node. A re-registration of a DOWN node
+  /// brings it back UP (the node rebooted and reported in); a DRAIN node
+  /// stays drained. Counts as a heartbeat.
+  void upsert(const std::string& name, std::vector<std::string> partitions,
+              unsigned cpus, std::uint64_t mem_mb, common::TimeMs now);
+
+  /// Records a heartbeat; revives a DOWN node. False for unknown nodes
+  /// (the caller should re-register — the controller restarted).
+  bool heartbeat(const std::string& name, common::TimeMs now);
+
+  /// Marks every UP/DRAIN node DOWN whose last heartbeat is older than
+  /// `timeout_ms`; returns the newly-downed node names so the scheduler
+  /// can requeue their jobs.
+  std::vector<std::string> sweep(common::TimeMs now, common::TimeMs timeout_ms);
+
+  /// Administrative state transitions. False for unknown nodes.
+  bool drain(const std::string& name);
+  bool resume(const std::string& name, common::TimeMs now);
+
+  /// Commits `cpus`/`mem_mb` on the node iff it is UP and the slots fit.
+  bool allocate(const std::string& name, unsigned cpus, std::uint64_t mem_mb);
+  /// Returns slots; allocation on a since-downed node is still returned
+  /// (the accounting must balance).
+  void release(const std::string& name, unsigned cpus, std::uint64_t mem_mb);
+
+  /// First UP node of `partition` with the free slots, or nullopt. `skip`
+  /// entries (node names) are excluded — the backfill loop uses this to
+  /// keep the reserved job's shadow nodes untouched.
+  std::optional<std::string> find_fit(const std::string& partition,
+                                      unsigned cpus, std::uint64_t mem_mb) const;
+
+  std::optional<NodeInfo> info(const std::string& name) const;
+  /// Copies of every node, registration order (the document view).
+  std::vector<NodeInfo> snapshot() const;
+  /// Copies of `partition`'s nodes only (the backfill shadow input).
+  std::vector<NodeInfo> partition_nodes(const std::string& partition) const;
+
+  size_t size() const;
+  size_t count(NodeState state) const;
+  unsigned cpus_total() const;
+  unsigned cpus_used() const;
+
+ private:
+  std::vector<std::string>* members(const std::string& partition);
+  const std::vector<std::string>* members(const std::string& partition) const;
+
+  mutable std::mutex mu_;
+  std::vector<NodeInfo> nodes_;                      // registration order
+  std::map<std::string, size_t> index_;              // name -> nodes_ index
+  std::map<std::string, std::vector<std::string>> partition_members_;
+};
+
+}  // namespace gs::sched

@@ -1,0 +1,745 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <set>
+
+#include "soap/envelope.hpp"
+
+namespace gs::sched {
+
+namespace {
+
+/// Known end offset for a command: "sim:duration=<ms>" jobs end exactly
+/// then, unrecognized commands are 0 ms simulations (JobRunner's rule),
+/// real "exec:" processes are unknowable (-1).
+common::TimeMs parse_sim_duration(const std::string& command) {
+  if (command.rfind("exec:", 0) == 0) return -1;
+  if (command.rfind("sim:", 0) != 0) return 0;
+  size_t pos = command.find("duration=");
+  if (pos == std::string::npos) return 0;
+  common::TimeMs v = 0;
+  for (size_t i = pos + 9;
+       i < command.size() && std::isdigit(static_cast<unsigned char>(command[i]));
+       ++i) {
+    v = v * 10 + (command[i] - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "PENDING";
+    case JobState::kRunning:
+      return "RUNNING";
+    case JobState::kCompleted:
+      return "COMPLETED";
+    case JobState::kFailed:
+      return "FAILED";
+    case JobState::kCancelled:
+      return "CANCELLED";
+    case JobState::kPreempted:
+      return "PREEMPTED";
+  }
+  return "UNKNOWN";
+}
+
+bool is_terminal(JobState state) {
+  return state == JobState::kCompleted || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+Scheduler::Scheduler(Config config)
+    : clock_(config.clock),
+      runner_(config.runner),
+      nodes_(config.nodes),
+      config_(config),
+      fairshare_(config.fairshare_half_life_ms),
+      jobs_submitted_(config.metrics->counter("sched.jobs_submitted")),
+      jobs_placed_(config.metrics->counter("sched.jobs_placed")),
+      backfill_placed_(config.metrics->counter("sched.backfill_placed")),
+      jobs_completed_(config.metrics->counter("sched.jobs_completed")),
+      jobs_failed_(config.metrics->counter("sched.jobs_failed")),
+      jobs_cancelled_(config.metrics->counter("sched.jobs_cancelled")),
+      jobs_preempted_(config.metrics->counter("sched.jobs_preempted")),
+      jobs_requeued_(config.metrics->counter("sched.jobs_requeued")),
+      jobs_timed_out_(config.metrics->counter("sched.jobs_timed_out")),
+      nodes_downed_(config.metrics->counter("sched.nodes_downed")),
+      queue_depth_gauge_(config.metrics->gauge("sched.queue_depth")),
+      running_gauge_(config.metrics->gauge("sched.jobs_running")),
+      nodes_up_gauge_(config.metrics->gauge("sched.nodes_up")),
+      nodes_down_gauge_(config.metrics->gauge("sched.nodes_down")),
+      cpus_used_gauge_(config.metrics->gauge("sched.cpus_used")),
+      cpus_total_gauge_(config.metrics->gauge("sched.cpus_total")),
+      placement_wait_us_(config.metrics->histogram("sched.placement_wait_us")),
+      pass_us_(config.metrics->histogram("sched.pass_us")) {}
+
+// --- policy -------------------------------------------------------------------
+
+void Scheduler::add_partition(Partition partition) {
+  std::lock_guard lock(mu_);
+  partitions_[partition.name] = std::move(partition);
+}
+
+std::vector<Partition> Scheduler::partitions() const {
+  std::lock_guard lock(mu_);
+  std::vector<Partition> out;
+  out.reserve(partitions_.size());
+  for (const auto& [name, p] : partitions_) out.push_back(p);
+  return out;
+}
+
+void Scheduler::set_account_shares(const std::string& account, double shares) {
+  std::lock_guard lock(mu_);
+  fairshare_.set_shares(account, shares);
+}
+
+double Scheduler::fairshare_factor(const std::string& account) const {
+  std::lock_guard lock(mu_);
+  return fairshare_.factor(account);
+}
+
+// --- job lifecycle ------------------------------------------------------------
+
+std::vector<std::string> Scheduler::submit(const JobSpec& spec) {
+  if (spec.command.empty()) {
+    throw soap::SoapFault("Sender", "job has no command");
+  }
+  if (spec.cpus == 0) {
+    throw soap::SoapFault("Sender", "job needs at least 1 cpu");
+  }
+  if (spec.array_count < 1) {
+    throw soap::SoapFault("Sender", "array_count must be >= 1");
+  }
+  common::TimeMs now = clock_->now();
+  std::vector<Transition> transitions;
+  std::vector<std::string> ids;
+  {
+    std::lock_guard lock(mu_);
+    const Partition* part = find_partition(spec.partition);
+    if (!part) {
+      throw soap::SoapFault("Sender",
+                            "unknown partition '" + spec.partition + "'");
+    }
+    // Reject jobs no node of the partition could ever hold — but only once
+    // the fleet has registered; before that the job waits for nodes.
+    std::vector<NodeInfo> pnodes = nodes_->partition_nodes(spec.partition);
+    if (!pnodes.empty()) {
+      bool capacity = false;
+      for (const NodeInfo& n : pnodes) {
+        if (n.cpus >= spec.cpus && n.mem_mb >= spec.mem_mb) {
+          capacity = true;
+          break;
+        }
+      }
+      if (!capacity) {
+        throw soap::SoapFault(
+            "Sender", "no node in partition '" + spec.partition +
+                          "' can ever satisfy " + std::to_string(spec.cpus) +
+                          " cpus / " + std::to_string(spec.mem_mb) + " MB");
+      }
+    }
+    // afterok dependencies: parents must exist; a COMPLETED parent is
+    // already satisfied, a FAILED/CANCELLED one dooms the child.
+    std::vector<std::string> waiting;
+    bool doomed = false;
+    for (const std::string& dep : spec.depends_on) {
+      auto it = jobs_.find(dep);
+      if (it == jobs_.end()) {
+        throw soap::SoapFault("Sender", "unknown dependency '" + dep + "'");
+      }
+      JobState ds = it->second.info.state;
+      if (ds == JobState::kCompleted) continue;
+      if (is_terminal(ds)) doomed = true;
+      waiting.push_back(dep);
+    }
+
+    std::string base = "job-" + std::to_string(next_id_++);
+    for (int k = 0; k < spec.array_count; ++k) {
+      Job job;
+      job.info.id = spec.array_count > 1 ? base + "_" + std::to_string(k) : base;
+      job.info.name = spec.array_count > 1
+                          ? spec.name + "[" + std::to_string(k) + "]"
+                          : spec.name;
+      job.info.account = spec.account;
+      job.info.partition = spec.partition;
+      job.info.command = spec.command;
+      job.info.cpus = spec.cpus;
+      job.info.mem_mb = spec.mem_mb;
+      job.info.time_limit_ms = part->effective_limit(spec.time_limit_ms);
+      job.info.submit_time = now;
+      job.info.depends_on = spec.depends_on;
+      job.sim_duration_ms = parse_sim_duration(spec.command);
+      job.waiting_on = waiting;
+      job.seq = next_seq_++;
+      job.nice = spec.nice;
+      job.working_dir = spec.working_dir;
+
+      // By value: emplace moves `job` out below, and `ids` needs the id
+      // after that.
+      const std::string id = job.info.id;
+      for (const std::string& dep : waiting) {
+        dependents_[dep].push_back(id);
+      }
+      ++pending_count_;
+      jobs_submitted_.add();
+      order_.push_back(id);
+      auto [jit, inserted] = jobs_.emplace(id, std::move(job));
+      ids.push_back(id);
+      if (doomed) {
+        Job& j = jit->second;
+        j.info.reason = "dependency";
+        j.info.end_time = now;
+        jobs_cancelled_.add();
+        set_state_locked(j, JobState::kCancelled, transitions);
+      }
+    }
+    update_gauges_locked();
+  }
+  emit(transitions);
+  return ids;
+}
+
+bool Scheduler::cancel(const std::string& id) {
+  std::vector<Transition> transitions;
+  std::string pid;
+  {
+    std::lock_guard lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    Job& job = it->second;
+    if (is_terminal(job.info.state)) return false;
+    pid = job.pid;
+    job.info.reason = "cancelled";
+    job.info.end_time = clock_->now();
+    jobs_cancelled_.add();
+    finish_locked(job, JobState::kCancelled, transitions);
+    update_gauges_locked();
+  }
+  if (!pid.empty()) {
+    runner_->kill(pid);  // its callback sees a non-RUNNING job and bails
+    runner_->reap(pid);
+  }
+  emit(transitions);
+  return true;
+}
+
+std::optional<JobInfo> Scheduler::info(const std::string& id) const {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second.info;
+}
+
+std::vector<JobInfo> Scheduler::jobs(std::optional<JobState> state) const {
+  std::lock_guard lock(mu_);
+  std::vector<JobInfo> out;
+  for (const std::string& id : order_) {
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;
+    if (state && it->second.info.state != *state) continue;
+    out.push_back(it->second.info);
+  }
+  return out;
+}
+
+size_t Scheduler::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return pending_count_;
+}
+
+size_t Scheduler::running_count() const {
+  std::lock_guard lock(mu_);
+  return running_count_;
+}
+
+double Scheduler::priority_of(const std::string& id) const {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return 0.0;
+  return priority_locked(it->second, clock_->now());
+}
+
+// --- the scheduling loop ------------------------------------------------------
+
+Scheduler::PassResult Scheduler::schedule_pass() {
+  auto wall0 = std::chrono::steady_clock::now();
+  runner_->poll();  // retire finished jobs first — frees their slots
+
+  PassResult result;
+  std::vector<Transition> transitions;
+  std::vector<std::string> kills;
+  std::vector<Placement> placements;
+  common::TimeMs now = clock_->now();
+  {
+    std::lock_guard lock(mu_);
+    fairshare_.decay(now);
+
+    // 1. Heartbeat sweep: silent nodes go DOWN, their jobs requeue.
+    std::vector<std::string> downed =
+        nodes_->sweep(now, config_.heartbeat_timeout_ms);
+    if (!downed.empty()) {
+      nodes_downed_.add(downed.size());
+      std::set<std::string> down_set(downed.begin(), downed.end());
+      for (auto& [id, job] : jobs_) {
+        if (job.info.state == JobState::kRunning &&
+            down_set.count(job.info.node)) {
+          kills.push_back(job.pid);
+          requeue_locked(job, "node_fail", transitions);
+          ++result.requeued;
+        }
+      }
+    }
+
+    // 2. Time limits: a job at or past start + limit is killed.
+    for (auto& [id, job] : jobs_) {
+      if (job.info.state != JobState::kRunning) continue;
+      if (job.info.time_limit_ms > 0 &&
+          now - job.info.start_time >= job.info.time_limit_ms) {
+        kills.push_back(job.pid);
+        job.info.reason = "timeout";
+        job.info.exit_code = -1;
+        jobs_timed_out_.add();
+        jobs_failed_.add();
+        finish_locked(job, JobState::kFailed, transitions);
+        ++result.timed_out;
+      }
+    }
+
+    // 3. Eligible pending jobs, priority order (seq breaks ties FIFO).
+    struct Cand {
+      std::string id;
+      double prio;
+      std::uint64_t seq;
+    };
+    std::vector<Cand> cands;
+    cands.reserve(pending_count_);
+    for (auto& [id, job] : jobs_) {
+      if (job.info.state == JobState::kPending && deps_ready(job)) {
+        cands.push_back({id, priority_locked(job, now), job.seq});
+      }
+    }
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.prio != b.prio) return a.prio > b.prio;
+      return a.seq < b.seq;
+    });
+
+    auto place = [&](Job& job, const std::string& node, bool backfill) {
+      nodes_->allocate(node, job.info.cpus, job.info.mem_mb);
+      job.info.node = node;
+      job.info.start_time = now;
+      job.info.end_time = 0;
+      job.info.backfilled = backfill;
+      job.info.reason.clear();
+      ++job.incarnation;
+      set_state_locked(job, JobState::kRunning, transitions);
+      placements.push_back({job.info.id, node, job.incarnation, backfill});
+      ++result.placed;
+      jobs_placed_.add();
+      if (backfill) {
+        ++result.backfilled;
+        backfill_placed_.add();
+      }
+      placement_wait_us_.record(
+          static_cast<std::uint64_t>(
+              std::max<common::TimeMs>(0, now - job.info.submit_time)) *
+          1000);
+    };
+
+    // 4. Placement: priority order until the head blocks, then EASY
+    //    backfill — everything placed after the head must end before its
+    //    shadow time, so the reservation cannot be delayed.
+    bool head_blocked = false;
+    common::TimeMs shadow = 0;  // 0 = no shadow known -> no backfill
+    int examined_past_head = 0;
+    for (const Cand& cand : cands) {
+      Job& job = jobs_.at(cand.id);
+      if (head_blocked && ++examined_past_head > config_.backfill_depth) break;
+      auto fit =
+          nodes_->find_fit(job.info.partition, job.info.cpus, job.info.mem_mb);
+      bool can_place = fit.has_value();
+      if (can_place && head_blocked) {
+        can_place = shadow > 0 && now + job.info.time_limit_ms <= shadow;
+      }
+      if (can_place) {
+        place(job, *fit, head_blocked);
+        continue;
+      }
+      if (head_blocked) continue;  // only the head gets reservation/preemption
+
+      // Would any node of the partition ever hold it? (Nodes can register
+      // after submit, so this is re-checked here, not only at submit.)
+      std::vector<NodeInfo> pnodes = nodes_->partition_nodes(job.info.partition);
+      if (!pnodes.empty()) {
+        bool capacity = false;
+        for (const NodeInfo& n : pnodes) {
+          if (n.cpus >= job.info.cpus && n.mem_mb >= job.info.mem_mb) {
+            capacity = true;
+            break;
+          }
+        }
+        if (!capacity) {
+          job.info.reason = "exceeds_partition_resources";
+          job.info.exit_code = -1;
+          jobs_failed_.add();
+          finish_locked(job, JobState::kFailed, transitions);
+          continue;
+        }
+      }
+
+      // Preemption: a blocked job from a higher tier may evict running
+      // preemptable lower-tier jobs. Pick the capable node needing the
+      // fewest victims; evict lowest-priority victims first.
+      const Partition* part = find_partition(job.info.partition);
+      if (part && part->preempt_tier > 0) {
+        std::map<std::string, std::vector<std::pair<double, std::string>>>
+            victims_by_node;
+        for (auto& [vid, vjob] : jobs_) {
+          if (vjob.info.state != JobState::kRunning) continue;
+          const Partition* vpart = find_partition(vjob.info.partition);
+          if (!vpart || !vpart->preemptable ||
+              vpart->preempt_tier >= part->preempt_tier) {
+            continue;
+          }
+          victims_by_node[vjob.info.node].push_back(
+              {priority_locked(vjob, now), vid});
+        }
+        std::string best_node;
+        size_t best_k = SIZE_MAX;
+        std::vector<std::string> best_victims;
+        for (const NodeInfo& n : pnodes) {
+          if (!n.schedulable() || n.cpus < job.info.cpus ||
+              n.mem_mb < job.info.mem_mb) {
+            continue;
+          }
+          unsigned free_c = n.cpus_free();
+          std::uint64_t free_m = n.mem_mb_free();
+          std::vector<std::string> victims;
+          auto vit = victims_by_node.find(n.name);
+          if (vit != victims_by_node.end()) {
+            std::sort(vit->second.begin(), vit->second.end());
+            for (const auto& [vprio, vid] : vit->second) {
+              if (free_c >= job.info.cpus && free_m >= job.info.mem_mb) break;
+              const Job& vjob = jobs_.at(vid);
+              free_c += vjob.info.cpus;
+              free_m += vjob.info.mem_mb;
+              victims.push_back(vid);
+            }
+          }
+          if (free_c >= job.info.cpus && free_m >= job.info.mem_mb &&
+              victims.size() < best_k) {
+            best_k = victims.size();
+            best_node = n.name;
+            best_victims = std::move(victims);
+          }
+        }
+        if (best_k != SIZE_MAX && best_k > 0) {
+          for (const std::string& vid : best_victims) {
+            Job& vjob = jobs_.at(vid);
+            kills.push_back(vjob.pid);
+            requeue_locked(vjob, "preempted", transitions);
+            ++result.preempted;
+          }
+          place(job, best_node, false);
+          continue;
+        }
+      }
+
+      // The head is truly blocked: reserve via its shadow time.
+      head_blocked = true;
+      shadow = shadow_time_locked(job.info.partition, job.info.cpus,
+                                  job.info.mem_mb, now)
+                   .value_or(0);
+      job.info.reason = "resources";
+    }
+    update_gauges_locked();
+  }
+
+  // Phase 2 — act on the decisions outside mu_ (the runner fires exit
+  // callbacks synchronously, and those callbacks take mu_).
+  for (const std::string& pid : kills) {
+    if (pid.empty()) continue;
+    runner_->kill(pid);
+    runner_->reap(pid);
+  }
+  for (const Placement& p : placements) {
+    std::string command, wd;
+    {
+      std::lock_guard lock(mu_);
+      auto it = jobs_.find(p.id);
+      if (it == jobs_.end()) continue;
+      command = it->second.info.command;
+      wd = it->second.working_dir;
+    }
+    std::string pid;
+    try {
+      const std::string id = p.id;
+      const int incarnation = p.incarnation;
+      pid = runner_->spawn(command, wd,
+                           [this, id, incarnation](
+                               const std::string& rpid,
+                               const app::JobRunner::Status& status) {
+                             on_runner_exit(id, incarnation, rpid, status);
+                           });
+    } catch (const std::exception& e) {
+      std::lock_guard lock(mu_);
+      auto it = jobs_.find(p.id);
+      if (it != jobs_.end() &&
+          it->second.info.state == JobState::kRunning &&
+          it->second.incarnation == p.incarnation) {
+        Job& job = it->second;
+        job.info.reason = std::string("spawn: ") + e.what();
+        job.info.exit_code = -1;
+        jobs_failed_.add();
+        finish_locked(job, JobState::kFailed, transitions);
+        update_gauges_locked();
+      }
+      continue;
+    }
+    bool orphan = false;
+    {
+      std::lock_guard lock(mu_);
+      auto it = jobs_.find(p.id);
+      if (it != jobs_.end() && it->second.info.state == JobState::kRunning &&
+          it->second.incarnation == p.incarnation) {
+        it->second.pid = pid;
+      } else {
+        orphan = true;  // cancelled in the spawn window
+      }
+    }
+    if (orphan) {
+      runner_->kill(pid);
+      runner_->reap(pid);
+    }
+  }
+  emit(transitions);
+
+  pass_us_.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall0)
+          .count()));
+  return result;
+}
+
+std::optional<common::TimeMs> Scheduler::next_event_time() const {
+  std::lock_guard lock(mu_);
+  std::optional<common::TimeMs> best;
+  for (const auto& [id, job] : jobs_) {
+    if (job.info.state != JobState::kRunning) continue;
+    common::TimeMs end;
+    if (job.sim_duration_ms >= 0) {
+      end = job.info.start_time + job.sim_duration_ms;
+      if (job.info.time_limit_ms > 0 &&
+          job.info.start_time + job.info.time_limit_ms < end) {
+        end = job.info.start_time + job.info.time_limit_ms;
+      }
+    } else {
+      end = job.info.start_time + job.info.time_limit_ms;
+    }
+    if (!best || end < *best) best = end;
+  }
+  return best;
+}
+
+void Scheduler::on_transition(TransitionListener listener) {
+  std::lock_guard lock(listeners_mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+// --- locked helpers -----------------------------------------------------------
+
+double Scheduler::priority_locked(const Job& job, common::TimeMs now) const {
+  double age_min =
+      static_cast<double>(std::max<common::TimeMs>(0, now - job.info.submit_time)) /
+      60'000.0;
+  double p = config_.weight_age * age_min +
+             config_.weight_fairshare * fairshare_.factor(job.info.account) -
+             static_cast<double>(job.nice);
+  const Partition* part = find_partition(job.info.partition);
+  if (part) p += config_.weight_partition * static_cast<double>(part->priority);
+  return p;
+}
+
+const Partition* Scheduler::find_partition(const std::string& name) const {
+  auto it = partitions_.find(name);
+  return it == partitions_.end() ? nullptr : &it->second;
+}
+
+void Scheduler::set_state_locked(Job& job, JobState to,
+                                 std::vector<Transition>& transitions) {
+  JobState from = job.info.state;
+  if (from == to) return;
+  if (from == JobState::kPending) --pending_count_;
+  if (from == JobState::kRunning) --running_count_;
+  job.info.state = to;
+  if (to == JobState::kPending) ++pending_count_;
+  if (to == JobState::kRunning) ++running_count_;
+  transitions.push_back({job.info, from, to});
+}
+
+void Scheduler::finish_locked(Job& job, JobState to,
+                              std::vector<Transition>& out) {
+  common::TimeMs now = clock_->now();
+  if (job.info.state == JobState::kRunning) {
+    nodes_->release(job.info.node, job.info.cpus, job.info.mem_mb);
+    fairshare_.record_usage(
+        job.info.account,
+        static_cast<double>(job.info.cpus) *
+            std::max<common::TimeMs>(0, now - job.info.start_time));
+    job.pid.clear();
+  }
+  if (job.info.end_time == 0) job.info.end_time = now;
+  set_state_locked(job, to, out);
+  resolve_dependents_locked(job, out);
+}
+
+void Scheduler::requeue_locked(Job& job, const std::string& reason,
+                               std::vector<Transition>& out) {
+  common::TimeMs now = clock_->now();
+  nodes_->release(job.info.node, job.info.cpus, job.info.mem_mb);
+  fairshare_.record_usage(
+      job.info.account,
+      static_cast<double>(job.info.cpus) *
+          std::max<common::TimeMs>(0, now - job.info.start_time));
+  job.pid.clear();
+  job.info.reason = reason;
+  job.info.node.clear();
+  job.info.start_time = 0;
+  jobs_requeued_.add();
+  if (reason == "preempted") {
+    ++job.info.preempt_count;
+    jobs_preempted_.add();
+    set_state_locked(job, JobState::kPreempted, out);
+  }
+  set_state_locked(job, JobState::kPending, out);
+}
+
+void Scheduler::resolve_dependents_locked(const Job& parent,
+                                          std::vector<Transition>& out) {
+  auto it = dependents_.find(parent.info.id);
+  if (it == dependents_.end()) return;
+  std::vector<std::string> kids = std::move(it->second);
+  dependents_.erase(it);
+  bool ok = parent.info.state == JobState::kCompleted;
+  for (const std::string& kid_id : kids) {
+    auto jit = jobs_.find(kid_id);
+    if (jit == jobs_.end()) continue;
+    Job& kid = jit->second;
+    if (is_terminal(kid.info.state)) continue;
+    auto& w = kid.waiting_on;
+    w.erase(std::remove(w.begin(), w.end(), parent.info.id), w.end());
+    if (!ok) {
+      kid.info.reason = "dependency";
+      kid.info.end_time = clock_->now();
+      jobs_cancelled_.add();
+      set_state_locked(kid, JobState::kCancelled, out);
+      resolve_dependents_locked(kid, out);  // cascade down the chain
+    }
+  }
+}
+
+std::optional<common::TimeMs> Scheduler::shadow_time_locked(
+    const std::string& partition, unsigned cpus, std::uint64_t mem_mb,
+    common::TimeMs now) const {
+  struct Sim {
+    unsigned free_cpus;
+    std::uint64_t free_mem;
+  };
+  std::map<std::string, Sim> sims;
+  bool capacity = false;
+  for (const NodeInfo& n : nodes_->partition_nodes(partition)) {
+    if (!n.schedulable()) continue;
+    if (n.cpus >= cpus && n.mem_mb >= mem_mb) capacity = true;
+    sims[n.name] = {n.cpus_free(), n.mem_mb_free()};
+  }
+  if (!capacity) return std::nullopt;
+  for (const auto& [name, s] : sims) {
+    if (s.free_cpus >= cpus && s.free_mem >= mem_mb) return now;
+  }
+  // Replay running jobs ending at their limits (any partition — shared
+  // nodes hold jobs from other queues too) in time order until a node fits.
+  struct Ev {
+    common::TimeMs t;
+    const Job* job;
+  };
+  std::vector<Ev> evs;
+  for (const auto& [id, job] : jobs_) {
+    if (job.info.state != JobState::kRunning) continue;
+    if (!sims.count(job.info.node)) continue;
+    common::TimeMs end = job.info.start_time + job.info.time_limit_ms;
+    if (end < now) end = now;
+    evs.push_back({end, &job});
+  }
+  std::sort(evs.begin(), evs.end(),
+            [](const Ev& a, const Ev& b) { return a.t < b.t; });
+  for (const Ev& ev : evs) {
+    Sim& s = sims[ev.job->info.node];
+    s.free_cpus += ev.job->info.cpus;
+    s.free_mem += ev.job->info.mem_mb;
+    if (s.free_cpus >= cpus && s.free_mem >= mem_mb) return ev.t;
+  }
+  return std::nullopt;
+}
+
+void Scheduler::emit(std::vector<Transition>& transitions) {
+  if (transitions.empty()) return;
+  std::vector<TransitionListener> listeners;
+  {
+    std::lock_guard lock(listeners_mu_);
+    listeners = listeners_;
+  }
+  for (const Transition& t : transitions) {
+    for (const TransitionListener& l : listeners) l(t.info, t.from, t.to);
+  }
+  transitions.clear();
+}
+
+void Scheduler::on_runner_exit(const std::string& id, int incarnation,
+                               const std::string& pid,
+                               const app::JobRunner::Status& status) {
+  std::vector<Transition> transitions;
+  {
+    std::lock_guard lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    Job& job = it->second;
+    if (job.info.state != JobState::kRunning || job.incarnation != incarnation) {
+      return;  // cancelled/preempted/timed-out — already handled
+    }
+    job.info.exit_code = status.exit_code;
+    job.info.end_time = status.ended;
+    JobState to = (status.state == app::JobRunner::State::kExited &&
+                   status.exit_code == 0)
+                      ? JobState::kCompleted
+                      : JobState::kFailed;
+    if (to == JobState::kFailed) {
+      job.info.reason = status.state == app::JobRunner::State::kKilled
+                            ? "killed"
+                            : "nonzero_exit";
+      jobs_failed_.add();
+    } else {
+      jobs_completed_.add();
+    }
+    finish_locked(job, to, transitions);
+    update_gauges_locked();
+  }
+  runner_->reap(pid);
+  emit(transitions);
+}
+
+void Scheduler::update_gauges_locked() {
+  queue_depth_gauge_.set(static_cast<std::int64_t>(pending_count_));
+  running_gauge_.set(static_cast<std::int64_t>(running_count_));
+  nodes_up_gauge_.set(
+      static_cast<std::int64_t>(nodes_->count(NodeState::kUp)));
+  nodes_down_gauge_.set(
+      static_cast<std::int64_t>(nodes_->count(NodeState::kDown)));
+  cpus_used_gauge_.set(static_cast<std::int64_t>(nodes_->cpus_used()));
+  cpus_total_gauge_.set(static_cast<std::int64_t>(nodes_->cpus_total()));
+}
+
+}  // namespace gs::sched

@@ -1,0 +1,264 @@
+// The batch controller: a SLURM-shaped scheduler over the JobRunner.
+//
+// The paper's Grid-in-a-Box ExecService runs one process per request; real
+// OGSA deployments front a batch system. This scheduler grows the
+// app::JobRunner substrate into that controller:
+//
+//   * jobs are submitted into partitions (queues) with CPU/memory slot
+//     requests, optional time limits, job arrays, and afterok dependencies;
+//   * each schedule_pass() places pending jobs in priority order —
+//     priority = age + fair-share + partition weight − nice — using
+//     first-fit against per-node slots;
+//   * when the head job does not fit, it gets a reservation: its shadow
+//     time (earliest start reachable by replaying running-job time limits)
+//     caps everything placed after it, so backfilled jobs can never delay
+//     it (EASY backfill's guarantee); placements made under that cap count
+//     as sched.backfill_placed;
+//   * a blocked job from a higher preemption tier may preempt running
+//     preemptable jobs from lower tiers on shared nodes — victims are
+//     killed and requeued (PENDING again after a PREEMPTED transition);
+//   * nodes that miss heartbeats go DOWN and their jobs are requeued.
+//
+// Every state transition (PENDING→RUNNING→COMPLETED/FAILED/CANCELLED/
+// PREEMPTED) is reported to listeners OUTSIDE the scheduler lock; the
+// service layer forwards them to WSN and WS-Eventing subscribers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/job_runner.hpp"
+#include "common/clock.hpp"
+#include "sched/fair_share.hpp"
+#include "sched/node_registry.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace gs::sched {
+
+enum class JobState {
+  kPending,
+  kRunning,
+  kCompleted,
+  kFailed,
+  kCancelled,
+  kPreempted,  // transient: a preempted job requeues to kPending
+};
+
+const char* job_state_name(JobState state);
+bool is_terminal(JobState state);
+
+/// What a client submits.
+struct JobSpec {
+  std::string name;
+  std::string account = "default";
+  std::string partition;
+  std::string command;      // JobRunner command ("sim:..." / "exec:...")
+  std::string working_dir;
+  unsigned cpus = 1;
+  std::uint64_t mem_mb = 100;
+  common::TimeMs time_limit_ms = 0;  // 0 = partition default
+  int array_count = 1;               // > 1 expands into array tasks
+  std::vector<std::string> depends_on;  // job ids; afterok semantics
+  int nice = 0;                      // subtracts from priority
+};
+
+/// A copyable view of one job's state (what documents and events carry).
+struct JobInfo {
+  std::string id;
+  std::string name;
+  std::string account;
+  std::string partition;
+  std::string command;
+  std::string node;  // placement, empty while pending
+  unsigned cpus = 1;
+  std::uint64_t mem_mb = 0;
+  JobState state = JobState::kPending;
+  int exit_code = 0;
+  bool backfilled = false;
+  int preempt_count = 0;
+  std::string reason;  // "timeout", "node_fail", "dependency", ...
+  common::TimeMs submit_time = 0;
+  common::TimeMs start_time = 0;
+  common::TimeMs end_time = 0;
+  common::TimeMs time_limit_ms = 0;
+  std::vector<std::string> depends_on;
+};
+
+class Scheduler {
+ public:
+  struct Config {
+    const common::Clock* clock = &common::RealClock::instance();
+    app::JobRunner* runner = nullptr;
+    NodeRegistry* nodes = nullptr;
+    common::TimeMs heartbeat_timeout_ms = 30'000;
+    common::TimeMs fairshare_half_life_ms = 3600'000;
+    /// Pending jobs examined past the reserved head job per pass.
+    int backfill_depth = 1000;
+    /// Priority weights (SLURM's multifactor knobs, simplified).
+    double weight_age = 1.0;          // per minute queued
+    double weight_fairshare = 1000.0; // × fair-share factor in [0, 1]
+    double weight_partition = 100.0;  // × partition priority
+    telemetry::MetricsRegistry* metrics =
+        &telemetry::MetricsRegistry::global();
+  };
+
+  struct PassResult {
+    size_t placed = 0;
+    size_t backfilled = 0;
+    size_t preempted = 0;
+    size_t requeued = 0;   // node failures
+    size_t timed_out = 0;
+  };
+
+  using TransitionListener =
+      std::function<void(const JobInfo&, JobState from, JobState to)>;
+
+  explicit Scheduler(Config config);
+
+  // --- policy -----------------------------------------------------------------
+
+  void add_partition(Partition partition);
+  std::vector<Partition> partitions() const;
+  void set_account_shares(const std::string& account, double shares);
+  double fairshare_factor(const std::string& account) const;
+
+  // --- job lifecycle ----------------------------------------------------------
+
+  /// Validates and queues the job (arrays expand to `array_count` tasks,
+  /// ids "<id>" and "<id>_<k>"). Returns the ids. Throws
+  /// soap::SoapFault("Sender", ...) for unknown partitions, impossible
+  /// sizes, or unknown dependencies.
+  std::vector<std::string> submit(const JobSpec& spec);
+
+  /// Cancels a pending or running job (kills the process). False when
+  /// unknown or already terminal.
+  bool cancel(const std::string& id);
+
+  std::optional<JobInfo> info(const std::string& id) const;
+  /// Every non-reaped job, submit order; `state` filters when set.
+  std::vector<JobInfo> jobs(std::optional<JobState> state = std::nullopt) const;
+  size_t queue_depth() const;
+  size_t running_count() const;
+
+  /// The priority the next pass would use (tests inspect ordering).
+  double priority_of(const std::string& id) const;
+
+  // --- the scheduling loop ----------------------------------------------------
+
+  /// Retires finished processes (JobRunner::poll) — completions fire here.
+  void poll() { runner_->poll(); }
+
+  /// One scheduling cycle: fair-share decay, heartbeat sweep + requeue,
+  /// time-limit enforcement, priority placement, backfill, preemption.
+  PassResult schedule_pass();
+
+  /// Earliest time a running job can end (its sim: duration when known,
+  /// else its time limit); nullopt when nothing runs. Drives simulated
+  /// time forward in tests and benches.
+  std::optional<common::TimeMs> next_event_time() const;
+
+  /// Registers a transition listener (invoked outside the scheduler lock).
+  void on_transition(TransitionListener listener);
+
+  NodeRegistry& nodes() noexcept { return *nodes_; }
+  app::JobRunner& runner() noexcept { return *runner_; }
+  const common::Clock& clock() const noexcept { return *clock_; }
+
+ private:
+  struct Job {
+    JobInfo info;
+    std::string pid;                 // JobRunner pid while running
+    int incarnation = 0;             // bumped per placement; guards callbacks
+    common::TimeMs sim_duration_ms = -1;  // parsed from "sim:"; -1 = unknown
+    std::vector<std::string> waiting_on;  // unresolved deps
+    std::uint64_t seq = 0;           // submission order tiebreak
+    int nice = 0;
+    std::string working_dir;
+  };
+
+  struct Transition {
+    JobInfo info;
+    JobState from;
+    JobState to;
+  };
+
+  struct Placement {
+    std::string id;
+    std::string node;
+    int incarnation = 0;
+    bool backfill = false;
+  };
+
+  // All private helpers assume mu_ is held.
+  double priority_locked(const Job& job, common::TimeMs now) const;
+  const Partition* find_partition(const std::string& name) const;
+  void set_state_locked(Job& job, JobState to,
+                        std::vector<Transition>& transitions);
+  void finish_locked(Job& job, JobState to, std::vector<Transition>& out);
+  void requeue_locked(Job& job, const std::string& reason,
+                      std::vector<Transition>& out);
+  void resolve_dependents_locked(const Job& parent,
+                                 std::vector<Transition>& out);
+  bool deps_ready(const Job& job) const { return job.waiting_on.empty(); }
+  /// Earliest time `cpus`/`mem` fit on `partition` assuming running jobs
+  /// end at their limits; nullopt when the job can never fit.
+  std::optional<common::TimeMs> shadow_time_locked(
+      const std::string& partition, unsigned cpus, std::uint64_t mem_mb,
+      common::TimeMs now) const;
+  void emit(std::vector<Transition>& transitions);
+  /// The JobRunner exit callback (fired outside the runner's lock). Ignored
+  /// unless the job is still RUNNING in the same placement incarnation —
+  /// the cancel/preempt/timeout paths move the job out of RUNNING before
+  /// killing, so their kill's callback (and any stale callback from an
+  /// earlier incarnation) cannot double-complete the job.
+  void on_runner_exit(const std::string& id, int incarnation,
+                      const std::string& pid,
+                      const app::JobRunner::Status& status);
+  void update_gauges_locked();
+
+  const common::Clock* clock_;
+  app::JobRunner* runner_;
+  NodeRegistry* nodes_;
+  Config config_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Partition> partitions_;
+  FairShareTracker fairshare_;
+  std::map<std::string, Job> jobs_;          // id -> job
+  std::vector<std::string> order_;           // submit order (document view)
+  std::map<std::string, std::vector<std::string>> dependents_;
+  size_t pending_count_ = 0;
+  size_t running_count_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::vector<TransitionListener> listeners_;
+  std::mutex listeners_mu_;
+
+  // Telemetry handles (resolved once; writes are lock-free).
+  telemetry::Counter& jobs_submitted_;
+  telemetry::Counter& jobs_placed_;
+  telemetry::Counter& backfill_placed_;
+  telemetry::Counter& jobs_completed_;
+  telemetry::Counter& jobs_failed_;
+  telemetry::Counter& jobs_cancelled_;
+  telemetry::Counter& jobs_preempted_;
+  telemetry::Counter& jobs_requeued_;
+  telemetry::Counter& jobs_timed_out_;
+  telemetry::Counter& nodes_downed_;
+  telemetry::Gauge& queue_depth_gauge_;
+  telemetry::Gauge& running_gauge_;
+  telemetry::Gauge& nodes_up_gauge_;
+  telemetry::Gauge& nodes_down_gauge_;
+  telemetry::Gauge& cpus_used_gauge_;
+  telemetry::Gauge& cpus_total_gauge_;
+  telemetry::Histogram& placement_wait_us_;
+  telemetry::Histogram& pass_us_;
+};
+
+}  // namespace gs::sched

@@ -1,0 +1,376 @@
+#include "sched/service.hpp"
+
+#include <cstdlib>
+
+#include "soap/namespaces.hpp"
+
+namespace gs::sched {
+
+namespace {
+
+xml::QName s(const char* local) { return {soap::ns::kSched, local}; }
+xml::QName rp(const char* local) { return {soap::ns::kWsrfRp, local}; }
+
+// Action URIs duplicated from the wsrf/wst service headers so this library
+// depends only on gs_container (the strings are spec constants either way).
+const std::string kGetResourceProperty =
+    std::string(soap::ns::kWsrfRp) + "/GetResourceProperty";
+const std::string kGetResourcePropertyDocument =
+    std::string(soap::ns::kWsrfRp) + "/GetResourcePropertyDocument";
+const std::string kTransferGet = std::string(soap::ns::kTransfer) + "/Get";
+const std::string kTransferCreate =
+    std::string(soap::ns::kTransfer) + "/Create";
+const std::string kTransferDelete =
+    std::string(soap::ns::kTransfer) + "/Delete";
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    std::string item = comma == std::string::npos
+                           ? text.substr(start)
+                           : text.substr(start, comma - start);
+    size_t b = item.find_first_not_of(" \t\r\n");
+    if (b != std::string::npos) {
+      size_t e = item.find_last_not_of(" \t\r\n");
+      out.push_back(item.substr(b, e - b + 1));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::string join_csv(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& item : items) {
+    if (!out.empty()) out += ",";
+    out += item;
+  }
+  return out;
+}
+
+std::string trimmed_text(const xml::Element& el) {
+  std::string text = el.text();
+  size_t b = text.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = text.find_last_not_of(" \t\r\n");
+  return text.substr(b, e - b + 1);
+}
+
+long long attr_ll(const xml::Element& el, const char* name, long long fallback) {
+  auto raw = el.attr(name);
+  return raw ? std::strtoll(raw->c_str(), nullptr, 10) : fallback;
+}
+
+/// The representation WS-Transfer Create accepts (attributes; depends_on
+/// is a comma-separated id list).
+JobSpec parse_job_spec(const xml::Element& el) {
+  JobSpec spec;
+  spec.name = el.attr("name").value_or("");
+  spec.account = el.attr("account").value_or("default");
+  spec.partition = el.attr("partition").value_or("");
+  spec.command = el.attr("command").value_or("");
+  spec.working_dir = el.attr("working_dir").value_or("");
+  spec.cpus = static_cast<unsigned>(attr_ll(el, "cpus", 1));
+  spec.mem_mb = static_cast<std::uint64_t>(attr_ll(el, "mem_mb", 100));
+  spec.time_limit_ms = attr_ll(el, "time_limit_ms", 0);
+  spec.array_count = static_cast<int>(attr_ll(el, "array_count", 1));
+  spec.nice = static_cast<int>(attr_ll(el, "nice", 0));
+  if (auto deps = el.attr("depends_on")) spec.depends_on = split_csv(*deps);
+  return spec;
+}
+
+}  // namespace
+
+std::string job_state_action() {
+  return std::string(soap::ns::kSched) + "/JobStateChange";
+}
+
+wsn::TopicNamespace sched_topics() {
+  wsn::TopicNamespace topics;
+  topics.add(kJobTopic);  // intermediates register kSchedTopic too
+  return topics;
+}
+
+std::unique_ptr<xml::Element> job_element(const JobInfo& info) {
+  auto el = std::make_unique<xml::Element>(s("Job"));
+  el->set_attr("id", info.id);
+  el->set_attr("name", info.name);
+  el->set_attr("account", info.account);
+  el->set_attr("partition", info.partition);
+  el->set_attr("state", job_state_name(info.state));
+  el->set_attr("cpus", std::to_string(info.cpus));
+  el->set_attr("mem_mb", std::to_string(info.mem_mb));
+  if (!info.node.empty()) el->set_attr("node", info.node);
+  if (!info.reason.empty()) el->set_attr("reason", info.reason);
+  if (info.backfilled) el->set_attr("backfilled", "true");
+  if (info.preempt_count > 0) {
+    el->set_attr("preempt_count", std::to_string(info.preempt_count));
+  }
+  if (is_terminal(info.state)) {
+    el->set_attr("exit_code", std::to_string(info.exit_code));
+  }
+  el->set_attr("submit_time", std::to_string(info.submit_time));
+  if (info.start_time != 0) {
+    el->set_attr("start_time", std::to_string(info.start_time));
+  }
+  if (info.end_time != 0) el->set_attr("end_time", std::to_string(info.end_time));
+  el->set_attr("time_limit_ms", std::to_string(info.time_limit_ms));
+  if (!info.depends_on.empty()) {
+    el->set_attr("depends_on", join_csv(info.depends_on));
+  }
+  return el;
+}
+
+std::unique_ptr<xml::Element> sched_document(Scheduler& sched) {
+  auto root = std::make_unique<xml::Element>(s("Sched"));
+  root->declare_prefix("s", soap::ns::kSched);
+
+  xml::Element& queue = root->append_element(s("Queue"));
+  queue.set_attr("depth", std::to_string(sched.queue_depth()));
+  queue.set_attr("running", std::to_string(sched.running_count()));
+
+  for (const Partition& p : sched.partitions()) {
+    xml::Element& el = root->append_element(s("Partition"));
+    el.set_attr("name", p.name);
+    el.set_attr("priority", std::to_string(p.priority));
+    el.set_attr("preempt_tier", std::to_string(p.preempt_tier));
+    el.set_attr("preemptable", p.preemptable ? "true" : "false");
+    el.set_attr("default_time_limit_ms",
+                std::to_string(p.default_time_limit_ms));
+  }
+
+  for (const NodeInfo& n : sched.nodes().snapshot()) {
+    xml::Element& el = root->append_element(s("Node"));
+    el.set_attr("name", n.name);
+    el.set_attr("state", node_state_name(n.state));
+    el.set_attr("partitions", join_csv(n.partitions));
+    el.set_attr("cpus", std::to_string(n.cpus));
+    el.set_attr("cpus_used", std::to_string(n.cpus_used));
+    el.set_attr("mem_mb", std::to_string(n.mem_mb));
+    el.set_attr("mem_mb_used", std::to_string(n.mem_mb_used));
+    el.set_attr("last_heartbeat", std::to_string(n.last_heartbeat));
+  }
+
+  for (const JobInfo& info : sched.jobs()) {
+    root->append(job_element(info));
+  }
+  return root;
+}
+
+void attach_job_publisher(Scheduler& sched, JobEventPublisher publisher) {
+  sched.on_transition([publisher](const JobInfo& info, JobState from,
+                                  JobState to) {
+    xml::Element event(s("JobStateChange"));
+    event.declare_prefix("s", soap::ns::kSched);
+    event.set_attr("id", info.id);
+    event.set_attr("name", info.name);
+    event.set_attr("account", info.account);
+    event.set_attr("partition", info.partition);
+    event.set_attr("from", job_state_name(from));
+    event.set_attr("to", job_state_name(to));
+    if (!info.node.empty()) event.set_attr("node", info.node);
+    if (!info.reason.empty()) event.set_attr("reason", info.reason);
+    if (info.backfilled) event.set_attr("backfilled", "true");
+    if (is_terminal(to)) {
+      event.set_attr("exit_code", std::to_string(info.exit_code));
+    }
+    if (publisher.wsn) publisher.wsn->notify(kJobTopic, event);
+    if (publisher.wse) publisher.wse->notify(kJobTopic, event, job_state_action());
+  });
+}
+
+std::string SchedService::register_node_action() {
+  return std::string(soap::ns::kSched) + "/RegisterNode";
+}
+std::string SchedService::heartbeat_action() {
+  return std::string(soap::ns::kSched) + "/Heartbeat";
+}
+std::string SchedService::drain_action() {
+  return std::string(soap::ns::kSched) + "/Drain";
+}
+std::string SchedService::resume_action() {
+  return std::string(soap::ns::kSched) + "/Resume";
+}
+std::string SchedService::schedule_pass_action() {
+  return std::string(soap::ns::kSched) + "/SchedulePass";
+}
+std::string SchedService::cancel_action() {
+  return std::string(soap::ns::kSched) + "/Cancel";
+}
+
+SchedService::SchedService(std::string address, Scheduler* sched)
+    : container::Service("Sched"), address_(std::move(address)), sched_(sched) {
+  // --- WSRF: queue/node/job state as resource properties --------------------
+  register_operation(kGetResourceProperty, [this](container::RequestContext& ctx) {
+    std::string requested = trimmed_text(ctx.payload());
+    if (requested.empty()) {
+      throw soap::SoapFault("Sender", "empty sched property name");
+    }
+    static const std::map<std::string, std::string> kKinds = {
+        {"Queue", "Queue"},
+        {"Partitions", "Partition"},
+        {"Nodes", "Node"},
+        {"Jobs", "Job"},
+    };
+    auto kind = kKinds.find(requested);
+
+    auto doc = sched_document(*sched_);
+    soap::Envelope response =
+        container::make_response(ctx, kGetResourceProperty + "Response");
+    xml::Element& body = response.add_payload(rp("GetResourcePropertyResponse"));
+    bool matched = false;
+    for (const xml::Element* el : doc->child_elements()) {
+      bool wanted = kind != kKinds.end()
+                        ? el->name().local() == kind->second
+                        : (el->name().local() == "Job" &&
+                           el->attr("id") == requested);
+      if (wanted) {
+        body.append(el->clone());
+        matched = true;
+      }
+    }
+    if (!matched && kind == kKinds.end()) {
+      throw soap::SoapFault("Sender",
+                            "unknown sched property '" + requested + "'");
+    }
+    return response;
+  });
+
+  register_operation(
+      kGetResourcePropertyDocument, [this](container::RequestContext& ctx) {
+        soap::Envelope response = container::make_response(
+            ctx, kGetResourcePropertyDocument + "Response");
+        response.add_payload(rp("GetResourcePropertyDocumentResponse"))
+            .append(sched_document(*sched_));
+        return response;
+      });
+
+  // --- WS-Transfer: Create submits, Get reads, Delete cancels ----------------
+  register_operation(kTransferCreate, [this](container::RequestContext& ctx) {
+    JobSpec spec = parse_job_spec(ctx.payload());
+    std::vector<std::string> ids = sched_->submit(spec);
+    soap::Envelope response =
+        container::make_response(ctx, kTransferCreate + "Response");
+    xml::Element& body = response.add_payload(s("CreateResponse"));
+    body.declare_prefix("s", soap::ns::kSched);
+    for (const std::string& id : ids) {
+      body.append_element(s("JobId")).set_text(id);
+    }
+    return response;
+  });
+
+  register_operation(kTransferGet, [this](container::RequestContext& ctx) {
+    std::string id = trimmed_text(ctx.payload());
+    soap::Envelope response =
+        container::make_response(ctx, kTransferGet + "Response");
+    if (id.empty()) {
+      response.add_payload(sched_document(*sched_));
+      return response;
+    }
+    std::optional<JobInfo> info = sched_->info(id);
+    if (!info) throw soap::SoapFault("Sender", "unknown job '" + id + "'");
+    response.add_payload(job_element(*info));
+    return response;
+  });
+
+  register_operation(kTransferDelete, [this](container::RequestContext& ctx) {
+    std::string id = trimmed_text(ctx.payload());
+    if (id.empty()) throw soap::SoapFault("Sender", "Delete needs a job id");
+    if (!sched_->info(id)) {
+      throw soap::SoapFault("Sender", "unknown job '" + id + "'");
+    }
+    bool cancelled = sched_->cancel(id);
+    soap::Envelope response =
+        container::make_response(ctx, kTransferDelete + "Response");
+    response.add_payload(s("DeleteResponse"))
+        .set_attr("cancelled", cancelled ? "true" : "false");
+    return response;
+  });
+
+  register_operation(cancel_action(), [this](container::RequestContext& ctx) {
+    std::string id = ctx.payload().attr("id").value_or("");
+    if (id.empty()) id = trimmed_text(ctx.payload());
+    if (id.empty()) throw soap::SoapFault("Sender", "Cancel needs a job id");
+    if (!sched_->info(id)) {
+      throw soap::SoapFault("Sender", "unknown job '" + id + "'");
+    }
+    bool cancelled = sched_->cancel(id);
+    soap::Envelope response =
+        container::make_response(ctx, cancel_action() + "Response");
+    response.add_payload(s("CancelResponse"))
+        .set_attr("cancelled", cancelled ? "true" : "false");
+    return response;
+  });
+
+  // --- controller operations: the fleet reports in over the fabric -----------
+  register_operation(register_node_action(), [this](container::RequestContext& ctx) {
+    const xml::Element& el = ctx.payload();
+    std::string name = el.attr("name").value_or("");
+    if (name.empty()) throw soap::SoapFault("Sender", "RegisterNode needs a name");
+    std::vector<std::string> parts =
+        split_csv(el.attr("partitions").value_or(""));
+    unsigned cpus = static_cast<unsigned>(attr_ll(el, "cpus", 1));
+    std::uint64_t mem = static_cast<std::uint64_t>(attr_ll(el, "mem_mb", 1024));
+    sched_->nodes().upsert(name, std::move(parts), cpus, mem,
+                           sched_->clock().now());
+    soap::Envelope response =
+        container::make_response(ctx, register_node_action() + "Response");
+    response.add_payload(s("RegisterNodeResponse")).set_attr("name", name);
+    return response;
+  });
+
+  register_operation(heartbeat_action(), [this](container::RequestContext& ctx) {
+    std::string node = ctx.payload().attr("node").value_or("");
+    if (node.empty()) node = trimmed_text(ctx.payload());
+    bool known = sched_->nodes().heartbeat(node, sched_->clock().now());
+    soap::Envelope response =
+        container::make_response(ctx, heartbeat_action() + "Response");
+    // known="false" tells the node to re-register (controller restarted).
+    response.add_payload(s("HeartbeatResponse"))
+        .set_attr("known", known ? "true" : "false");
+    return response;
+  });
+
+  register_operation(drain_action(), [this](container::RequestContext& ctx) {
+    std::string node = ctx.payload().attr("node").value_or("");
+    if (!sched_->nodes().drain(node)) {
+      throw soap::SoapFault("Sender", "unknown node '" + node + "'");
+    }
+    soap::Envelope response =
+        container::make_response(ctx, drain_action() + "Response");
+    response.add_payload(s("DrainResponse")).set_attr("node", node);
+    return response;
+  });
+
+  register_operation(resume_action(), [this](container::RequestContext& ctx) {
+    std::string node = ctx.payload().attr("node").value_or("");
+    if (!sched_->nodes().resume(node, sched_->clock().now())) {
+      throw soap::SoapFault("Sender", "unknown node '" + node + "'");
+    }
+    soap::Envelope response =
+        container::make_response(ctx, resume_action() + "Response");
+    response.add_payload(s("ResumeResponse")).set_attr("node", node);
+    return response;
+  });
+
+  register_operation(schedule_pass_action(),
+                     [this](container::RequestContext& ctx) {
+    Scheduler::PassResult r = sched_->schedule_pass();
+    soap::Envelope response =
+        container::make_response(ctx, schedule_pass_action() + "Response");
+    xml::Element& body = response.add_payload(s("SchedulePassResponse"));
+    body.set_attr("placed", std::to_string(r.placed));
+    body.set_attr("backfilled", std::to_string(r.backfilled));
+    body.set_attr("preempted", std::to_string(r.preempted));
+    body.set_attr("requeued", std::to_string(r.requeued));
+    body.set_attr("timed_out", std::to_string(r.timed_out));
+    body.set_attr("queue_depth", std::to_string(sched_->queue_depth()));
+    body.set_attr("running", std::to_string(sched_->running_count()));
+    return response;
+  });
+}
+
+}  // namespace gs::sched

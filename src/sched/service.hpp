@@ -1,0 +1,91 @@
+// SchedService: the batch controller exposed *the paper's way* — once per
+// stack, over one wire service.
+//
+//   * WSRF:        queue/node/job state are resource properties
+//                  (GetResourceProperty selects "Queue", "Partitions",
+//                  "Nodes", "Jobs", or a job id;
+//                  GetResourcePropertyDocument returns everything);
+//   * WS-Transfer: Create submits a job (the representation is the job
+//                  spec), Get reads the same document or one job, Delete
+//                  cancels;
+//   * controller operations (RegisterNode / Heartbeat / Drain / Resume /
+//                  SchedulePass) are plain SOAP actions in the sched
+//                  namespace — the fleet's nodes report in over the same
+//                  fabric the clients use.
+//
+// Job state transitions (PENDING→RUNNING→COMPLETED/FAILED/CANCELLED/
+// PREEMPTED) publish on topic gs:Sched/Job through WS-Notification and/or
+// WS-Eventing via attach_job_publisher — scheduler events ride the same
+// delivery queues, retries, and eviction machinery as application traffic.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "container/service.hpp"
+#include "sched/scheduler.hpp"
+#include "wse/service.hpp"
+#include "wsn/producer.hpp"
+
+namespace gs::sched {
+
+/// WS-Topics names scheduler traffic is published on; a Simple-dialect
+/// subscription on `gs:Sched` receives everything.
+inline constexpr const char* kSchedTopic = "gs:Sched";
+inline constexpr const char* kJobTopic = "gs:Sched/Job";
+
+/// wsa:Action stamped on WS-Eventing job-state events.
+std::string job_state_action();
+
+/// A TopicNamespace containing the scheduler topics — merge or pass to the
+/// wsn::NotificationProducer that will carry them.
+wsn::TopicNamespace sched_topics();
+
+/// `<s:Job id=".." state=".." .../>` — one job's document/event view.
+std::unique_ptr<xml::Element> job_element(const JobInfo& info);
+
+/// The full resource-property document:
+///
+///   <s:Sched xmlns:s="http://gridstacks.dev/sched">
+///     <s:Queue depth=".." running=".."/>
+///     <s:Partition name=".." priority=".." preempt_tier=".."
+///                  preemptable=".." default_time_limit_ms=".."/>
+///     <s:Node name=".." state="up" partitions="batch,scavenge" cpus=".."
+///             cpus_used=".." mem_mb=".." mem_mb_used=".."/>
+///     <s:Job id=".." name=".." state="RUNNING" .../>
+///   </s:Sched>
+std::unique_ptr<xml::Element> sched_document(Scheduler& sched);
+
+/// Either or both stacks; null = don't publish there (MonitorProducer's
+/// convention). The pointed-to publishers must outlive the scheduler.
+struct JobEventPublisher {
+  wsn::NotificationProducer* wsn = nullptr;
+  wse::NotificationManager* wse = nullptr;
+};
+
+/// Registers a transition listener on `sched` that publishes every job
+/// state change as `<s:JobStateChange id=".." from=".." to=".."/>` on
+/// topic gs:Sched/Job through both configured stacks.
+void attach_job_publisher(Scheduler& sched, JobEventPublisher publisher);
+
+class SchedService final : public container::Service {
+ public:
+  SchedService(std::string address, Scheduler* sched);
+
+  const std::string& address() const noexcept { return address_; }
+  Scheduler& scheduler() noexcept { return *sched_; }
+
+  // Controller action URIs (http://gridstacks.dev/sched/<op>).
+  static std::string register_node_action();
+  static std::string heartbeat_action();
+  static std::string drain_action();
+  static std::string resume_action();
+  static std::string schedule_pass_action();
+  static std::string cancel_action();
+
+ private:
+  std::string address_;
+  Scheduler* sched_;
+};
+
+}  // namespace gs::sched

@@ -10,7 +10,10 @@
 #include <thread>
 
 #include "app/counter_core.hpp"
+#include "app/job_runner.hpp"
 #include "container/container.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/metrics.hpp"
 #include "counter/wsrf_counter.hpp"
 #include "counter/wst_counter.hpp"
 #include "gridbox/clients.hpp"
@@ -336,6 +339,142 @@ TEST(BindingEquivalence, GridAccountsAndSitesIdenticalAcrossStacks) {
   EXPECT_EQ(canon(*wsrf_site), canon(*wst_site));
   EXPECT_EQ(app::SiteInfo::from_xml(*wsrf_site).applications,
             app::SiteInfo::from_xml(*wst_site).applications);
+}
+
+// ---------------------------------------------------------------------------
+// JobRunner edge cases: the exec-substrate contracts the batch scheduler
+// leans on — kill fires the exit callback, reap refuses running jobs,
+// callbacks run outside the runner lock, and misconfigured submissions are
+// visible instead of silently "succeeding".
+// ---------------------------------------------------------------------------
+
+TEST(JobRunnerEdge, KillFiresExitCallbackThenReapRetires) {
+  common::ManualClock clock(1000);
+  app::JobRunner runner(clock);
+
+  std::vector<std::pair<std::string, app::JobRunner::Status>> exits;
+  std::string pid = runner.spawn(
+      "sim:duration=60000,exit=0", "",
+      [&](const std::string& p, const app::JobRunner::Status& s) {
+        exits.emplace_back(p, s);
+      });
+
+  ASSERT_TRUE(runner.kill(pid));
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_EQ(exits[0].first, pid);
+  EXPECT_EQ(exits[0].second.state, app::JobRunner::State::kKilled);
+  EXPECT_EQ(exits[0].second.exit_code, -9);
+  EXPECT_EQ(exits[0].second.ended, clock.now());
+
+  // Killing an already-dead job neither fires again nor succeeds.
+  EXPECT_FALSE(runner.kill(pid));
+  EXPECT_EQ(exits.size(), 1u);
+  EXPECT_TRUE(runner.reap(pid));
+  EXPECT_FALSE(runner.reap(pid));
+}
+
+TEST(JobRunnerEdge, ReapRefusesRunningJobs) {
+  common::ManualClock clock(1000);
+  app::JobRunner runner(clock);
+  std::string pid = runner.spawn("sim:duration=60000,exit=0", "");
+  // Still running: reap must refuse — the slot stays until the job ends.
+  EXPECT_FALSE(runner.reap(pid));
+  EXPECT_EQ(runner.running_count(), 1u);
+  ASSERT_TRUE(runner.kill(pid));
+  EXPECT_TRUE(runner.reap(pid));
+  EXPECT_EQ(runner.running_count(), 0u);
+}
+
+TEST(JobRunnerEdge, ExitCallbacksMayReenterTheRunner) {
+  common::ManualClock clock(1000);
+  app::JobRunner runner(clock);
+
+  // A callback that calls straight back into the runner (reap itself and
+  // spawn a successor) would deadlock if callbacks fired under the lock —
+  // this is exactly what the scheduler's on_runner_exit path does.
+  std::string chained;
+  std::string pid = runner.spawn(
+      "sim:duration=1000,exit=0", "",
+      [&](const std::string& p, const app::JobRunner::Status&) {
+        EXPECT_TRUE(runner.reap(p));
+        chained = runner.spawn("sim:duration=1000,exit=0", "");
+      });
+
+  clock.advance(1000);
+  EXPECT_EQ(runner.poll(), 1u);
+  ASSERT_FALSE(chained.empty());
+  EXPECT_EQ(runner.running_count(), 1u);
+  EXPECT_FALSE(runner.status(pid).has_value());  // reaped from the callback
+
+  // The kill path fires callbacks outside the lock too.
+  bool reentered = false;
+  std::string pid2 = runner.spawn(
+      "sim:duration=60000,exit=0", "",
+      [&](const std::string& p, const app::JobRunner::Status&) {
+        reentered = runner.reap(p);
+      });
+  ASSERT_TRUE(runner.kill(pid2));
+  EXPECT_TRUE(reentered);
+}
+
+TEST(JobRunnerEdge, UnrecognizedCommandWarnsAndCounts) {
+  common::ManualClock clock(1000);
+  app::JobRunner runner(clock);
+  auto& counter = telemetry::MetricsRegistry::global().counter(
+      "jobrunner.unrecognized_command");
+  std::uint64_t count_before = counter.value();
+  std::uint64_t warns_before =
+      telemetry::EventLog::global().count(telemetry::Level::kWarn);
+
+  // Neither "sim:" nor "exec:": runs as a 0 ms simulation, but loudly.
+  std::string pid = runner.spawn("/usr/bin/blast -query q.fa", "");
+  EXPECT_EQ(counter.value(), count_before + 1);
+  EXPECT_GT(telemetry::EventLog::global().count(telemetry::Level::kWarn),
+            warns_before);
+  runner.poll();
+  auto status = runner.status(pid);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, app::JobRunner::State::kExited);
+
+  // Well-formed commands stay silent.
+  runner.spawn("sim:duration=0,exit=0", "");
+  EXPECT_EQ(counter.value(), count_before + 1);
+}
+
+TEST(JobRunnerEdge, ConcurrentKillPollAndSpawnStayConsistent) {
+  common::ManualClock clock(1000);
+  app::JobRunner runner(clock);
+
+  constexpr int kJobs = 64;
+  std::atomic<int> exits{0};
+  std::vector<std::string> pids;
+  for (int i = 0; i < kJobs; ++i) {
+    pids.push_back(runner.spawn(
+        "sim:duration=500,exit=0", "",
+        [&](const std::string&, const app::JobRunner::Status&) { ++exits; }));
+  }
+
+  // Half the jobs get killed while pollers race to retire the other half
+  // past their deadline; every job must exit exactly once.
+  clock.advance(500);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] { runner.poll(); });
+  }
+  for (int i = 0; i < kJobs; i += 2) {
+    threads.emplace_back([&, i] { runner.kill(pids[i]); });
+  }
+  for (std::thread& th : threads) th.join();
+  runner.poll();
+
+  EXPECT_EQ(exits.load(), kJobs);
+  EXPECT_EQ(runner.running_count(), 0u);
+  for (const std::string& pid : pids) {
+    auto status = runner.status(pid);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_NE(status->state, app::JobRunner::State::kRunning);
+    EXPECT_TRUE(runner.reap(pid));
+  }
 }
 
 }  // namespace
