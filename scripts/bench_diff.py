@@ -13,6 +13,10 @@ check — power-of-two-bucket percentiles on a handful of samples are noise.
 Records carrying an ops_per_sec field (the concurrent-dispatch scaling
 bench) are additionally gated on throughput: a drop of more than the
 threshold (percent) against the baseline fails the check.
+
+Allocation metrics are gated too: counters prefixed "xml." (the wire-path
+allocation probes — arena bytes, DOM nodes) are compared per iteration,
+and an increase of more than the threshold (percent) fails the check.
 """
 
 import argparse
@@ -21,6 +25,10 @@ import pathlib
 import sys
 
 MIN_COUNT = 16
+# Histograms use power-of-two buckets: below this p50 a run-to-run shift of
+# a single bucket reads as a 50-100% change. Sub-resolution layers are
+# reported but never fail the check.
+MIN_P50_US = 10.0
 
 
 def load_figures(directory):
@@ -77,6 +85,31 @@ def main():
                     print(f"! {line}")
                 else:
                     print(f"  {line}")
+            base_counters = base_record.get("counters", {})
+            cand_counters = cand_record.get("counters", {})
+            base_iters = max(base_record.get("iterations", 1), 1)
+            cand_iters = max(cand_record.get("iterations", 1), 1)
+            for name, base_total in sorted(base_counters.items()):
+                if not name.startswith("xml."):
+                    continue
+                cand_total = cand_counters.get(name)
+                if cand_total is None:
+                    continue
+                base_rate = base_total / base_iters
+                cand_rate = cand_total / cand_iters
+                if base_rate <= 0.0:
+                    continue
+                change = (cand_rate - base_rate) / base_rate * 100.0
+                compared += 1
+                line = (
+                    f"{figure} {bench} {name}: {base_rate:.1f} -> "
+                    f"{cand_rate:.1f} per iteration ({change:+.1f}%)"
+                )
+                if change > args.threshold:
+                    failures.append(line)
+                    print(f"! {line}")
+                else:
+                    print(f"  {line}")
             base_hists = base_record.get("histograms", {})
             cand_hists = cand_record.get("histograms", {})
             for layer, base_h in sorted(base_hists.items()):
@@ -92,6 +125,7 @@ def main():
                 noisy = (
                     base_h.get("count", 0) < MIN_COUNT
                     or cand_h.get("count", 0) < MIN_COUNT
+                    or max(base_p50, cand_p50) < MIN_P50_US
                 )
                 tag = f"{figure} {bench} {layer}"
                 line = (
@@ -102,7 +136,7 @@ def main():
                     failures.append(line)
                     print(f"! {line}")
                 elif change > args.threshold:
-                    print(f"~ {line} [low-count, ignored]")
+                    print(f"~ {line} [noisy: low count or sub-resolution, ignored]")
                 else:
                     print(f"  {line}")
 

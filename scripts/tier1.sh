@@ -63,9 +63,12 @@ elif [[ "$TSAN_ONLY" == "1" ]]; then
   # threads: telemetry (sharded counters, span/event rings, monitor
   # pub/sub), reliability (delivery queues + pools under faults),
   # concurrency (registry pins, per-resource locks, the 8-thread hammer),
-  # and scheduler (two-phase passes against JobRunner exit callbacks).
+  # scheduler (two-phase passes against JobRunner exit callbacks), and the
+  # wire fast path (shared template skeletons, thread-local probes and
+  # scratch buffers, refcounted buffer-chain segments) with its xml
+  # substrate.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
-    -R 'telemetry|reliability|monitor|concurrency|scheduler'
+    -R 'telemetry|reliability|monitor|concurrency|scheduler|xml|wire'
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 fi

@@ -18,6 +18,9 @@ Container::Container(ContainerConfig config)
   metrics_.handler_us = &reg.histogram("container.handler_us");
   metrics_.security_us = &reg.histogram("container.security_us");
   metrics_.parse_us = &reg.histogram("container.parse_us");
+  metrics_.serialize_us = &reg.histogram("container.serialize_us");
+  metrics_.nodes_per_request = &reg.histogram("xml.nodes_per_request");
+  metrics_.arena_bytes = &reg.counter("xml.arena_bytes");
 }
 
 HandlerChain Container::default_chain() {

@@ -52,6 +52,11 @@ struct ContainerMetrics {
   telemetry::Histogram* handler_us = nullptr;
   telemetry::Histogram* security_us = nullptr;
   telemetry::Histogram* parse_us = nullptr;
+  telemetry::Histogram* serialize_us = nullptr;
+  /// Allocation probe (see xml/probe.hpp): DOM nodes built while serving
+  /// one HTTP request, and total arena bytes the pull parser bump-allocated.
+  telemetry::Histogram* nodes_per_request = nullptr;
+  telemetry::Counter* arena_bytes = nullptr;
 };
 
 class Container final : public net::Endpoint {

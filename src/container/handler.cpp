@@ -7,6 +7,7 @@
 #include "telemetry/event_log.hpp"
 #include "telemetry/propagation.hpp"
 #include "telemetry/trace.hpp"
+#include "xml/probe.hpp"
 
 namespace gs::container {
 
@@ -21,14 +22,20 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
 
 net::HttpResponse serialize_response(const soap::Envelope& response) {
   // SOAP 1.2 over HTTP: faults ride a 500, still with an envelope body;
-  // both paths carry the SOAP content type.
+  // both paths carry the SOAP content type. The body leaves as a segment
+  // chain: template responses splice skeleton literals, wire-backed
+  // envelopes share the received buffer, and DOM envelopes serialize into
+  // a per-worker scratch buffer whose capacity survives across requests
+  // (wire_chain reallocates it when a previous response still holds it).
+  thread_local std::shared_ptr<std::string> scratch;
+  net::HttpResponse http;
   if (response.is_fault()) {
-    net::HttpResponse http = net::HttpResponse::error(
-        500, "Internal Server Error", response.to_xml());
-    http.headers["Content-Type"] = "application/soap+xml";
-    return http;
+    http.status = 500;
+    http.reason = "Internal Server Error";
   }
-  return net::HttpResponse::ok(response.to_xml(), "application/soap+xml");
+  http.headers["Content-Type"] = "application/soap+xml";
+  response.wire_chain(http.body_chain, &scratch);
+  return http;
 }
 
 }  // namespace
@@ -103,6 +110,10 @@ void ParseHandler::handle(PipelineContext& ctx, Next next) {
     return;
   }
   const ContainerMetrics& m = ctx.container.metrics();
+  // Allocation probe: everything from parse through response serialization
+  // runs on this thread, so thread-local deltas are this request's DOM
+  // node and arena byte counts.
+  xml::probe::AllocStats probe_before = xml::probe::snapshot();
   auto parse_started = std::chrono::steady_clock::now();
   try {
     ctx.parsed = soap::Envelope::from_xml(ctx.http_request->body);
@@ -121,8 +132,14 @@ void ParseHandler::handle(PipelineContext& ctx, Next next) {
 
   next(ctx);
 
+  auto serialize_started = std::chrono::steady_clock::now();
   ctx.http_response = serialize_response(ctx.response);
+  m.serialize_us->record(elapsed_us(serialize_started));
   ctx.http_done = true;
+
+  xml::probe::AllocStats probe_after = xml::probe::snapshot();
+  m.nodes_per_request->record(probe_after.dom_nodes - probe_before.dom_nodes);
+  m.arena_bytes->add(probe_after.arena_bytes - probe_before.arena_bytes);
 }
 
 // --- telemetry --------------------------------------------------------------
@@ -172,6 +189,11 @@ void ResolveHandler::handle(PipelineContext& ctx, Next next) {
   }
   ctx.rpc.request = ctx.request;
   ctx.rpc.info = ctx.request->read_addressing();
+  // Template responses apply only when the reply leaves as octets (HTTP
+  // entry) and nothing downstream mutates it (no message-level signature).
+  ctx.rpc.allow_template_response =
+      ctx.http_request != nullptr &&
+      ctx.container.config().security == SecurityMode::kNone;
   next(ctx);
 }
 

@@ -108,9 +108,30 @@ std::string HttpResponse::serialize() const {
     if (is_framing_header(name)) continue;
     out += name + ": " + value + "\r\n";
   }
-  out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
-  out += body;
+  out += "Content-Length: " + std::to_string(body_size()) + "\r\n\r\n";
+  out.reserve(out.size() + body_size());
+  if (body_chain.empty()) {
+    out += body;
+  } else {
+    body_chain.join_into(out);
+  }
   return out;
+}
+
+void HttpResponse::serialize_to(common::BufferChain& out) const {
+  std::string head =
+      "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  for (const auto& [name, value] : headers) {
+    if (is_framing_header(name)) continue;
+    head += name + ": " + value + "\r\n";
+  }
+  head += "Content-Length: " + std::to_string(body_size()) + "\r\n\r\n";
+  out.append(std::move(head));
+  if (body_chain.empty()) {
+    out.append_static(body);  // views *this; see header contract
+  } else {
+    out.append_chain(body_chain);
+  }
 }
 
 std::optional<HttpResponse> HttpResponse::parse(std::string_view wire) {

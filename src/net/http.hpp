@@ -9,6 +9,8 @@
 #include <optional>
 #include <string>
 
+#include "common/buffer_chain.hpp"
+
 namespace gs::net {
 
 /// Case-insensitive ordering for header field names (RFC 7230 §3.2:
@@ -42,8 +44,25 @@ struct HttpResponse {
   std::string reason = "OK";
   HeaderMap headers;
   std::string body;
+  /// Zero-copy body: when non-empty it is the response body and `body` is
+  /// ignored. Producers (the container's serialize path) fill it with
+  /// segments that co-own their storage; transports write the segments
+  /// without flattening. parse() always fills `body`.
+  common::BufferChain body_chain;
+
+  std::size_t body_size() const noexcept {
+    return body_chain.empty() ? body.size() : body_chain.size();
+  }
+  /// The body octets regardless of representation (joins the chain).
+  std::string body_str() const {
+    return body_chain.empty() ? body : body_chain.join();
+  }
 
   std::string serialize() const;
+  /// Appends the full response octets to `out` as segments (writev-style).
+  /// Segments may view into this response's storage: *this must outlive
+  /// any use of `out`.
+  void serialize_to(common::BufferChain& out) const;
   static std::optional<HttpResponse> parse(std::string_view wire);
 
   static HttpResponse ok(std::string body, std::string content_type = "application/soap+xml");

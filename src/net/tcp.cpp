@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/buffer_chain.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -134,7 +135,13 @@ void HttpServer::serve_connection(int fd) {
     } else {
       response = HttpResponse::error(400, "Bad Request");
     }
-    send_all(fd, response.serialize());
+    // Scatter write: the status line + headers, then the body segments
+    // (template skeleton pieces, shared parse buffers) straight from where
+    // they live — the chain-backed fast path never flattens the response.
+    common::BufferChain wire;
+    response.serialize_to(wire);
+    bool ok = true;
+    wire.for_each([&](std::string_view seg) { ok = ok && send_all(fd, seg); });
   }
   ::close(fd);
 }

@@ -256,10 +256,15 @@ std::string VirtualCaller::exchange_octets(const Url& url,
     request.body = octets.substr(4);
     response = handle_at_server(*endpoint, request);
     std::string frame;
-    std::uint32_t len = static_cast<std::uint32_t>(response.body.size());
+    frame.reserve(4 + response.body_size());
+    std::uint32_t len = static_cast<std::uint32_t>(response.body_size());
     for (int i = 0; i < 4; ++i)
       frame.push_back(static_cast<char>((len >> (i * 8)) & 0xFF));
-    frame += response.body;
+    if (response.body_chain.empty()) {
+      frame += response.body;
+    } else {
+      response.body_chain.join_into(frame);
+    }
     net_.charge_message(options_.meter, frame.size());
     return frame;
   }

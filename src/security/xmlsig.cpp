@@ -10,26 +10,21 @@ namespace {
 
 xml::QName wsse(const char* local) { return {soap::ns::kSecurity, local}; }
 xml::QName ds(const char* local) { return {soap::ns::kDsig, local}; }
-xml::QName wsa(const char* local) { return {soap::ns::kAddressing, local}; }
 
 const xml::Element* find_security_header(const soap::Envelope& env) {
-  return env.header().child(wsse("Security"));
+  // header_child answers from the wire view when the envelope was parsed on
+  // the fast path, materializing only the Security subtree.
+  return env.header_child(wsse("Security"));
 }
 
 }  // namespace
 
 std::string signed_content(const soap::Envelope& env) {
-  // Canonical Body, then the addressing headers in a fixed order. Any
-  // mutation of these parts after signing invalidates the signature.
-  std::string out = xml::canonicalize(env.body());
-  static constexpr const char* kSignedHeaders[] = {"To", "Action", "MessageID",
-                                                   "RelatesTo"};
-  for (const char* name : kSignedHeaders) {
-    if (const xml::Element* h = env.header().child(wsa(name))) {
-      out += xml::canonicalize(*h);
-    }
-  }
-  return out;
+  // Canonical Body, then the addressing headers in a fixed order (the
+  // envelope computes this straight from its wire view when it has one, and
+  // memoizes until mutation — verification paths reuse it). Any mutation of
+  // these parts after signing invalidates the signature.
+  return env.canonical_signed_content();
 }
 
 void sign_envelope(soap::Envelope& env, const Credential& credential) {

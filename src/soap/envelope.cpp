@@ -1,15 +1,31 @@
 #include "soap/envelope.hpp"
 
+#include <atomic>
+
 #include "soap/namespaces.hpp"
+#include "soap/template.hpp"
+#include "xml/canonical.hpp"
 #include "xml/parser.hpp"
 #include "xml/writer.hpp"
 
 namespace gs::soap {
 
 namespace {
+
+std::atomic<bool> g_wire_fast_path{true};
+
 xml::QName env_name(const char* local) { return {ns::kEnvelope, local}; }
 xml::QName wsa_name(const char* local) { return {ns::kAddressing, local}; }
+
 }  // namespace
+
+void Envelope::set_wire_fast_path(bool on) noexcept {
+  g_wire_fast_path.store(on, std::memory_order_relaxed);
+}
+
+bool Envelope::wire_fast_path() noexcept {
+  return g_wire_fast_path.load(std::memory_order_relaxed);
+}
 
 Envelope::Envelope() : root_(std::make_unique<xml::Element>(env_name("Envelope"))) {
   root_->declare_prefix("soap", ns::kEnvelope);
@@ -19,31 +35,127 @@ Envelope::Envelope() : root_(std::make_unique<xml::Element>(env_name("Envelope")
 }
 
 Envelope& Envelope::operator=(const Envelope& other) {
-  if (this != &other) root_ = other.root_->clone_element();
+  if (this == &other) return *this;
+  root_.reset();
+  view_.reset();
+  pending_.reset();
+  payload_dom_.reset();
+  header_cache_.clear();
+  signed_cache_.reset();
+  retired_.clear();
+  if (other.view_) {
+    // Share the immutable wire view; this copy materializes its own DOM
+    // lazily if and when it needs one.
+    view_ = other.view_;
+  } else if (other.root_) {
+    root_ = other.root_->clone_element();
+  } else if (other.pending_) {
+    // Snapshot the pending response as a DOM (copies are cold paths; the
+    // original stays a template and can still take a trace stamp).
+    root_ = xml::parse_element(other.pending_->render_string());
+  }
   return *this;
 }
 
+Envelope Envelope::make_pending(std::shared_ptr<PendingResponse> pending) {
+  Envelope env(std::unique_ptr<xml::Element>(nullptr));
+  env.pending_ = std::move(pending);
+  return env;
+}
+
+bool Envelope::set_pending_trace(std::string trace_id, std::string span_id) {
+  if (!pending_ || root_) return false;
+  pending_->trace_id = std::move(trace_id);
+  pending_->span_id = std::move(span_id);
+  return true;
+}
+
+xml::Element& Envelope::mut() {
+  if (!root_) {
+    if (view_) {
+      root_ = view_->to_dom();
+    } else if (pending_) {
+      root_ = xml::parse_element(pending_->render_string());
+    } else {
+      root_ = std::make_unique<xml::Element>(env_name("Envelope"));
+    }
+  }
+  view_.reset();
+  pending_.reset();
+  // Previously handed-out subtree pointers must survive the transition.
+  if (payload_dom_) retired_.push_back(std::move(payload_dom_));
+  for (auto& h : header_cache_) retired_.push_back(std::move(h));
+  header_cache_.clear();
+  signed_cache_.reset();
+  return *root_;
+}
+
+const xml::Element& Envelope::dom() const {
+  if (!root_) {
+    if (view_) {
+      root_ = view_->to_dom();  // view_ stays: it is still the wire form
+    } else if (pending_) {
+      // A structural read freezes the template response into a DOM; later
+      // trace stamping falls back to the DOM path (set_pending_trace
+      // returns false once root_ exists).
+      root_ = xml::parse_element(pending_->render_string());
+    } else {
+      // Unreachable in practice; mirror the default-constructed shape.
+      root_ = std::make_unique<xml::Element>(env_name("Envelope"));
+    }
+  }
+  return *root_;
+}
+
+const xml::ArenaNode* Envelope::view_header() const {
+  if (!view_ || root_) return nullptr;
+  return view_->root().child(ns::kEnvelope, "Header");
+}
+
+const xml::ArenaNode* Envelope::view_body() const {
+  if (!view_ || root_) return nullptr;
+  return view_->root().child(ns::kEnvelope, "Body");
+}
+
 xml::Element& Envelope::header() {
-  xml::Element* h = root_->child(env_name("Header"));
-  if (!h) h = &root_->append_element(env_name("Header"));
+  xml::Element& r = mut();
+  xml::Element* h = r.child(env_name("Header"));
+  if (!h) h = &r.append_element(env_name("Header"));
   return *h;
 }
 
 const xml::Element& Envelope::header() const {
-  return const_cast<Envelope*>(this)->header();
+  // Materializes a DOM for the read but keeps the wire/pending backing —
+  // only mutating accessors invalidate it. A missing Header is created on
+  // the materialized tree (legacy behavior for header-less documents).
+  xml::Element& r = const_cast<xml::Element&>(dom());
+  xml::Element* h = r.child(env_name("Header"));
+  if (!h) h = &r.append_element(env_name("Header"));
+  return *h;
 }
 
 xml::Element& Envelope::body() {
-  xml::Element* b = root_->child(env_name("Body"));
-  if (!b) b = &root_->append_element(env_name("Body"));
+  xml::Element& r = mut();
+  xml::Element* b = r.child(env_name("Body"));
+  if (!b) b = &r.append_element(env_name("Body"));
   return *b;
 }
 
 const xml::Element& Envelope::body() const {
-  return const_cast<Envelope*>(this)->body();
+  xml::Element& r = const_cast<xml::Element&>(dom());
+  xml::Element* b = r.child(env_name("Body"));
+  if (!b) b = &r.append_element(env_name("Body"));
+  return *b;
 }
 
 const xml::Element* Envelope::payload() const {
+  if (const xml::ArenaNode* b = view_body()) {
+    const xml::ArenaNode* p = b->first_element();
+    if (!p) return nullptr;
+    if (!payload_dom_) payload_dom_ = xml::ArenaDocument::to_dom(*p);
+    return payload_dom_.get();
+  }
+  if (pending_ && !root_) dom();
   auto kids = body().child_elements();
   return kids.empty() ? nullptr : kids.front();
 }
@@ -75,6 +187,41 @@ void Envelope::write_addressing(const MessageInfo& info) {
 
 MessageInfo Envelope::read_addressing() const {
   MessageInfo info;
+  if (const xml::ArenaNode* h = view_header()) {
+    // One pass over the header view: the four text headers bind to their
+    // first occurrence (Element::child semantics); ReplyTo and reference
+    // headers materialize only their own subtrees.
+    bool have_to = false, have_action = false, have_mid = false,
+         have_rel = false, have_reply = false;
+    for (const xml::ArenaNode* e = h->first_child; e; e = e->next) {
+      if (e->kind != xml::NodeKind::kElement) continue;
+      if (e->ns == ns::kAddressing) {
+        if (!have_to && e->local == "To") {
+          info.to = e->text();
+          have_to = true;
+        } else if (!have_action && e->local == "Action") {
+          info.action = e->text();
+          have_action = true;
+        } else if (!have_mid && e->local == "MessageID") {
+          info.message_id = e->text();
+          have_mid = true;
+        } else if (!have_rel && e->local == "RelatesTo") {
+          info.relates_to = e->text();
+          have_rel = true;
+        } else if (!have_reply && e->local == "ReplyTo") {
+          info.reply_to =
+              EndpointReference::from_xml(*xml::ArenaDocument::to_dom(*e));
+          have_reply = true;
+        }
+        continue;
+      }
+      if (e->ns == ns::kSecurity || e->ns == ns::kDsig) {
+        continue;  // addressing and security headers are not reference headers
+      }
+      info.reference_headers.push_back(xml::ArenaDocument::to_dom(*e));
+    }
+    return info;
+  }
   const xml::Element& h = header();
   if (const auto* e = h.child(wsa_name("To"))) info.to = e->text();
   if (const auto* e = h.child(wsa_name("Action"))) info.action = e->text();
@@ -92,7 +239,40 @@ MessageInfo Envelope::read_addressing() const {
   return info;
 }
 
+const xml::Element* Envelope::header_child(const xml::QName& name) const {
+  if (const xml::ArenaNode* h = view_header()) {
+    const xml::ArenaNode* e = h->child(name.ns(), name.local());
+    if (!e) return nullptr;
+    for (const auto& cached : header_cache_) {
+      if (cached->name() == name) return cached.get();
+    }
+    header_cache_.push_back(xml::ArenaDocument::to_dom(*e));
+    return header_cache_.back().get();
+  }
+  if (pending_ && !root_) dom();
+  return header().child(name);
+}
+
+std::optional<std::string> Envelope::header_child_attr(
+    const xml::QName& name, std::string_view attr) const {
+  if (const xml::ArenaNode* h = view_header()) {
+    const xml::ArenaNode* e = h->child(name.ns(), name.local());
+    if (!e) return std::nullopt;
+    if (auto v = e->attr_local(attr)) return std::string(*v);
+    return std::nullopt;
+  }
+  if (pending_ && !root_) dom();
+  const xml::Element* e = header().child(name);
+  if (!e) return std::nullopt;
+  return e->attr(attr);
+}
+
 bool Envelope::is_fault() const {
+  if (pending_ && !root_) return false;  // templates never render faults
+  if (const xml::ArenaNode* b = view_body()) {
+    const xml::ArenaNode* p = b->first_element();
+    return p && p->ns == ns::kEnvelope && p->local == "Fault";
+  }
   const xml::Element* p = payload();
   return p && p->name() == env_name("Fault");
 }
@@ -140,9 +320,74 @@ void Envelope::throw_if_fault() const {
   if (is_fault()) throw SoapFault(fault());
 }
 
-std::string Envelope::to_xml() const { return xml::write(*root_); }
+std::string Envelope::to_xml() const {
+  if (view_ && !root_) return view_->buffer();
+  if (pending_ && !root_) return pending_->render_string();
+  return xml::write(dom());
+}
+
+void Envelope::wire_chain(common::BufferChain& chain,
+                          std::shared_ptr<std::string>* scratch) const {
+  if (pending_ && !root_) {
+    pending_->render(pending_, chain);
+    return;
+  }
+  if (view_ && !root_) {
+    // Alias the document so the buffer outlives this envelope.
+    chain.append_shared(
+        std::shared_ptr<const void>(view_, view_->buffer().data()),
+        view_->buffer());
+    return;
+  }
+  if (scratch) {
+    std::shared_ptr<std::string>& buf = *scratch;
+    // Reuse the buffer's capacity unless a previously returned chain still
+    // references it.
+    if (!buf || buf.use_count() > 1) buf = std::make_shared<std::string>();
+    xml::write_into(*buf, dom());
+    chain.append_shared(buf, *buf);
+    return;
+  }
+  chain.append(xml::write(dom()));
+}
+
+const std::string& Envelope::canonical_signed_content() const {
+  if (signed_cache_) return *signed_cache_;
+  static constexpr const char* kSignedHeaders[] = {"To", "Action", "MessageID",
+                                                   "RelatesTo"};
+  auto out = std::make_unique<std::string>();
+  if (view_ && !root_) {
+    // Canonicalize straight off the arena view — no DOM nodes.
+    if (const xml::ArenaNode* b = view_body()) *out += xml::canonicalize_view(*b);
+    if (const xml::ArenaNode* h = view_header()) {
+      for (const char* name : kSignedHeaders) {
+        if (const xml::ArenaNode* e = h->child(ns::kAddressing, name)) {
+          *out += xml::canonicalize_view(*e);
+        }
+      }
+    }
+  } else {
+    *out = xml::canonicalize(body());
+    for (const char* name : kSignedHeaders) {
+      if (const xml::Element* h = header().child(wsa_name(name))) {
+        *out += xml::canonicalize(*h);
+      }
+    }
+  }
+  signed_cache_ = std::move(out);
+  return *signed_cache_;
+}
 
 Envelope Envelope::from_xml(std::string_view wire) {
+  if (wire_fast_path()) {
+    auto doc = std::make_shared<const xml::ArenaDocument>(
+        xml::ArenaDocument::parse(std::string(wire)));
+    const xml::ArenaNode& root = doc->root();
+    if (root.ns != ns::kEnvelope || root.local != "Envelope") {
+      throw std::runtime_error("not a SOAP envelope: " + root.clark());
+    }
+    return Envelope(std::move(doc));
+  }
   auto root = xml::parse_element(wire);
   if (root->name() != env_name("Envelope")) {
     throw std::runtime_error("not a SOAP envelope: " + root->name().clark());

@@ -5,11 +5,16 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "common/buffer_chain.hpp"
 #include "soap/addressing.hpp"
 #include "xml/node.hpp"
+#include "xml/pull.hpp"
 
 namespace gs::soap {
+
+struct PendingResponse;
 
 /// A SOAP fault (SOAP 1.2 shape: Code/Value, Reason/Text, Detail).
 struct Fault {
@@ -36,26 +41,46 @@ class SoapFault : public std::runtime_error {
 
 /// A SOAP envelope: Header + Body, with WS-Addressing accessors.
 ///
-/// The envelope owns an XML tree and is what actually crosses the simulated
-/// wire (serialized with `to_xml`, re-parsed with `from_xml`), so every
-/// request/response in both stacks pays real serialization costs.
+/// The envelope is what actually crosses the simulated wire (serialized
+/// with `to_xml`, re-parsed with `from_xml`), so every request/response in
+/// both stacks pays real serialization costs.
+///
+/// Internally an envelope is in one of three states:
+///  - DOM-backed: owns a mutable xml::Element tree (the classic form; any
+///    envelope built in-process starts here).
+///  - wire-backed: owns an immutable xml::ArenaDocument view of the exact
+///    received octets (the fast parse path). Read accessors answer from the
+///    view, materializing at most the subtree they return; the first
+///    *mutating* access converts the whole view to a DOM.
+///  - pending: a pre-compiled response template plus this reply's values
+///    (see soap/template.hpp), rendered straight into a BufferChain at
+///    serialization time. Structural reads materialize a DOM snapshot.
+/// All three serialize byte-identically for the same logical document.
+///
+/// Pointers returned by read accessors stay valid for the envelope's
+/// lifetime (retired subtrees are kept alive across state transitions), but
+/// reflect the state at the time of the call — don't hold them across a
+/// mutation. Lazy materialization is not synchronized: like the rest of the
+/// tree API, one envelope must not be accessed from two threads at once.
 class Envelope {
  public:
-  /// An empty envelope with Header and Body.
+  /// An empty envelope with Header and Body (DOM-backed).
   Envelope();
   Envelope(Envelope&&) noexcept = default;
   Envelope& operator=(Envelope&&) noexcept = default;
-  Envelope(const Envelope& other) : root_(other.root_->clone_element()) {}
+  Envelope(const Envelope& other) { *this = other; }
   Envelope& operator=(const Envelope& other);
 
-  xml::Element& root() noexcept { return *root_; }
-  const xml::Element& root() const noexcept { return *root_; }
+  xml::Element& root() { return mut(); }
+  const xml::Element& root() const { return dom(); }
   xml::Element& header();
   const xml::Element& header() const;
   xml::Element& body();
   const xml::Element& body() const;
 
   /// First child element of the Body (the operation payload), or nullptr.
+  /// The const overload answers from the wire view when possible,
+  /// materializing only the payload subtree.
   const xml::Element* payload() const;
   xml::Element* payload();
   /// Appends a payload element to the Body and returns it.
@@ -69,6 +94,14 @@ class Envelope {
   void write_addressing(const MessageInfo& info);
   /// Reads the addressing headers back out (inverse of write_addressing).
   MessageInfo read_addressing() const;
+
+  /// First header child with this QName, or nullptr; from the wire view
+  /// this materializes (and caches) only that header's subtree.
+  const xml::Element* header_child(const xml::QName& name) const;
+  /// Attribute of the first header child with this QName, matched by local
+  /// name — a fully view-backed read (no DOM nodes on the fast path).
+  std::optional<std::string> header_child_attr(const xml::QName& name,
+                                               std::string_view attr) const;
 
   // --- Faults -----------------------------------------------------------------
 
@@ -85,9 +118,64 @@ class Envelope {
   std::string to_xml() const;
   static Envelope from_xml(std::string_view wire);
 
+  /// Appends this envelope's wire octets to `chain` without intermediate
+  /// concatenation: template responses render as skeleton/value segments,
+  /// wire-backed envelopes share the received buffer, DOM envelopes
+  /// serialize once (into `scratch` when provided, so a caller-managed
+  /// buffer's capacity is reused; `scratch` is reallocated if still
+  /// referenced by a previous chain).
+  void wire_chain(common::BufferChain& chain,
+                  std::shared_ptr<std::string>* scratch = nullptr) const;
+
+  /// Canonical bytes of the signed content — the Body plus the To/Action/
+  /// MessageID/RelatesTo headers, in that order (see security/xmlsig.cpp) —
+  /// computed straight from the wire view when available and memoized until
+  /// the envelope is mutated.
+  const std::string& canonical_signed_content() const;
+
+  // --- wire fast path ---------------------------------------------------------
+
+  /// Process-wide toggle (default on). When off, from_xml always builds the
+  /// DOM and template responses are not used — the pre-PR7 path, kept
+  /// runtime-selectable so benchmarks measure both sides in one binary.
+  static void set_wire_fast_path(bool on) noexcept;
+  static bool wire_fast_path() noexcept;
+
+  /// Wraps a template response (see soap/template.hpp).
+  static Envelope make_pending(std::shared_ptr<PendingResponse> pending);
+  bool is_pending() const noexcept { return pending_ != nullptr; }
+  /// Stamps the trace context on a pending response without materializing
+  /// it; false when this envelope is not (or no longer) pending — the
+  /// caller falls back to the DOM header write.
+  bool set_pending_trace(std::string trace_id, std::string span_id);
+
  private:
   explicit Envelope(std::unique_ptr<xml::Element> root) : root_(std::move(root)) {}
-  std::unique_ptr<xml::Element> root_;
+  explicit Envelope(std::shared_ptr<const xml::ArenaDocument> view)
+      : view_(std::move(view)) {}
+
+  /// Mutable DOM root: materializes if needed, drops the view/pending
+  /// backing and every derived cache (they describe the pre-mutation doc).
+  xml::Element& mut();
+  /// Read-only DOM root: materializes lazily; the view (if any) is kept as
+  /// the still-valid wire form.
+  const xml::Element& dom() const;
+  const xml::ArenaNode* view_body() const;
+  const xml::ArenaNode* view_header() const;
+
+  // Exactly one of root_/view_/pending_ is the source of truth; root_ is
+  // also set lazily (const reads) next to a live view_, in which case both
+  // describe the same bytes.
+  mutable std::unique_ptr<xml::Element> root_;
+  std::shared_ptr<const xml::ArenaDocument> view_;
+  mutable std::shared_ptr<PendingResponse> pending_;
+
+  mutable std::unique_ptr<xml::Element> payload_dom_;  // lazy payload subtree
+  mutable std::vector<std::unique_ptr<xml::Element>> header_cache_;
+  mutable std::unique_ptr<std::string> signed_cache_;
+  // Subtrees handed out before a state transition; kept alive so earlier
+  // pointers don't dangle.
+  mutable std::vector<std::unique_ptr<xml::Element>> retired_;
 };
 
 }  // namespace gs::soap

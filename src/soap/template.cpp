@@ -1,0 +1,202 @@
+#include "soap/template.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "soap/envelope.hpp"
+
+namespace gs::soap {
+
+namespace {
+
+// Marker strings are alphanumeric so escape_text passes them through
+// unchanged, and distinctive enough never to collide with prototype
+// literals (action URIs, namespace URIs, element names).
+constexpr std::string_view kMidMarker = "GSTPLMSGIDMARK";
+constexpr std::string_view kRelMarker = "GSTPLRELTOMARK";
+constexpr std::string_view kTidMarker = "GSTPLTRACEMARK";
+constexpr std::string_view kSidMarker = "GSTPLSPANMARK";
+constexpr std::string_view kPlaceholderName = "gs-tpl-fragment";
+
+bool needs_escape(std::string_view v, bool in_attribute) {
+  for (char c : v) {
+    if (c == '&' || c == '<' || c == '>') return true;
+    if (in_attribute && (c == '"' || c == '\t' || c == '\n' || c == '\r'))
+      return true;
+    if (static_cast<unsigned char>(c) < 0x20) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ResponseTemplate::slot_marker(int i) {
+  return "GSTPLSLOT" + std::to_string(i) + "MARK";
+}
+
+std::unique_ptr<xml::Element> ResponseTemplate::placeholder() {
+  return std::make_unique<xml::Element>(xml::QName(std::string(kPlaceholderName)));
+}
+
+ResponseTemplate::Variant ResponseTemplate::compile_variant(
+    const xml::Element& root, const Spec& spec, bool traced) {
+  Variant v;
+  std::vector<xml::ProbePoint> probes;
+  auto skeleton = std::make_shared<std::string>(
+      xml::write_with_probes(root, kPlaceholderName, probes));
+
+  size_t expected_probes = spec.fragment ? 1u : 0u;
+  if (probes.size() != expected_probes) {
+    throw std::logic_error("response template '" + spec.action + "': " +
+                           std::to_string(probes.size()) +
+                           " fragment placeholders, expected " +
+                           std::to_string(expected_probes));
+  }
+
+  struct Mark {
+    std::size_t pos;
+    std::size_t len;
+    Piece piece;
+  };
+  std::vector<Mark> marks;
+  auto add_marker = [&](std::string_view marker, Piece::Kind kind, int slot) {
+    std::size_t pos = skeleton->find(marker);
+    if (pos == std::string::npos) {
+      throw std::logic_error("response template '" + spec.action +
+                             "': marker not found: " + std::string(marker));
+    }
+    if (skeleton->find(marker, pos + 1) != std::string::npos) {
+      throw std::logic_error("response template '" + spec.action +
+                             "': marker not unique: " + std::string(marker));
+    }
+    marks.push_back({pos, marker.size(), {kind, 0, 0, slot}});
+  };
+
+  for (int i = 0; i < spec.slots; ++i) {
+    add_marker(slot_marker(i), Piece::kTextSlot, i);
+  }
+  add_marker(kMidMarker, Piece::kTextSlot, kSlotMessageId);
+  add_marker(kRelMarker, Piece::kTextSlot, kSlotRelatesTo);
+  if (traced) {
+    add_marker(kTidMarker, Piece::kAttrSlot, kSlotTraceId);
+    add_marker(kSidMarker, Piece::kAttrSlot, kSlotSpanId);
+  }
+  if (spec.fragment) {
+    v.frag_bindings = probes[0].bindings;
+    v.frag_gen = probes[0].gen_counter;
+    marks.push_back({probes[0].offset, 0, {Piece::kFragment, 0, 0, 0}});
+  }
+
+  std::sort(marks.begin(), marks.end(),
+            [](const Mark& a, const Mark& b) { return a.pos < b.pos; });
+
+  std::size_t cursor = 0;
+  for (const Mark& m : marks) {
+    if (m.pos > cursor) v.pieces.push_back({Piece::kLiteral, cursor, m.pos, 0});
+    v.pieces.push_back(m.piece);
+    cursor = m.pos + m.len;
+  }
+  if (cursor < skeleton->size()) {
+    v.pieces.push_back({Piece::kLiteral, cursor, skeleton->size(), 0});
+  }
+  v.skeleton = std::move(skeleton);
+  return v;
+}
+
+std::shared_ptr<const ResponseTemplate> ResponseTemplate::compile(Spec spec) {
+  // The prototype is built through the exact DOM-path code: make_response's
+  // header order (Action, MessageID, RelatesTo — To/ReplyTo empty and
+  // skipped), then the payload, then the trace header the container appends
+  // last. Serializing it therefore yields the DOM writer's bytes with
+  // markers where the variable parts go.
+  Envelope proto;
+  MessageInfo info;
+  info.action = spec.action;
+  info.message_id = std::string(kMidMarker);
+  info.relates_to = std::string(kRelMarker);
+  proto.write_addressing(info);
+  spec.build_payload(proto.body());
+
+  auto tpl = std::shared_ptr<ResponseTemplate>(new ResponseTemplate());
+  tpl->plain_ = compile_variant(proto.root(), spec, /*traced=*/false);
+
+  xml::Element& trace = proto.header().append_element(spec.trace_qname);
+  trace.set_attr("TraceId", std::string(kTidMarker));
+  trace.set_attr("SpanId", std::string(kSidMarker));
+  tpl->traced_ = compile_variant(proto.root(), spec, /*traced=*/true);
+
+  tpl->spec_ = std::move(spec);
+  return tpl;
+}
+
+const std::string& ResponseTemplate::slot_value(const PendingResponse& pr,
+                                                int slot) const {
+  switch (slot) {
+    case kSlotMessageId:
+      return pr.message_id;
+    case kSlotRelatesTo:
+      return pr.relates_to;
+    case kSlotTraceId:
+      return pr.trace_id;
+    case kSlotSpanId:
+      return pr.span_id;
+    default:
+      return pr.values.at(static_cast<std::size_t>(slot));
+  }
+}
+
+void ResponseTemplate::render(const PendingResponse& pr,
+                              std::shared_ptr<const void> keepalive,
+                              common::BufferChain& out) const {
+  if (static_cast<int>(pr.values.size()) != spec_.slots) {
+    throw std::logic_error("response template '" + spec_.action + "': " +
+                           std::to_string(pr.values.size()) + " values for " +
+                           std::to_string(spec_.slots) + " slots");
+  }
+  const Variant& v = pr.trace_id.empty() ? plain_ : traced_;
+  for (const Piece& p : v.pieces) {
+    switch (p.kind) {
+      case Piece::kLiteral:
+        out.append_shared(v.skeleton, std::string_view(*v.skeleton)
+                                          .substr(p.begin, p.end - p.begin));
+        break;
+      case Piece::kTextSlot:
+      case Piece::kAttrSlot: {
+        const std::string& raw = slot_value(pr, p.slot);
+        bool attr = p.kind == Piece::kAttrSlot;
+        if (needs_escape(raw, attr)) {
+          out.append(xml::escape_text(raw, attr));
+        } else if (keepalive) {
+          out.append_shared(keepalive, raw);  // view into pr's storage
+        } else {
+          out.append(raw);
+        }
+        break;
+      }
+      case Piece::kFragment: {
+        if (pr.fragment_shared) {
+          out.append_shared(pr.fragment_shared, *pr.fragment_shared);
+        } else if (!pr.fragment_raw.empty()) {
+          if (keepalive) {
+            out.append_shared(keepalive, pr.fragment_raw);
+          } else {
+            out.append(pr.fragment_raw);
+          }
+        } else {
+          if (pr.fragment.empty()) {
+            throw std::logic_error("response template '" + spec_.action +
+                                   "': fragment slot with no content");
+          }
+          std::vector<const xml::Element*> nodes;
+          nodes.reserve(pr.fragment.size());
+          for (const auto& el : pr.fragment) nodes.push_back(el.get());
+          int gen = v.frag_gen;
+          out.append(xml::write_fragment(nodes, v.frag_bindings, gen));
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace gs::soap

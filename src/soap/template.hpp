@@ -1,0 +1,142 @@
+// Pre-compiled response templates for the hottest reply shapes.
+//
+// The DOM path builds every response the same way: make_response writes the
+// addressing headers, the operation appends a payload, the container stamps
+// a trace header, and the writer walks the whole tree to produce octets that
+// are ~90% identical between any two responses of the same operation. A
+// ResponseTemplate does that walk once, at first use, over a prototype
+// envelope whose variable parts are marker strings; rendering a response
+// then splices the current values (and at most one variable XML fragment)
+// between cached skeleton literals straight into a BufferChain — no DOM, no
+// writer, no intermediate concatenation.
+//
+// Byte identity with the DOM writer is a hard requirement (tests enforce
+// it): the prototype is built through the exact code path the DOM response
+// uses, fragment positions capture the writer's prefix scope and generated-
+// prefix counter via xml::write_with_probes, and fragments are rendered by
+// xml::write_fragment seeded with that state.
+//
+// Two skeleton variants are compiled — with and without the trace-context
+// header the container appends after the service returns — because the
+// header shifts offsets and prefix numbering. The trace header's QName is
+// injected via Spec (this library cannot depend on the telemetry layer).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/buffer_chain.hpp"
+#include "xml/node.hpp"
+#include "xml/writer.hpp"
+
+namespace gs::soap {
+
+struct PendingResponse;
+
+class ResponseTemplate {
+ public:
+  struct Spec {
+    /// Response wsa:Action URI.
+    std::string action;
+    /// Number of text slots the payload uses (values escaped at render).
+    int slots = 0;
+    /// Whether the payload has one fragment position (a variable subtree).
+    bool fragment = false;
+    /// Builds the prototype payload into the Body exactly as the DOM path
+    /// would, using slot_marker(i) for variable text and placeholder() at
+    /// the fragment position. The placeholder must be the last content that
+    /// could introduce a namespace (nothing after it may generate prefixes).
+    std::function<void(xml::Element& body)> build_payload;
+    /// QName of the trace-context header the container appends to replies
+    /// (attributes TraceId/SpanId), e.g. telemetry::trace_header_qname().
+    xml::QName trace_qname;
+  };
+
+  /// Compiles both skeleton variants. Throws std::logic_error when the
+  /// prototype violates template rules (marker missing/duplicated,
+  /// placeholder count mismatch) — a programming error, caught in tests.
+  static std::shared_ptr<const ResponseTemplate> compile(Spec spec);
+
+  /// Marker text for slot `i`; alphanumeric, so escaping is the identity.
+  static std::string slot_marker(int i);
+  /// The fragment-position placeholder element (no namespace; skipped and
+  /// recorded by xml::write_with_probes).
+  static std::unique_ptr<xml::Element> placeholder();
+
+  const std::string& action() const noexcept { return spec_.action; }
+  int slots() const noexcept { return spec_.slots; }
+  bool has_fragment() const noexcept { return spec_.fragment; }
+
+  /// Renders `pr` into `out`. Skeleton literals are shared (zero-copy);
+  /// `keepalive` co-owns pr's storage for any segments that view into it.
+  void render(const PendingResponse& pr,
+              std::shared_ptr<const void> keepalive,
+              common::BufferChain& out) const;
+
+ private:
+  ResponseTemplate() = default;
+
+  // Slot ids < 0 are the reserved envelope slots.
+  static constexpr int kSlotMessageId = -2;
+  static constexpr int kSlotRelatesTo = -3;
+  static constexpr int kSlotTraceId = -4;
+  static constexpr int kSlotSpanId = -5;
+
+  struct Piece {
+    enum Kind { kLiteral, kTextSlot, kAttrSlot, kFragment } kind = kLiteral;
+    std::size_t begin = 0, end = 0;  // kLiteral: range in the skeleton
+    int slot = 0;                    // slot index or reserved id
+  };
+
+  struct Variant {
+    std::shared_ptr<const std::string> skeleton;
+    std::vector<Piece> pieces;
+    xml::PrefixBindings frag_bindings;  // writer state at the placeholder
+    int frag_gen = 0;
+  };
+
+  static Variant compile_variant(const xml::Element& root, const Spec& spec,
+                                 bool traced);
+  const std::string& slot_value(const PendingResponse& pr, int slot) const;
+
+  Spec spec_;
+  Variant plain_;   // without the trace header
+  Variant traced_;  // with the trace header
+};
+
+/// A response waiting to be rendered: a template plus this reply's values.
+/// Owned (via shared_ptr) by soap::Envelope; BufferChain segments rendered
+/// from it co-own it, so the octets stay valid after the envelope dies.
+struct PendingResponse {
+  std::shared_ptr<const ResponseTemplate> tpl;
+  std::string message_id;
+  std::string relates_to;
+  std::vector<std::string> values;  // text-slot values, raw (escaped at render)
+  /// Fragment content: pre-serialized octets (`fragment_shared` refcounted,
+  /// zero-copy; or `fragment_raw` owned — both spliced verbatim, so the
+  /// caller guarantees writer byte-identity, e.g. database octets that
+  /// round-trip through parse/write) or elements rendered with the captured
+  /// writer state. At most one may be set; the fragment must be non-empty
+  /// when the template declares one (an empty fragment would serialize its
+  /// wrapper self-closed on the DOM path).
+  std::shared_ptr<const std::string> fragment_shared;
+  std::string fragment_raw;
+  std::vector<std::unique_ptr<xml::Element>> fragment;
+  /// Trace context stamped by the container; empty = no trace header.
+  std::string trace_id, span_id;
+
+  void render(std::shared_ptr<const void> keepalive,
+              common::BufferChain& out) const {
+    tpl->render(*this, std::move(keepalive), out);
+  }
+  std::string render_string() const {
+    common::BufferChain chain;
+    render(nullptr, chain);
+    return chain.join();
+  }
+};
+
+}  // namespace gs::soap

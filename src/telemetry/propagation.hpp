@@ -30,8 +30,15 @@ inline xml::QName trace_header_qname() {
 
 /// Stamps (or restamps) the envelope with the sender's trace context:
 /// `<t:TraceContext TraceId=".." SpanId=".."/>` in the SOAP header.
+/// Template-backed responses take the ids without materializing a DOM (the
+/// compiled skeleton has the header's slots); everything else gets the
+/// header element appended/replaced in the tree.
 inline void write_trace_header(soap::Envelope& env, const TraceContext& ctx) {
   if (!ctx.valid()) return;
+  if (env.set_pending_trace(std::to_string(ctx.trace_id),
+                            std::to_string(ctx.span_id))) {
+    return;
+  }
   xml::Element& header = env.header();
   if (const xml::Element* old = header.child(trace_header_qname())) {
     header.remove_child(*old);
@@ -42,13 +49,16 @@ inline void write_trace_header(soap::Envelope& env, const TraceContext& ctx) {
 }
 
 /// Reads the trace context off an envelope; nullopt when absent/malformed.
+/// header_child_attr answers from the wire view on the fast path — this
+/// read allocates no DOM nodes for a freshly parsed request.
 inline std::optional<TraceContext> read_trace_header(const soap::Envelope& env) {
-  const xml::Element* el = env.header().child(trace_header_qname());
-  if (!el) return std::nullopt;
+  auto trace_id = env.header_child_attr(trace_header_qname(), "TraceId");
+  auto span_id = env.header_child_attr(trace_header_qname(), "SpanId");
+  if (!trace_id && !span_id) return std::nullopt;
   TraceContext ctx;
   try {
-    ctx.trace_id = std::stoull(el->attr("TraceId").value_or("0"));
-    ctx.span_id = std::stoull(el->attr("SpanId").value_or("0"));
+    ctx.trace_id = std::stoull(trace_id.value_or("0"));
+    ctx.span_id = std::stoull(span_id.value_or("0"));
   } catch (const std::exception&) {
     return std::nullopt;
   }

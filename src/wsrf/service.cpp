@@ -29,7 +29,35 @@ WsrfService::WsrfService(std::string name, ResourceHome& home,
     : container::Service(std::move(name)),
       home_(home),
       properties_(std::move(properties)),
-      address_(std::move(address)) {}
+      address_(std::move(address)),
+      get_prop_tpl_([] {
+        soap::ResponseTemplate::Spec spec;
+        spec.action = actions::kGetResourceProperty + "Response";
+        spec.fragment = true;
+        spec.build_payload = [](xml::Element& body) {
+          body.append_element(rp("GetResourcePropertyResponse"))
+              .append(soap::ResponseTemplate::placeholder());
+        };
+        return spec;
+      }),
+      get_doc_tpl_([] {
+        soap::ResponseTemplate::Spec spec;
+        spec.action = actions::kGetResourcePropertyDocument + "Response";
+        spec.fragment = true;
+        spec.build_payload = [](xml::Element& body) {
+          body.append_element(rp("GetResourcePropertyDocumentResponse"))
+              .append(soap::ResponseTemplate::placeholder());
+        };
+        return spec;
+      }),
+      set_ack_tpl_([] {
+        soap::ResponseTemplate::Spec spec;
+        spec.action = actions::kSetResourceProperties + "Response";
+        spec.build_payload = [](xml::Element& body) {
+          body.append_element(rp("SetResourcePropertiesResponse"));
+        };
+        return spec;
+      }) {}
 
 std::string WsrfService::resolve_resource(
     const container::RequestContext& ctx) const {
@@ -67,6 +95,15 @@ void WsrfService::import_resource_properties() {
       throw_base_fault(FaultType::kInvalidResourcePropertyQName,
                        "unknown resource property " + name.clark());
     }
+    if (auto pr = get_prop_tpl_.start(ctx)) {
+      auto values = prop->get(*state);
+      // A property with no current values serializes its wrapper
+      // self-closed, which a fragment cannot reproduce — DOM path then.
+      if (!values.empty()) {
+        pr->fragment = std::move(values);
+        return soap::Envelope::make_pending(std::move(pr));
+      }
+    }
     soap::Envelope response = container::make_response(
         ctx, actions::kGetResourceProperty + "Response");
     xml::Element& body =
@@ -100,6 +137,11 @@ void WsrfService::import_resource_properties() {
                          container::RequestContext& ctx) {
     std::string id = resolve_resource(ctx);
     auto state = home_.load(id);
+    if (auto pr = get_doc_tpl_.start(ctx)) {
+      pr->fragment.push_back(
+          properties_.document(*state, rp("ResourceProperties")));
+      return soap::Envelope::make_pending(std::move(pr));
+    }
     soap::Envelope response = container::make_response(
         ctx, actions::kGetResourcePropertyDocument + "Response");
     xml::Element& body =
@@ -176,6 +218,9 @@ void WsrfService::import_resource_properties() {
     resource_lock.unlock();  // listeners may re-enter this resource
     for (const auto& name : changed) fire_property_changed(id, name);
 
+    if (auto pr = set_ack_tpl_.start(ctx)) {
+      return soap::Envelope::make_pending(std::move(pr));
+    }
     soap::Envelope response = container::make_response(
         ctx, actions::kSetResourceProperties + "Response");
     response.add_payload(rp("SetResourcePropertiesResponse"));

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "xml/probe.hpp"
 #include "xml/qname.hpp"
 
 namespace gs::xml {
@@ -44,7 +45,7 @@ class Node {
   virtual std::unique_ptr<Node> clone() const = 0;
 
  protected:
-  explicit Node(NodeKind kind) : kind_(kind) {}
+  explicit Node(NodeKind kind) : kind_(kind) { probe::add_dom_node(); }
 
  private:
   friend class Element;

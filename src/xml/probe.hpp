@@ -1,0 +1,30 @@
+// Thread-local XML allocation probe.
+//
+// Counts DOM node constructions and arena bytes on the current thread so the
+// container can report per-request allocation pressure (xml.nodes_per_request,
+// xml.arena_bytes) and the bench harness can measure — not assert — the
+// fast-path allocation win. Counters are monotonic; callers snapshot before
+// and after a request and record the delta.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gs::xml::probe {
+
+struct AllocStats {
+  std::uint64_t dom_nodes = 0;    // DOM Node constructions
+  std::uint64_t arena_bytes = 0;  // bytes bump-allocated by Arena
+};
+
+inline thread_local AllocStats tl_stats;
+
+inline void add_dom_node() noexcept { ++tl_stats.dom_nodes; }
+inline void add_arena_bytes(std::size_t n) noexcept {
+  tl_stats.arena_bytes += n;
+}
+
+/// Monotonic counters for the current thread.
+inline AllocStats snapshot() noexcept { return tl_stats; }
+
+}  // namespace gs::xml::probe

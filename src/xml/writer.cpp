@@ -36,9 +36,11 @@ class PrefixScope {
   bool prefix_taken(const std::string& prefix) const {
     return resolve(prefix) != nullptr;
   }
+  /// Current bindings, outermost first (template-compilation probe capture).
+  const PrefixBindings& bindings() const noexcept { return bindings_; }
 
  private:
-  std::vector<std::pair<std::string, std::string>> bindings_;
+  PrefixBindings bindings_;
   std::vector<size_t> marks_;
 };
 
@@ -47,9 +49,33 @@ class Writer {
   explicit Writer(const WriteOptions& opts) : opts_(opts) {}
 
   std::string run(const Element& root) {
-    if (opts_.declaration) out_ = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (opts_.declaration) out_ += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
     if (opts_.declaration && opts_.pretty) out_ += '\n';
     write_element(root, 0);
+    return std::move(out_);
+  }
+
+  /// Donates a buffer whose capacity the writer reuses (cleared first).
+  void adopt_buffer(std::string&& buf) {
+    out_ = std::move(buf);
+    out_.clear();
+  }
+
+  /// Template compilation: skip no-namespace elements named `probe_local`,
+  /// recording position + prefix state instead of emitting them.
+  void set_probe(std::string_view probe_local, std::vector<ProbePoint>* probes) {
+    probe_local_ = probe_local;
+    probes_ = probes;
+  }
+
+  /// Template rendering: seed the scope and generated-prefix counter with
+  /// the state captured at a ProbePoint, then write a sibling sequence.
+  std::string run_fragment(const std::vector<const Element*>& nodes,
+                           const PrefixBindings& bindings, int& gen_counter) {
+    for (const auto& [prefix, uri] : bindings) scope_.bind(prefix, uri);
+    gen_counter_ = gen_counter;
+    for (const Element* el : nodes) write_element(*el, 0);
+    gen_counter = gen_counter_;
     return std::move(out_);
   }
 
@@ -60,6 +86,10 @@ class Writer {
   }
 
   void write_element(const Element& el, int depth) {
+    if (probes_ && el.name().ns().empty() && el.name().local() == probe_local_) {
+      probes_->push_back({out_.size(), scope_.bindings(), gen_counter_});
+      return;
+    }
     scope_.push();
 
     // Declarations explicitly hinted on this element.
@@ -176,6 +206,8 @@ class Writer {
   std::string out_;
   PrefixScope scope_;
   int gen_counter_ = 0;
+  std::string_view probe_local_;
+  std::vector<ProbePoint>* probes_ = nullptr;
 };
 
 }  // namespace
@@ -223,6 +255,27 @@ std::string escape_text(std::string_view raw, bool in_attribute) {
 
 std::string write(const Element& root, const WriteOptions& options) {
   return Writer(options).run(root);
+}
+
+void write_into(std::string& out, const Element& root, const WriteOptions& options) {
+  Writer w(options);
+  w.adopt_buffer(std::move(out));
+  out = w.run(root);
+}
+
+std::string write_with_probes(const Element& root, std::string_view probe_local,
+                              std::vector<ProbePoint>& probes) {
+  WriteOptions opts;
+  Writer w(opts);
+  w.set_probe(probe_local, &probes);
+  return w.run(root);
+}
+
+std::string write_fragment(const std::vector<const Element*>& nodes,
+                           const PrefixBindings& bindings, int& gen_counter) {
+  WriteOptions opts;
+  Writer w(opts);
+  return w.run_fragment(nodes, bindings, gen_counter);
 }
 
 }  // namespace gs::xml

@@ -50,7 +50,12 @@ void XmlDatabase::store(const std::string& collection, const std::string& id,
   std::lock_guard lock(mu_);
   ++stats_.stores;
   if (options_.write_through_cache) {
+    // The octets just serialized are kept as the octet twin of the element
+    // cache; uncached databases skip the shared wrapper entirely (store is
+    // on the Put hot path).
     cache_[cache_key(collection, id)] = document.clone_element();
+    octet_cache_[cache_key(collection, id)] =
+        std::make_shared<const std::string>(std::move(octets));
   }
 }
 
@@ -78,8 +83,38 @@ std::unique_ptr<xml::Element> XmlDatabase::load(const std::string& collection,
   if (options_.write_through_cache) {
     std::lock_guard lock(mu_);
     cache_[cache_key(collection, id)] = doc->clone_element();
+    octet_cache_[cache_key(collection, id)] =
+        std::make_shared<const std::string>(std::move(*octets));
   }
   return doc;
+}
+
+std::shared_ptr<const std::string> XmlDatabase::load_octets(
+    const std::string& collection, const std::string& id) {
+  StorageOp op("xmldb.load", "xmldb.load_us");
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.loads;
+    if (options_.write_through_cache) {
+      auto it = octet_cache_.find(cache_key(collection, id));
+      if (it != octet_cache_.end()) {
+        ++stats_.cache_hits;
+        return it->second;
+      }
+    }
+  }
+  std::optional<std::string> octets = backend_->get(collection, id);
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.backend_reads;
+  }
+  if (!octets) return nullptr;
+  auto shared = std::make_shared<const std::string>(std::move(*octets));
+  if (options_.write_through_cache) {
+    std::lock_guard lock(mu_);
+    octet_cache_[cache_key(collection, id)] = shared;
+  }
+  return shared;
 }
 
 bool XmlDatabase::remove(const std::string& collection, const std::string& id) {
@@ -88,6 +123,7 @@ bool XmlDatabase::remove(const std::string& collection, const std::string& id) {
   std::lock_guard lock(mu_);
   ++stats_.removes;
   cache_.erase(cache_key(collection, id));
+  octet_cache_.erase(cache_key(collection, id));
   return removed;
 }
 

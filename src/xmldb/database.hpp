@@ -60,6 +60,15 @@ class XmlDatabase {
   std::unique_ptr<xml::Element> load(const std::string& collection,
                                      const std::string& id);
 
+  /// Loads a document's stored octets without parsing them — the wire
+  /// fast path splices these straight into a response (the octets were
+  /// produced by xml::write at store time, so re-serializing the parsed
+  /// document reproduces them byte for byte). Shares the element cache's
+  /// hit/miss cost model: with the write-through cache on, hits skip the
+  /// backend read; otherwise every call pays it. nullptr when absent.
+  std::shared_ptr<const std::string> load_octets(const std::string& collection,
+                                                 const std::string& id);
+
   /// Removes a document; false when absent.
   bool remove(const std::string& collection, const std::string& id);
 
@@ -85,6 +94,9 @@ class XmlDatabase {
   Options options_;
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<xml::Element>> cache_;
+  // Octet twin of cache_ (write-through only): the serialized form kept
+  // refcounted so in-flight responses outlive evictions.
+  std::map<std::string, std::shared_ptr<const std::string>> octet_cache_;
   DbStats stats_;
 };
 

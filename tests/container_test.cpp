@@ -123,7 +123,7 @@ TEST(Dispatch, HttpPipelineMapsFaultsTo500) {
   http.body = make_request("urn:test/Fail").to_xml();
   net::HttpResponse resp = container.handle(http);
   EXPECT_EQ(resp.status, 500);
-  EXPECT_TRUE(soap::Envelope::from_xml(resp.body).is_fault());
+  EXPECT_TRUE(soap::Envelope::from_xml(resp.body_str()).is_fault());
 
   http.body = make_request("urn:test/Ping").to_xml();
   EXPECT_EQ(container.handle(http).status, 200);

@@ -4,6 +4,7 @@
 #include "xml/canonical.hpp"
 #include "xml/node.hpp"
 #include "xml/parser.hpp"
+#include "xml/pull.hpp"
 #include "xml/schema.hpp"
 #include "xml/writer.hpp"
 
@@ -444,6 +445,167 @@ TEST(Schema, CollectsAllViolations) {
   auto result = schema.validate(*parse_element("<r><a>x</a></r>"));
   // Missing id, bad integer in a, missing b = 3 violations.
   EXPECT_EQ(result.violations.size(), 3u);
+}
+
+// --- arena pull parser: equivalence with the DOM parser ----------------------
+//
+// The wire fast path rests on one invariant: ArenaDocument accepts exactly
+// what parser.cpp accepts, rejects exactly what it rejects (same message,
+// same position), and to_dom()/canonicalize_view() reproduce the DOM path's
+// trees and octets byte for byte. These suites hold both parsers to that
+// contract over the round-trip corpus plus wire-shaped fixtures.
+
+class ArenaEquivalence : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ArenaEquivalence,
+    ::testing::Values(
+        "<a/>",
+        "<a>text</a>",
+        "<a v=\"1\" w=\"2\"><b/><c>x</c></a>",
+        "<a xmlns=\"urn:x\"><b xmlns=\"urn:y\" xmlns:z=\"urn:z\"><z:c/></b></a>",
+        "<a>&lt;escaped&gt; &amp; entities</a>",
+        "<soap:Envelope xmlns:soap=\"http://www.w3.org/2003/05/soap-envelope\">"
+        "<soap:Header/><soap:Body><x xmlns=\"urn:app\">payload</x></soap:Body>"
+        "</soap:Envelope>",
+        "<a><b>1</b><b>2</b><b>3</b></a>",
+        "<deep><l1><l2><l3><l4>x</l4></l3></l2></l1></deep>",
+        // Wire-shaped extras: CDATA, comments, char refs, mixed content,
+        // attribute namespaces, whitespace runs.
+        "<a><![CDATA[raw <markup> & bytes]]></a>",
+        "<a><!-- note -->x<b/><!-- tail --></a>",
+        "<a>&#65;&#x42;&apos;&quot;</a>",
+        "<a>pre<b>mid</b>post</a>",
+        "<p:a xmlns:p=\"urn:x\" xmlns:q=\"urn:y\" q:attr=\"v\"><q:b p:w=\"2\"/></p:a>",
+        "<a>  spaced\n\tout  </a>",
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<a><b/></a>",
+        // parser.cpp accepts duplicate attributes (last value wins); the
+        // arena parser must agree rather than reject.
+        "<a v=\"1\" v=\"2\"/>"));
+
+TEST_P(ArenaEquivalence, ToDomMatchesDomParser) {
+  auto dom = parse_element(GetParam());
+  ArenaDocument arena = ArenaDocument::parse(GetParam());
+  auto materialized = arena.to_dom();
+  EXPECT_TRUE(Element::deep_equal(*dom, *materialized))
+      << "arena to_dom diverges from parser.cpp for: " << GetParam();
+}
+
+TEST_P(ArenaEquivalence, SerializesIdentically) {
+  // The templates splice stored octets on the assumption that a document
+  // materialized from the arena writes the same bytes the DOM path writes —
+  // prefix hints included.
+  auto dom = parse_element(GetParam());
+  ArenaDocument arena = ArenaDocument::parse(GetParam());
+  EXPECT_EQ(write(*arena.to_dom()), write(*dom));
+}
+
+TEST_P(ArenaEquivalence, CanonicalizeViewMatchesDomCanonicalization) {
+  auto dom = parse_element(GetParam());
+  ArenaDocument arena = ArenaDocument::parse(GetParam());
+  EXPECT_EQ(canonicalize_view(arena.root()), canonicalize(*dom));
+}
+
+TEST_P(ArenaEquivalence, RoundTripsThroughWrite) {
+  ArenaDocument arena = ArenaDocument::parse(GetParam());
+  auto back = parse_element(write(*arena.to_dom()));
+  EXPECT_TRUE(Element::deep_equal(*arena.to_dom(), *back));
+}
+
+TEST(ArenaEquivalence, AccessorsMirrorElement) {
+  const char* doc =
+      "<p:a xmlns:p=\"urn:x\" xmlns:q=\"urn:y\" id=\"7\"><q:b p:w=\"2\">text"
+      "</q:b><c/></p:a>";
+  ArenaDocument arena = ArenaDocument::parse(doc);
+  const ArenaNode& root = arena.root();
+  EXPECT_EQ(root.clark(), "{urn:x}a");
+  EXPECT_EQ(root.attr_local("id").value_or(""), "7");
+  const ArenaNode* b = root.child("urn:y", "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->attr("urn:x", "w").value_or(""), "2");
+  EXPECT_EQ(b->text(), "text");
+  EXPECT_EQ(root.child_local("c")->clark(), "c");
+  EXPECT_EQ(root.first_element(), b);
+  EXPECT_EQ(root.child("urn:z", "nope"), nullptr);
+}
+
+TEST(ArenaEquivalence, CountsNodesAndArenaBytes) {
+  ArenaDocument arena = ArenaDocument::parse("<a><b>1</b><b>2</b></a>");
+  // a, b, text, b, text.
+  EXPECT_EQ(arena.node_count(), 5u);
+  EXPECT_GT(arena.arena_bytes(), 0u);
+}
+
+// Rejection parity: both parsers must throw ParseError with the identical
+// message and position for every malformed input — the container reports
+// parse faults to clients, so the fast path may not change the error surface.
+class ArenaRejectParity : public ::testing::TestWithParam<BadXmlCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ArenaRejectParity,
+    ::testing::Values(
+        BadXmlCase{"MismatchedTags", "<a></b>"},
+        BadXmlCase{"UnclosedTag", "<a><b></a>"},
+        BadXmlCase{"TrailingContent", "<a/><b/>"},
+        BadXmlCase{"UnboundPrefix", "<p:a/>"},
+        BadXmlCase{"UnboundAttrPrefix", "<a p:v='1'/>"},
+        BadXmlCase{"BareAmpersand", "<a>&unknown;</a>"},
+        BadXmlCase{"LtInAttribute", "<a v=\"<\"/>"},
+        BadXmlCase{"Doctype", "<!DOCTYPE a><a/>"},
+        BadXmlCase{"EmptyInput", ""},
+        BadXmlCase{"UnterminatedCdata", "<a><![CDATA[x</a>"},
+        BadXmlCase{"UnquotedAttr", "<a v=1/>"},
+        BadXmlCase{"HugeCharRef", "<a>&#x110000;</a>"},
+        BadXmlCase{"TruncatedOpenTag", "<a><b"},
+        BadXmlCase{"TruncatedAttrValue", "<a v=\"unfinished"},
+        BadXmlCase{"TruncatedCloseTag", "<a></a"},
+        BadXmlCase{"BadEntityNoSemicolon", "<a>&amp</a>"},
+        BadXmlCase{"UnterminatedComment", "<a><!-- forever</a>"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST_P(ArenaRejectParity, IdenticalErrorFromBothParsers) {
+  std::optional<ParseError> dom_err;
+  try {
+    parse_element(GetParam().input);
+  } catch (const ParseError& e) {
+    dom_err = e;
+  }
+  ASSERT_TRUE(dom_err.has_value())
+      << "DOM parser accepted malformed input: " << GetParam().input;
+
+  try {
+    ArenaDocument::parse(GetParam().input);
+    FAIL() << "arena parser accepted what parser.cpp rejects: "
+           << GetParam().input;
+  } catch (const ParseError& e) {
+    EXPECT_STREQ(e.what(), dom_err->what());
+    EXPECT_EQ(e.line(), dom_err->line());
+    EXPECT_EQ(e.column(), dom_err->column());
+  }
+}
+
+TEST(ArenaRejectParity, DepthLimitMatchesDomParser) {
+  // Both parsers cap nesting at the same depth with the same error.
+  std::string deep;
+  for (int i = 0; i < 300; ++i) deep += "<d>";
+  deep += "x";
+  for (int i = 0; i < 300; ++i) deep += "</d>";
+
+  std::optional<ParseError> dom_err;
+  try {
+    parse_element(deep);
+  } catch (const ParseError& e) {
+    dom_err = e;
+  }
+  ASSERT_TRUE(dom_err.has_value()) << "DOM parser accepted 300-deep nesting";
+  try {
+    ArenaDocument::parse(deep);
+    FAIL() << "arena parser accepted 300-deep nesting";
+  } catch (const ParseError& e) {
+    EXPECT_STREQ(e.what(), dom_err->what());
+    EXPECT_EQ(e.line(), dom_err->line());
+    EXPECT_EQ(e.column(), dom_err->column());
+  }
 }
 
 }  // namespace
