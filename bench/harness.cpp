@@ -40,8 +40,8 @@ BenchTelemetry& BenchTelemetry::instance() {
 }
 
 void BenchTelemetry::add(std::string bench_name, std::int64_t iterations,
-                         telemetry::MetricsSnapshot delta,
-                         double ops_per_sec) {
+                         telemetry::MetricsSnapshot delta, double ops_per_sec,
+                         std::map<std::string, double> extras) {
   std::lock_guard lock(mu_);
   // google-benchmark calls the function several times (estimation runs,
   // then the measured one, last); keep only the final run per benchmark.
@@ -50,11 +50,12 @@ void BenchTelemetry::add(std::string bench_name, std::int64_t iterations,
       r.iterations = iterations;
       r.delta = std::move(delta);
       r.ops_per_sec = ops_per_sec;
+      r.extras = std::move(extras);
       return;
     }
   }
-  records_.push_back(
-      {std::move(bench_name), iterations, std::move(delta), ops_per_sec});
+  records_.push_back({std::move(bench_name), iterations, std::move(delta),
+                      ops_per_sec, std::move(extras)});
 }
 
 void BenchTelemetry::write(const std::string& figure) const {
@@ -70,6 +71,10 @@ void BenchTelemetry::write(const std::string& figure) const {
         << "    \"iterations\": " << r.iterations << ",\n";
     if (r.ops_per_sec > 0.0) {
       out << "    \"ops_per_sec\": " << json_double(r.ops_per_sec) << ",\n";
+    }
+    for (const auto& [name, value] : r.extras) {
+      out << "    \"" << json_escape(name) << "\": " << json_double(value)
+          << ",\n";
     }
 
     out << "    \"counters\": {";

@@ -16,8 +16,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "counter/wsrf_counter.hpp"
@@ -42,8 +44,12 @@ class BenchTelemetry {
 
   /// `ops_per_sec` > 0 adds a throughput field to the record (the
   /// concurrent-dispatch bench reports it; latency benches leave it 0).
+  /// `extras` become additional top-level numeric fields on the record —
+  /// the overload bench reports goodput_per_sec / p99_us through them so
+  /// bench_diff.py can gate on figures the metric snapshot cannot carry.
   void add(std::string bench_name, std::int64_t iterations,
-           telemetry::MetricsSnapshot delta, double ops_per_sec = 0.0);
+           telemetry::MetricsSnapshot delta, double ops_per_sec = 0.0,
+           std::map<std::string, double> extras = {});
 
   /// Writes BENCH_<figure>.json in the current directory (an array of
   /// records: name, iterations, counters, gauges, and histograms as
@@ -56,6 +62,7 @@ class BenchTelemetry {
     std::int64_t iterations;
     telemetry::MetricsSnapshot delta;
     double ops_per_sec = 0.0;
+    std::map<std::string, double> extras;
   };
 
   mutable std::mutex mu_;

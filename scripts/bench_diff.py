@@ -17,6 +17,11 @@ threshold (percent) against the baseline fails the check.
 Allocation metrics are gated too: counters prefixed "xml." (the wire-path
 allocation probes — arena bytes, DOM nodes) are compared per iteration,
 and an increase of more than the threshold (percent) fails the check.
+
+Overload records (BENCH_overload.json) carry goodput_per_sec and
+monitoring_p99_us fields: goodput drops are gated at the threshold like
+throughput; the monitoring p99 — a tail statistic over a sleep-paced
+trickle — is gated at 3x the threshold to absorb scheduler jitter.
 """
 
 import argparse
@@ -81,6 +86,34 @@ def main():
                     f"{cand_ops:.1f} ({-drop:+.1f}%)"
                 )
                 if drop > args.threshold:
+                    failures.append(line)
+                    print(f"! {line}")
+                else:
+                    print(f"  {line}")
+            base_goodput = base_record.get("goodput_per_sec", 0.0)
+            cand_goodput = cand_record.get("goodput_per_sec", 0.0)
+            if base_goodput > 0.0 and cand_goodput > 0.0:
+                drop = (base_goodput - cand_goodput) / base_goodput * 100.0
+                compared += 1
+                line = (
+                    f"{figure} {bench}: goodput/sec {base_goodput:.1f} -> "
+                    f"{cand_goodput:.1f} ({-drop:+.1f}%)"
+                )
+                if drop > args.threshold:
+                    failures.append(line)
+                    print(f"! {line}")
+                else:
+                    print(f"  {line}")
+            base_p99 = base_record.get("monitoring_p99_us", 0.0)
+            cand_p99 = cand_record.get("monitoring_p99_us", 0.0)
+            if base_p99 > 0.0 and cand_p99 > 0.0:
+                change = (cand_p99 - base_p99) / base_p99 * 100.0
+                compared += 1
+                line = (
+                    f"{figure} {bench}: monitoring p99 {base_p99:.1f} -> "
+                    f"{cand_p99:.1f} us ({change:+.1f}%)"
+                )
+                if change > 3.0 * args.threshold:
                     failures.append(line)
                     print(f"! {line}")
                 else:

@@ -7,6 +7,9 @@
 # Concurrency gate (the scaling claim, machine-checked):
 #   $ CONCURRENCY=1 scripts/tier1.sh    # TSan build: concurrency suite
 #                                       # + the scaling bench
+# Overload gate (the goodput claim, machine-checked):
+#   $ OVERLOAD=1 scripts/tier1.sh       # overload suite + the open-loop
+#                                       # goodput bench
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -68,7 +71,17 @@ elif [[ "$TSAN_ONLY" == "1" ]]; then
   # scratch buffers, refcounted buffer-chain segments) with its xml
   # substrate.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
-    -R 'telemetry|reliability|monitor|concurrency|scheduler|xml|wire'
+    -R 'telemetry|reliability|monitor|concurrency|scheduler|xml|wire|overload'
+elif [[ "${OVERLOAD:-0}" == "1" ]]; then
+  # Overload gate, part one: the admission/breaker suite.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
+    -R 'overload'
+  # Part two: the open-loop goodput bench. It exits nonzero unless goodput
+  # under a 10x storm stays >= 70% of closed-loop capacity with shedding
+  # engaged (and collapses without), and writes BENCH_overload.json next
+  # to the build.
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_overload
+  (cd "$BUILD_DIR/bench" && ./bench_overload)
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 fi

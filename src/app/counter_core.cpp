@@ -1,5 +1,6 @@
 #include "app/counter_core.hpp"
 
+#include "common/parse.hpp"
 #include "soap/envelope.hpp"
 #include "soap/namespaces.hpp"
 
@@ -23,7 +24,16 @@ std::unique_ptr<xml::Element> CounterCore::make_document(int value) {
 
 int CounterCore::value_of(const xml::Element& doc) {
   const xml::Element* cv = doc.child(value_qname());
-  return cv ? std::stoi(cv->text()) : 0;
+  if (!cv) return 0;
+  // The cv text came off the wire (WS-Transfer Put stores the client's
+  // document verbatim); garbage must come back as a Sender fault, not
+  // escape as std::invalid_argument and kill the container.
+  auto value = common::parse_number<int>(cv->text());
+  if (!value) {
+    throw soap::SoapFault("Sender",
+                          "malformed counter value '" + cv->text() + "'");
+  }
+  return *value;
 }
 
 void CounterCore::apply_put(const std::string& id,

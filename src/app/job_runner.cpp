@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "soap/envelope.hpp"
 #include "telemetry/event_log.hpp"
 #include "telemetry/metrics.hpp"
@@ -30,11 +31,32 @@ std::pair<common::TimeMs, int> parse_command(const std::string& command) {
       if (eq != std::string::npos) {
         std::string key = kv.substr(0, eq);
         std::string value = kv.substr(eq + 1);
-        try {
-          if (key == "duration") duration = std::stoll(value);
-          if (key == "exit") exit_code = std::stoi(value);
-        } catch (const std::exception&) {
-          // Malformed pieces keep defaults; the job still runs.
+        // Strict parse: "duration=5x" used to truncate to 5 under stoll;
+        // now a malformed piece keeps its default and is reported, so a
+        // mangled submission doesn't silently run with the wrong shape.
+        bool malformed = false;
+        if (key == "duration") {
+          if (auto d = common::parse_number<common::TimeMs>(value)) {
+            duration = *d;
+          } else {
+            malformed = true;
+          }
+        }
+        if (key == "exit") {
+          if (auto e = common::parse_number<int>(value)) {
+            exit_code = *e;
+          } else {
+            malformed = true;
+          }
+        }
+        if (malformed) {
+          telemetry::MetricsRegistry::global()
+              .counter("jobrunner.malformed_command_params")
+              .add();
+          telemetry::EventLog::global().emit(
+              telemetry::Level::kWarn, "app.jobrunner",
+              "malformed sim: parameter keeps default",
+              {{"command", command}, {"param", kv}});
         }
       }
       pos = comma + 1;

@@ -1,0 +1,30 @@
+// Strict numeric parsing for network- and disk-derived text.
+//
+// std::stoi/std::stoll are the wrong tool on untrusted input twice over:
+// they throw (std::invalid_argument/std::out_of_range escape through code
+// that never expected exceptions from a "read a number" call, killing the
+// process on peer garbage) and they silently accept trailing junk ("42abc"
+// parses as 42). parse_number is the from_chars-based replacement used
+// everywhere a number crosses a trust boundary: the whole string must be
+// one decimal integer, and anything else — empty text, junk, trailing
+// characters, overflow — is a nullopt the caller turns into a fault, a
+// rejected certificate, or a warn-and-default, never a crash.
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string_view>
+
+namespace gs::common {
+
+template <typename T>
+std::optional<T> parse_number(std::string_view text) {
+  T value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [p, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || p != end || text.empty()) return std::nullopt;
+  return value;
+}
+
+}  // namespace gs::common

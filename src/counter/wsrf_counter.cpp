@@ -1,5 +1,7 @@
 #include "counter/wsrf_counter.hpp"
 
+#include "common/parse.hpp"
+
 namespace gs::counter {
 
 using app::CounterCore;
@@ -125,8 +127,21 @@ void WsrfCounterClient::attach(soap::EndpointReference epr) {
   resource_.retarget(std::move(epr));
 }
 
+namespace {
+// The property text came off the wire; a faulty service must surface as a
+// SOAP fault at the proxy boundary, not std::invalid_argument from stoi.
+int parse_property_int(const std::string& text, const char* what) {
+  auto value = common::parse_number<int>(text);
+  if (!value) {
+    throw soap::SoapFault("Receiver", std::string("malformed ") + what +
+                                          " property '" + text + "'");
+  }
+  return *value;
+}
+}  // namespace
+
 int WsrfCounterClient::get() {
-  return std::stoi(resource_.get_property_text(cv_qname()));
+  return parse_property_int(resource_.get_property_text(cv_qname()), "cv");
 }
 
 void WsrfCounterClient::set(int value) {
@@ -134,7 +149,8 @@ void WsrfCounterClient::set(int value) {
 }
 
 int WsrfCounterClient::double_value() {
-  return std::stoi(resource_.get_property_text(double_value_qname()));
+  return parse_property_int(resource_.get_property_text(double_value_qname()),
+                            "DoubleValue");
 }
 
 void WsrfCounterClient::destroy() { resource_.destroy(); }

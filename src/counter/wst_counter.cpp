@@ -1,5 +1,6 @@
 #include "counter/wst_counter.hpp"
 
+#include "common/parse.hpp"
 #include "counter/wsrf_counter.hpp"  // shared QNames and topic name
 
 namespace gs::counter {
@@ -76,7 +77,12 @@ int WstCounterClient::get() {
   // The schema is hard-coded client-side: <Counter><cv>N</cv></Counter>.
   const xml::Element* cv = doc->child(cv_qname());
   if (!cv) throw soap::SoapFault("Receiver", "counter document has no cv");
-  return std::stoi(cv->text());
+  auto value = common::parse_number<int>(cv->text());
+  if (!value) {
+    throw soap::SoapFault("Receiver",
+                          "malformed counter value '" + cv->text() + "'");
+  }
+  return *value;
 }
 
 void WstCounterClient::set(int value) {

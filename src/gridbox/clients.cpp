@@ -1,8 +1,32 @@
 #include "gridbox/clients.hpp"
 
 #include "common/encoding.hpp"
+#include "common/parse.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace gs::gridbox {
+
+namespace {
+
+/// Exit codes come back from a remote job document; a garbled one means a
+/// broken or hostile execution service, which the client reports as "no
+/// exit code yet" rather than throwing out of a status poll.
+std::optional<int> parse_exit_code(const std::string& text) {
+  auto code = common::parse_number<int>(text);
+  if (!code) {
+    telemetry::MetricsRegistry::global()
+        .counter("gridbox.malformed_exit_codes")
+        .add(1);
+    telemetry::EventLog::global().emit(
+        telemetry::Level::kWarn, "gridbox.client",
+        "ignoring malformed job ExitCode", {{"exit_code", text}});
+    return std::nullopt;
+  }
+  return code;
+}
+
+}  // namespace
 
 soap::EndpointReference with_identity(soap::EndpointReference epr,
                                       const ClientIdentity& id) {
@@ -198,7 +222,7 @@ std::optional<int> WsrfUserClient::job_exit_code(
                               identity_.security);
   auto values = proxy.get_property(gb("ExitCode"));
   if (values.empty()) return std::nullopt;
-  return std::stoi(values.front()->text());
+  return parse_exit_code(values.front()->text());
 }
 
 wsn::SubscriptionProxy WsrfUserClient::subscribe_completion(
@@ -399,7 +423,7 @@ std::optional<int> WstUserClient::job_exit_code(
   std::unique_ptr<xml::Element> doc = proxy.get();
   const xml::Element* code = doc->child(gb("ExitCode"));
   if (!code) return std::nullopt;
-  return std::stoi(code->text());
+  return parse_exit_code(code->text());
 }
 
 wse::EventSourceProxy::SubscriptionHandle WstUserClient::subscribe_completion(

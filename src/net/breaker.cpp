@@ -1,0 +1,113 @@
+#include "net/breaker.hpp"
+
+#include <algorithm>
+
+#include "telemetry/event_log.hpp"
+
+namespace gs::net {
+
+CircuitBreaker::CircuitBreaker(BreakerPolicy policy, const common::Clock* clock)
+    : policy_(policy), clock_(clock) {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  opened_ = &reg.counter("net.breaker_opened");
+  closed_ = &reg.counter("net.breaker_closed");
+  fast_fails_ = &reg.counter("net.breaker_fast_fails");
+  probes_ = &reg.counter("net.breaker_probes");
+  open_routes_ = &reg.gauge("net.breaker_open_routes");
+}
+
+void CircuitBreaker::trip_locked(Route& route, const std::string& authority) {
+  if (route.state != State::kOpen) open_routes_->add(1);
+  route.state = State::kOpen;
+  route.opened_at = clock_->now();
+  route.probes_in_flight = 0;
+  opened_->add();
+  telemetry::EventLog::global().emit(
+      telemetry::Level::kWarn, "net.breaker", "circuit opened",
+      {{"authority", authority},
+       {"consecutive_failures", std::to_string(route.consecutive_failures)}});
+}
+
+bool CircuitBreaker::allow(const std::string& authority) {
+  if (!policy_.enabled()) return true;
+  std::lock_guard lock(mu_);
+  Route& route = routes_[authority];
+  switch (route.state) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (clock_->now() - route.opened_at < policy_.open_ms) {
+        fast_fails_->add();
+        return false;
+      }
+      // Cooldown over: this call becomes the first half-open probe.
+      route.state = State::kHalfOpen;
+      route.probes_in_flight = 1;
+      probes_->add();
+      return true;
+    case State::kHalfOpen:
+      if (route.probes_in_flight >= policy_.half_open_probes) {
+        fast_fails_->add();
+        return false;
+      }
+      ++route.probes_in_flight;
+      probes_->add();
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success(const std::string& authority) {
+  if (!policy_.enabled()) return;
+  std::lock_guard lock(mu_);
+  Route& route = routes_[authority];
+  if (route.state == State::kHalfOpen || route.state == State::kOpen) {
+    if (route.state != State::kClosed) open_routes_->add(-1);
+    closed_->add();
+    telemetry::EventLog::global().emit(
+        telemetry::Level::kInfo, "net.breaker", "circuit closed",
+        {{"authority", authority}});
+  }
+  route.state = State::kClosed;
+  route.consecutive_failures = 0;
+  route.probes_in_flight = 0;
+}
+
+void CircuitBreaker::record_failure(const std::string& authority) {
+  if (!policy_.enabled()) return;
+  std::lock_guard lock(mu_);
+  Route& route = routes_[authority];
+  switch (route.state) {
+    case State::kClosed:
+      if (++route.consecutive_failures >= policy_.failure_threshold) {
+        trip_locked(route, authority);
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: straight back to open for another cooldown.
+      ++route.consecutive_failures;
+      open_routes_->add(-1);  // re-tripping re-increments
+      trip_locked(route, authority);
+      break;
+    case State::kOpen:
+      // A failure from a call admitted before the trip; nothing to do.
+      ++route.consecutive_failures;
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state(const std::string& authority) const {
+  std::lock_guard lock(mu_);
+  auto it = routes_.find(authority);
+  return it == routes_.end() ? State::kClosed : it->second.state;
+}
+
+common::TimeMs CircuitBreaker::retry_in(const std::string& authority) const {
+  std::lock_guard lock(mu_);
+  auto it = routes_.find(authority);
+  if (it == routes_.end() || it->second.state != State::kOpen) return 0;
+  common::TimeMs elapsed = clock_->now() - it->second.opened_at;
+  return std::max<common::TimeMs>(0, policy_.open_ms - elapsed);
+}
+
+}  // namespace gs::net

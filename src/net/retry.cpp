@@ -44,6 +44,15 @@ RetryingCaller::RetryingCaller(SoapCaller& inner, RetryPolicy policy,
   }
 }
 
+RetryingCaller::RetryingCaller(SoapCaller& inner, RetryPolicy policy,
+                               BreakerPolicy breaker, const common::Clock* clock,
+                               Sleeper sleeper)
+    : RetryingCaller(inner, policy, clock, std::move(sleeper)) {
+  if (breaker.enabled()) {
+    breaker_ = std::make_unique<CircuitBreaker>(breaker, clock);
+  }
+}
+
 soap::Envelope RetryingCaller::call(const std::string& address,
                                     const soap::Envelope& request) {
   static telemetry::Counter& retries =
@@ -53,13 +62,30 @@ soap::Envelope RetryingCaller::call(const std::string& address,
   static telemetry::Counter& exhausted =
       telemetry::MetricsRegistry::global().counter("net.retry.exhausted");
 
+  // Breaker circuits are per destination authority, so one saturated host
+  // does not blacklist every service this caller talks to.
+  std::string authority = address;
+  if (auto url = Url::parse(address)) authority = url->authority();
+
   const common::TimeMs started = clock_->now();
   for (int attempt = 1;; ++attempt) {
+    if (breaker_ && !breaker_->allow(authority)) {
+      throw CircuitOpenError("circuit open for " + authority,
+                             breaker_->retry_in(authority));
+    }
     try {
       soap::Envelope response = inner_.call(address, request);
+      if (breaker_) breaker_->record_success(authority);
       if (attempt > 1) recovered.add();
       return response;
     } catch (const NetworkError& err) {
+      if (breaker_) breaker_->record_failure(authority);
+      // The server's Retry-After hint (HTTP 503) floors the backoff: an
+      // overloaded server gets the quiet time it asked for.
+      common::TimeMs retry_after = 0;
+      if (auto* overload = dynamic_cast<const OverloadError*>(&err)) {
+        retry_after = overload->retry_after_ms();
+      }
       if (attempt >= policy_.max_attempts) {
         exhausted.add();
         telemetry::EventLog::global().emit(
@@ -74,6 +100,7 @@ soap::Envelope RetryingCaller::call(const std::string& address,
         std::lock_guard lock(rng_mu_);
         delay = policy_.delay_after(attempt, rng_);
       }
+      delay = std::max(delay, retry_after);
       if (policy_.call_timeout_ms > 0 &&
           clock_->now() - started + delay >= policy_.call_timeout_ms) {
         exhausted.add();

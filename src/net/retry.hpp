@@ -10,10 +10,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <random>
 
 #include "common/clock.hpp"
+#include "net/breaker.hpp"
 #include "net/virtual_network.hpp"
 
 namespace gs::net {
@@ -47,6 +49,17 @@ struct RetryPolicy {
 /// real sleep); tests pass a sleeper that advances a ManualClock so retry
 /// schedules are fully deterministic. Thread-safe: concurrent calls share
 /// the jitter RNG under a lock but back off independently.
+///
+/// Overload behaviour (the anti-amplification half of overload control):
+///  * An OverloadError (HTTP 503) IS retried, but the server's Retry-After
+///    hint overrides any shorter computed backoff — the client waits as
+///    long as the server asked, not as little as its own schedule allows.
+///  * Constructed with a BreakerPolicy, the caller keeps a per-authority
+///    CircuitBreaker: consecutive transport failures (503s, timeouts,
+///    drops) open the route's circuit and further calls — including the
+///    remaining attempts of an in-flight retry loop — fail fast with
+///    CircuitOpenError instead of touching the network, until a half-open
+///    probe succeeds. Retries stop amplifying collapse.
 class RetryingCaller final : public SoapCaller {
  public:
   using Sleeper = std::function<void(common::TimeMs)>;
@@ -54,17 +67,24 @@ class RetryingCaller final : public SoapCaller {
   RetryingCaller(SoapCaller& inner, RetryPolicy policy,
                  const common::Clock* clock = &common::RealClock::instance(),
                  Sleeper sleeper = {});
+  /// With a circuit breaker guarding every destination authority.
+  RetryingCaller(SoapCaller& inner, RetryPolicy policy, BreakerPolicy breaker,
+                 const common::Clock* clock = &common::RealClock::instance(),
+                 Sleeper sleeper = {});
 
   soap::Envelope call(const std::string& address,
                       const soap::Envelope& request) override;
 
   const RetryPolicy& policy() const noexcept { return policy_; }
+  /// Null when constructed without a BreakerPolicy.
+  CircuitBreaker* breaker() noexcept { return breaker_.get(); }
 
  private:
   SoapCaller& inner_;
   RetryPolicy policy_;
   const common::Clock* clock_;
   Sleeper sleeper_;
+  std::unique_ptr<CircuitBreaker> breaker_;
   std::mutex rng_mu_;
   std::mt19937_64 rng_;
 };

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/buffer_chain.hpp"
+#include "common/parse.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -182,6 +183,17 @@ soap::Envelope TcpSoapCaller::call(const std::string& address,
 
   auto response = HttpResponse::parse(wire);
   if (!response) throw NetworkError("malformed HTTP response from " + address);
+  if (response->status == 503) {
+    common::TimeMs retry_after_ms = 0;
+    if (auto it = response->headers.find("Retry-After");
+        it != response->headers.end()) {
+      if (auto secs = common::parse_number<common::TimeMs>(it->second)) {
+        retry_after_ms = *secs * 1000;
+      }
+    }
+    throw OverloadError("HTTP 503 Service Unavailable from " + address,
+                        retry_after_ms);
+  }
   return soap::Envelope::from_xml(response->body);
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/clock.hpp"
 #include "common/encoding.hpp"
+#include "common/parse.hpp"
 #include "security/cert.hpp"
 #include "telemetry/event_log.hpp"
 #include "telemetry/metrics.hpp"
@@ -140,6 +141,19 @@ soap::Envelope VirtualCaller::call(const std::string& address,
       std::string wire = exchange_octets(*url, http.serialize());
       auto response = HttpResponse::parse(wire);
       if (!response) throw NetworkError("malformed HTTP response from " + address);
+      if (response->status == 503) {
+        // Admission shed: surface the server's Retry-After so the retry
+        // layer backs off on the server's schedule and breakers count it.
+        common::TimeMs retry_after_ms = 0;
+        if (auto it = response->headers.find("Retry-After");
+            it != response->headers.end()) {
+          if (auto secs = common::parse_number<common::TimeMs>(it->second)) {
+            retry_after_ms = *secs * 1000;
+          }
+        }
+        throw OverloadError("HTTP 503 Service Unavailable from " + address,
+                            retry_after_ms);
+      }
       if (response->status != 200 && response->body.empty()) {
         throw NetworkError("HTTP " + std::to_string(response->status) + " " +
                            response->reason + " from " + address);

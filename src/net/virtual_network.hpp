@@ -16,6 +16,7 @@
 #include <set>
 #include <string>
 
+#include "common/clock.hpp"
 #include "net/http.hpp"
 #include "net/wire.hpp"
 #include "security/tls.hpp"
@@ -49,6 +50,22 @@ class LambdaEndpoint final : public Endpoint {
 class NetworkError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// The server explicitly refused work (HTTP 503 Service Unavailable from
+/// an overloaded container's admission handler). A transport failure for
+/// retry purposes, but it carries the server's Retry-After hint so clients
+/// back off on the server's schedule instead of their own — and circuit
+/// breakers count it toward opening.
+class OverloadError : public NetworkError {
+ public:
+  OverloadError(const std::string& what, common::TimeMs retry_after_ms)
+      : NetworkError(what), retry_after_ms_(retry_after_ms) {}
+  /// Server-requested backoff; 0 when the response carried no hint.
+  common::TimeMs retry_after_ms() const noexcept { return retry_after_ms_; }
+
+ private:
+  common::TimeMs retry_after_ms_;
 };
 
 /// Deterministic per-route fault policy. Tests script failures against a

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/encoding.hpp"
+#include "common/parse.hpp"
 #include "xml/parser.hpp"
 #include "xml/writer.hpp"
 
@@ -49,8 +50,15 @@ Certificate Certificate::from_xml(const xml::Element& el) {
   if (!mod || !exp) throw SecurityError("certificate PublicKey incomplete");
   out.subject_key.n = BigUint::from_hex(mod->text());
   out.subject_key.e = BigUint::from_hex(exp->text());
-  out.not_before = std::stoll(text_of("NotBefore"));
-  out.not_after = std::stoll(text_of("NotAfter"));
+  // Validity bounds arrive inside a peer-supplied token: a malformed value
+  // must reject the certificate, not abort the process out of std::stoll.
+  auto not_before = common::parse_number<common::TimeMs>(text_of("NotBefore"));
+  auto not_after = common::parse_number<common::TimeMs>(text_of("NotAfter"));
+  if (!not_before || !not_after) {
+    throw SecurityError("certificate validity bounds are malformed");
+  }
+  out.not_before = *not_before;
+  out.not_after = *not_after;
   auto sig = common::base64_decode(text_of("Signature"));
   if (!sig) throw SecurityError("certificate signature is not valid base64");
   out.signature = std::move(*sig);

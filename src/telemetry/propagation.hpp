@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "common/parse.hpp"
 #include "soap/envelope.hpp"
 #include "telemetry/trace.hpp"
 #include "xml/qname.hpp"
@@ -48,7 +49,8 @@ inline void write_trace_header(soap::Envelope& env, const TraceContext& ctx) {
   el.set_attr("SpanId", std::to_string(ctx.span_id));
 }
 
-/// Reads the trace context off an envelope; nullopt when absent/malformed.
+/// Reads the trace context off an envelope; nullopt when absent/malformed
+/// (strict parse: trailing junk is malformed, not a truncated id).
 /// header_child_attr answers from the wire view on the fast path — this
 /// read allocates no DOM nodes for a freshly parsed request.
 inline std::optional<TraceContext> read_trace_header(const soap::Envelope& env) {
@@ -56,12 +58,10 @@ inline std::optional<TraceContext> read_trace_header(const soap::Envelope& env) 
   auto span_id = env.header_child_attr(trace_header_qname(), "SpanId");
   if (!trace_id && !span_id) return std::nullopt;
   TraceContext ctx;
-  try {
-    ctx.trace_id = std::stoull(trace_id.value_or("0"));
-    ctx.span_id = std::stoull(span_id.value_or("0"));
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
+  ctx.trace_id =
+      common::parse_number<std::uint64_t>(trace_id.value_or("0")).value_or(0);
+  ctx.span_id =
+      common::parse_number<std::uint64_t>(span_id.value_or("0")).value_or(0);
   if (!ctx.valid()) return std::nullopt;
   return ctx;
 }

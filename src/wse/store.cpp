@@ -2,7 +2,9 @@
 
 #include <fstream>
 
+#include "common/parse.hpp"
 #include "soap/namespaces.hpp"
+#include "telemetry/event_log.hpp"
 #include "xml/parser.hpp"
 #include "xml/writer.hpp"
 
@@ -171,16 +173,29 @@ void SubscriptionStore::load() {
       sub.filter = f->text();
     }
     if (const xml::Element* x = el->child(wse("Expires"))) {
-      sub.expires = x->text() == "infinite" ? WseSubscription::kNever
-                                            : std::stoll(x->text());
+      if (x->text() == "infinite") {
+        sub.expires = WseSubscription::kNever;
+      } else if (auto expires = common::parse_number<common::TimeMs>(x->text())) {
+        sub.expires = *expires;
+      } else {
+        // A corrupt persisted Expires must not abort the whole load (the
+        // old std::stoll threw out of the constructor): drop this entry,
+        // keep every other subscription.
+        telemetry::EventLog::global().emit(
+            telemetry::Level::kWarn, "wse.store",
+            "dropping subscription with malformed Expires",
+            {{"id", sub.id}, {"expires", x->text()}});
+        continue;
+      }
     }
     if (const xml::Element* m = el->child(wse("Mode"))) {
       sub.delivery_mode = m->text();
     }
-    // Keep next_id_ ahead of loaded ids.
+    // Keep next_id_ ahead of loaded ids (malformed suffixes don't bump it).
     if (sub.id.starts_with("wse-sub-")) {
-      std::uint64_t n = std::stoull(sub.id.substr(8));
-      if (n >= next_id_) next_id_ = n + 1;
+      if (auto n = common::parse_number<std::uint64_t>(sub.id.substr(8))) {
+        if (*n >= next_id_) next_id_ = *n + 1;
+      }
     }
     subs_.push_back(std::move(sub));
   }

@@ -2,11 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <set>
 #include <thread>
 
 #include "common/clock.hpp"
 #include "common/encoding.hpp"
+#include "common/parse.hpp"
 #include "common/threadpool.hpp"
 #include "common/uuid.hpp"
 
@@ -185,6 +187,44 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }
   }
   EXPECT_EQ(count.load(), 20);
+}
+
+// --- strict numeric parsing --------------------------------------------------
+
+TEST(ParseNumber, AcceptsWholeDecimalIntegers) {
+  EXPECT_EQ(parse_number<int>("42"), 42);
+  EXPECT_EQ(parse_number<int>("-7"), -7);
+  EXPECT_EQ(parse_number<int>("0"), 0);
+  EXPECT_EQ(parse_number<std::int64_t>("9223372036854775807"),
+            9223372036854775807LL);
+}
+
+TEST(ParseNumber, RejectsGarbage) {
+  EXPECT_FALSE(parse_number<int>("boom").has_value());
+  EXPECT_FALSE(parse_number<int>("fifteen").has_value());
+}
+
+TEST(ParseNumber, RejectsEmpty) {
+  EXPECT_FALSE(parse_number<int>("").has_value());
+}
+
+TEST(ParseNumber, RejectsTrailingJunk) {
+  // The std::stoi behaviour this replaces parsed "42abc" as 42.
+  EXPECT_FALSE(parse_number<int>("42abc").has_value());
+  EXPECT_FALSE(parse_number<int>("7 ").has_value());
+  EXPECT_FALSE(parse_number<int>(" 7").has_value());
+  EXPECT_FALSE(parse_number<int>("1.5").has_value());
+}
+
+TEST(ParseNumber, RejectsOverflow) {
+  EXPECT_FALSE(parse_number<int>("99999999999999999999").has_value());
+  EXPECT_FALSE(parse_number<std::int64_t>("99999999999999999999").has_value());
+  EXPECT_FALSE(parse_number<int>("-99999999999999999999").has_value());
+}
+
+TEST(ParseNumber, RejectsNegativeForUnsigned) {
+  EXPECT_FALSE(parse_number<unsigned>("-1").has_value());
+  EXPECT_FALSE(parse_number<std::uint64_t>("-5").has_value());
 }
 
 }  // namespace

@@ -241,6 +241,58 @@ TEST(Counter, WstClientMustKnowSchemaOutOfBand) {
   EXPECT_THROW(typed.get(), soap::SoapFault);  // schema drift detected late
 }
 
+// --- malformed numeric state (strict-parsing sweep) -------------------------------
+
+// WS-Transfer stores documents as xsd:any, so nothing stops a peer putting
+// non-numeric text where the counter value goes. The typed client must
+// answer with a fault, not crash the process the way std::stoi did.
+TEST(Counter, WstMalformedValueFaultsInsteadOfCrashing) {
+  TwinFixture fx;
+  for (const char* bad : {"12abc", "boom", "", "99999999999999999999"}) {
+    wst::TransferProxy generic(
+        *fx.caller, soap::EndpointReference(fx.wst->counter_address()));
+    auto doc = std::make_unique<xml::Element>(
+        xml::QName(soap::ns::kCounter, "Counter"));
+    doc->append_element(cv_qname()).set_text(bad);
+    auto result = generic.create(std::move(doc));
+
+    WstCounterClient typed(*fx.caller, fx.wst->counter_address(),
+                           fx.wst->source_address());
+    typed.attach(result.resource);
+    EXPECT_THROW(typed.get(), soap::SoapFault) << "cv=" << bad;
+  }
+}
+
+TEST(Counter, WsrfMalformedPropertyFaultsInsteadOfCrashing) {
+  TwinFixture fx;
+  auto client = fx.wsrf_client();
+  soap::EndpointReference epr = client.create();
+  wsrf::WsResourceProxy raw(*fx.caller, epr);
+  for (const char* bad : {"12abc", "boom", "", "99999999999999999999"}) {
+    raw.update_property_text(cv_qname(), bad);
+    EXPECT_THROW(client.get(), soap::SoapFault) << "cv=" << bad;
+  }
+  raw.update_property_text(cv_qname(), "5");
+  EXPECT_EQ(client.get(), 5);
+}
+
+TEST(Counter, WsrfComputedPropertyOverMalformedStateIsSenderFault) {
+  // DoubleValue is computed server-side from the stored cv; garbage there
+  // used to throw std::invalid_argument inside the property handler. Now
+  // the server answers a Sender fault (the stored request state is bad).
+  TwinFixture fx;
+  auto client = fx.wsrf_client();
+  soap::EndpointReference epr = client.create();
+  wsrf::WsResourceProxy raw(*fx.caller, epr);
+  raw.update_property_text(cv_qname(), "boom");
+  try {
+    client.double_value();
+    FAIL() << "expected SoapFault";
+  } catch (const soap::SoapFault& fault) {
+    EXPECT_EQ(fault.fault().code, "Sender");
+  }
+}
+
 TEST(Counter, WsrfResourceLifetimeAvailable) {
   // WSRF counters inherit scheduled termination from the imported
   // WS-ResourceLifetime port type — the WS-Transfer counter has no such

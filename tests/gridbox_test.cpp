@@ -8,7 +8,10 @@
 
 #include "common/encoding.hpp"
 #include "gridbox/clients.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/metrics.hpp"
 #include "wsn/consumer.hpp"
+#include "wst/service.hpp"
 
 namespace gs::gridbox {
 namespace {
@@ -650,6 +653,83 @@ TEST(OutcallCounts, UploadIsAPairOfCallsOnBothStacks) {
     wst_messages = fx.meter.messages();
   }
   EXPECT_EQ(wsrf_messages, wst_messages);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed numeric input (strict-parsing sweep)
+// ---------------------------------------------------------------------------
+
+TEST(WsrfGrid, MalformedSimParamsKeepDefaultsAndWarn) {
+  // "duration=5x" used to truncate to 5 under stoll; now the malformed
+  // pieces keep their defaults, the job still runs, and the mangling is
+  // reported (counter + warn) instead of silently reshaping the job.
+  WsrfFixture fx;
+  auto alice = fx.alice();
+  auto reservation = alice.make_reservation("node1");
+  auto directory = alice.create_directory(fx.grid->data_address("node1"));
+
+  auto& malformed = telemetry::MetricsRegistry::global().counter(
+      "jobrunner.malformed_command_params");
+  std::uint64_t before = malformed.value();
+  std::uint64_t warns =
+      telemetry::EventLog::global().count(telemetry::Level::kWarn);
+
+  auto job = alice.start_job(fx.grid->exec_address("node1"),
+                             "sim:duration=5x,exit=zz", reservation, directory);
+  EXPECT_EQ(malformed.value(), before + 2);  // one per bad parameter
+  EXPECT_EQ(telemetry::EventLog::global().count(telemetry::Level::kWarn),
+            warns + 2);
+
+  // Defaults survived: duration 0 (exits on the next poll), exit code 0.
+  fx.clock.advance(1);
+  fx.grid->job_runner("node1").poll();
+  EXPECT_EQ(alice.job_status(job), "exited");
+  EXPECT_EQ(alice.job_exit_code(job), 0);
+}
+
+TEST(WstGrid, MalformedExitCodeReadsAsNotYetExited) {
+  // The ExitCode text comes from a remote job document; a broken or
+  // hostile execution service must not be able to throw std::stoi
+  // exceptions out of a status poll. The client warns and reports "no
+  // exit code yet".
+  WstFixture fx;
+
+  class BrokenExecService : public container::Service {
+   public:
+    BrokenExecService() : container::Service("BrokenExec") {
+      register_operation(
+          wst::actions::kGet, [](container::RequestContext& ctx) {
+            soap::Envelope r =
+                container::make_response(ctx, wst::actions::kGet + "Response");
+            xml::Element& job =
+                r.add_payload(xml::QName(soap::ns::kGridBox, "Job"));
+            job.append_element(xml::QName(soap::ns::kGridBox, "Status"))
+                .set_text("exited");
+            job.append_element(xml::QName(soap::ns::kGridBox, "ExitCode"))
+                .set_text("boom");
+            return r;
+          });
+    }
+  };
+
+  container::Container stub({});
+  BrokenExecService svc;
+  stub.deploy("/Job", svc);
+  fx.net.bind("stub.example", stub);
+
+  auto& malformed = telemetry::MetricsRegistry::global().counter(
+      "gridbox.malformed_exit_codes");
+  std::uint64_t before = malformed.value();
+  std::uint64_t warns =
+      telemetry::EventLog::global().count(telemetry::Level::kWarn);
+
+  auto alice = fx.alice();
+  soap::EndpointReference job("http://stub.example/Job");
+  EXPECT_EQ(alice.job_status(job), "exited");
+  EXPECT_FALSE(alice.job_exit_code(job).has_value());
+  EXPECT_EQ(malformed.value(), before + 1);
+  EXPECT_EQ(telemetry::EventLog::global().count(telemetry::Level::kWarn),
+            warns + 1);
 }
 
 }  // namespace

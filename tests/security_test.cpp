@@ -296,6 +296,26 @@ TEST(Cert, TokenRoundTrip) {
   EXPECT_NO_THROW(verify_certificate(back, ca.root(), 500));
 }
 
+TEST(Cert, MalformedValidityBoundsAreRejectedNotFatal) {
+  // A peer's token is attacker-controlled text; garbage in NotBefore used
+  // to escape Certificate::from_xml as std::invalid_argument from stoll
+  // and kill the process. It must read as "bad certificate" instead.
+  std::mt19937_64 rng(11);
+  auto ca = CertificateAuthority::create("CN=TestCA", 512, rng);
+  Credential cred = ca.issue("CN=alice", 512, rng, 0, 10000);
+  for (const char* bad : {"boom", "", "12abc", "99999999999999999999999"}) {
+    auto doc = cred.cert.to_xml();
+    doc->child_local("NotBefore")->set_text(bad);
+    EXPECT_THROW(Certificate::from_xml(*doc), SecurityError)
+        << "NotBefore=" << bad;
+  }
+  auto doc = cred.cert.to_xml();
+  doc->child_local("NotAfter")->set_text("never");
+  EXPECT_THROW(Certificate::from_xml(*doc), SecurityError);
+  // Untampered round trip still parses.
+  EXPECT_NO_THROW(Certificate::from_xml(*cred.cert.to_xml()));
+}
+
 TEST(Cert, RootIsSelfSigned) {
   std::mt19937_64 rng(10);
   auto ca = CertificateAuthority::create("CN=TestCA", 512, rng);

@@ -8,6 +8,7 @@
 
 #include "container/container.hpp"
 #include "net/virtual_network.hpp"
+#include "telemetry/event_log.hpp"
 #include "wse/client.hpp"
 #include "wse/service.hpp"
 #include "wsn/consumer.hpp"
@@ -104,6 +105,51 @@ TEST(Store, FlatXmlFilePersistence) {
     another.notify_to = soap::EndpointReference("http://d");
     EXPECT_NE(store.add(std::move(another)), id);
   }
+  std::filesystem::remove(path);
+}
+
+TEST(Store, MalformedPersistedExpiresDropsOnlyThatEntry) {
+  // A corrupt flat-file Expires used to throw std::invalid_argument out of
+  // std::stoll inside the constructor, so one damaged line killed the
+  // whole subscription manager at startup. Now the bad entry is dropped
+  // with a warning and every other subscription survives.
+  auto path = std::filesystem::temp_directory_path() / "gs-wse-subs3.xml";
+  std::filesystem::remove(path);
+  std::string good_id, bad_id;
+  {
+    SubscriptionStore store(path);
+    WseSubscription good;
+    good.notify_to = soap::EndpointReference("http://good/sink");
+    good.expires = 111;
+    good_id = store.add(std::move(good));
+    WseSubscription bad;
+    bad.notify_to = soap::EndpointReference("http://bad/sink");
+    bad.expires = 222;
+    bad_id = store.add(std::move(bad));
+  }
+  // Corrupt the persisted Expires of the second entry on disk.
+  std::string content;
+  {
+    std::ifstream in(path);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>{});
+  }
+  auto at = content.find(">222<");
+  ASSERT_NE(at, std::string::npos);
+  content.replace(at, 5, ">2x2<");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+  }
+
+  std::uint64_t warns =
+      telemetry::EventLog::global().count(telemetry::Level::kWarn);
+  SubscriptionStore store(path);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.get(good_id).has_value());
+  EXPECT_FALSE(store.get(bad_id).has_value());
+  EXPECT_EQ(telemetry::EventLog::global().count(telemetry::Level::kWarn),
+            warns + 1);
   std::filesystem::remove(path);
 }
 
