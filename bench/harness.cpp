@@ -39,6 +39,17 @@ BenchTelemetry& BenchTelemetry::instance() {
   return t;
 }
 
+void BenchTelemetry::sample_series() {
+  std::lock_guard lock(mu_);
+  if (!series_) {
+    telemetry::TimeSeriesConfig config;
+    config.interval_ms = 250;  // benches are seconds long; keep points dense
+    config.raw_capacity = 4096;
+    series_ = std::make_unique<telemetry::TimeSeriesStore>(config);
+  }
+  series_->poll();  // rate-limited: back-to-back benches share an interval
+}
+
 void BenchTelemetry::add(std::string bench_name, std::int64_t iterations,
                          telemetry::MetricsSnapshot delta, double ops_per_sec,
                          std::map<std::string, double> extras) {
@@ -124,6 +135,33 @@ void BenchTelemetry::write(const std::string& figure) const {
   std::ofstream(events_path) << telemetry::EventLog::global().to_text();
   std::printf("trace written to %s, event log to %s\n", trace_path.c_str(),
               events_path.c_str());
+
+  // The run's own time-series window (sampled by run_with_telemetry):
+  // rate/level/percentile points per metric, for plotting how the run
+  // evolved rather than only its totals.
+  if (series_) {
+    std::string series_path = "BENCH_" + figure + ".series.json";
+    std::ofstream sout(series_path);
+    sout << "{\n  \"interval_ms\": " << series_->interval_ms()
+         << ",\n  \"series\": {";
+    bool first = true;
+    for (const std::string& name : series_->series_names()) {
+      telemetry::TimeSeriesStore::Window window = series_->query(name);
+      if (window.points.empty()) continue;
+      sout << (first ? "" : ",") << "\n    \"" << json_escape(name)
+           << "\": [";
+      bool first_point = true;
+      for (const telemetry::SeriesPoint& p : window.points) {
+        sout << (first_point ? "" : ", ") << "[" << p.t_ms << ", "
+             << json_double(p.value) << "]";
+        first_point = false;
+      }
+      sout << "]";
+      first = false;
+    }
+    sout << (first ? "" : "\n  ") << "}\n}\n";
+    std::printf("time series written to %s\n", series_path.c_str());
+  }
 }
 
 const char* stack_name(Stack stack) {

@@ -26,6 +26,7 @@
 #include "counter/wst_counter.hpp"
 #include "gridbox/clients.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/timeseries.hpp"
 #include "wsn/consumer.hpp"
 
 namespace gs::bench {
@@ -53,8 +54,15 @@ class BenchTelemetry {
 
   /// Writes BENCH_<figure>.json in the current directory (an array of
   /// records: name, iterations, counters, gauges, and histograms as
-  /// count/sum_us/p50_us/p90_us/p99_us over the benchmark's own interval).
+  /// count/sum_us/p50_us/p90_us/p99_us over the benchmark's own interval),
+  /// plus BENCH_<figure>.series.json — the run's own time-series window —
+  /// next to the .trace.json/.events.log artifacts.
   void write(const std::string& figure) const;
+
+  /// Rate-limited sample of the global registry into the harness's own
+  /// TimeSeriesStore (the .series.json source). run_with_telemetry calls
+  /// it around each benchmark; long-running benches may call it mid-loop.
+  void sample_series();
 
  private:
   struct Record {
@@ -67,6 +75,7 @@ class BenchTelemetry {
 
   mutable std::mutex mu_;
   std::vector<Record> records_;
+  std::unique_ptr<telemetry::TimeSeriesStore> series_;  // created on first use
 };
 
 /// Runs `fn(state)` bracketed by global-registry snapshots and records the
@@ -74,6 +83,7 @@ class BenchTelemetry {
 template <typename Fn>
 void run_with_telemetry(benchmark::State& state, const std::string& bench_name,
                         Fn&& fn) {
+  BenchTelemetry::instance().sample_series();
   telemetry::MetricsSnapshot before =
       telemetry::MetricsRegistry::global().snapshot();
   fn(state);
@@ -81,6 +91,7 @@ void run_with_telemetry(benchmark::State& state, const std::string& bench_name,
       telemetry::MetricsRegistry::global().snapshot();
   BenchTelemetry::instance().add(bench_name, state.iterations(),
                                  telemetry::delta(before, after));
+  BenchTelemetry::instance().sample_series();
 }
 
 enum class Stack { kWsrf, kWst };

@@ -22,6 +22,12 @@ Overload records (BENCH_overload.json) carry goodput_per_sec and
 monitoring_p99_us fields: goodput drops are gated at the threshold like
 throughput; the monitoring p99 — a tail statistic over a sleep-paced
 trickle — is gated at 3x the threshold to absorb scheduler jitter.
+
+Observability records (BENCH_timeseries.json) carry sampler_overhead_pct
+(gated against the absolute SAMPLER_OVERHEAD_CEILING — the sampler must
+stay within 5% of sampling-off throughput regardless of baseline) and
+tenant_attribution_us (a per-request cost, gated like monitoring p99 at
+3x the threshold to absorb jitter on a sub-microsecond statistic).
 """
 
 import argparse
@@ -30,6 +36,10 @@ import pathlib
 import sys
 
 MIN_COUNT = 16
+# The sampler-overhead gate is absolute: the bench's own PASS line uses the
+# same ceiling, so a candidate run may never regress past it even when the
+# baseline run measured near-zero overhead.
+SAMPLER_OVERHEAD_CEILING = 5.0
 # Histograms use power-of-two buckets: below this p50 a run-to-run shift of
 # a single bucket reads as a 50-100% change. Sub-resolution layers are
 # reported but never fail the check.
@@ -39,8 +49,8 @@ MIN_P50_US = 10.0
 def load_figures(directory):
     figures = {}
     for path in sorted(pathlib.Path(directory).glob("BENCH_*.json")):
-        if path.name.endswith(".trace.json"):
-            continue  # chrome trace dump, not a telemetry report
+        if path.name.endswith((".trace.json", ".series.json")):
+            continue  # chrome trace / time-series dump, not a telemetry report
         with open(path) as f:
             figures[path.name] = {record["name"]: record for record in json.load(f)}
     return figures
@@ -112,6 +122,34 @@ def main():
                 line = (
                     f"{figure} {bench}: monitoring p99 {base_p99:.1f} -> "
                     f"{cand_p99:.1f} us ({change:+.1f}%)"
+                )
+                if change > 3.0 * args.threshold:
+                    failures.append(line)
+                    print(f"! {line}")
+                else:
+                    print(f"  {line}")
+            cand_overhead = cand_record.get("sampler_overhead_pct")
+            if cand_overhead is not None:
+                base_overhead = base_record.get("sampler_overhead_pct", 0.0)
+                compared += 1
+                line = (
+                    f"{figure} {bench}: sampler overhead {base_overhead:.1f}"
+                    f" -> {cand_overhead:.1f}%"
+                    f" (ceiling {SAMPLER_OVERHEAD_CEILING:.0f}%)"
+                )
+                if cand_overhead > SAMPLER_OVERHEAD_CEILING:
+                    failures.append(line)
+                    print(f"! {line}")
+                else:
+                    print(f"  {line}")
+            base_attr = base_record.get("tenant_attribution_us", 0.0)
+            cand_attr = cand_record.get("tenant_attribution_us", 0.0)
+            if base_attr > 0.0 and cand_attr > 0.0:
+                change = (cand_attr - base_attr) / base_attr * 100.0
+                compared += 1
+                line = (
+                    f"{figure} {bench}: tenant attribution {base_attr:.2f} -> "
+                    f"{cand_attr:.2f} us ({change:+.1f}%)"
                 )
                 if change > 3.0 * args.threshold:
                     failures.append(line)

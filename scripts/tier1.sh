@@ -10,6 +10,9 @@
 # Overload gate (the goodput claim, machine-checked):
 #   $ OVERLOAD=1 scripts/tier1.sh       # overload suite + the open-loop
 #                                       # goodput bench
+# Observability gate (the sampler-overhead claim, machine-checked):
+#   $ OBSERVE=1 scripts/tier1.sh        # timeseries/slo suites + the
+#                                       # sampling-overhead bench
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -69,9 +72,10 @@ elif [[ "$TSAN_ONLY" == "1" ]]; then
   # scheduler (two-phase passes against JobRunner exit callbacks), and the
   # wire fast path (shared template skeletons, thread-local probes and
   # scratch buffers, refcounted buffer-chain segments) with its xml
-  # substrate.
+  # substrate, and the observability layer (sampler vs request threads,
+  # SLO evaluation against a concurrently-fed store).
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
-    -R 'telemetry|reliability|monitor|concurrency|scheduler|xml|wire|overload'
+    -R 'telemetry|reliability|monitor|concurrency|scheduler|xml|wire|overload|timeseries|slo'
 elif [[ "${OVERLOAD:-0}" == "1" ]]; then
   # Overload gate, part one: the admission/breaker suite.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
@@ -82,6 +86,16 @@ elif [[ "${OVERLOAD:-0}" == "1" ]]; then
   # to the build.
   cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_overload
   (cd "$BUILD_DIR/bench" && ./bench_overload)
+elif [[ "${OBSERVE:-0}" == "1" ]]; then
+  # Observability gate, part one: the retention/SLO/cost suites.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
+    -R 'timeseries|slo'
+  # Part two: the sampling-overhead bench. It exits nonzero unless dispatch
+  # throughput with the sampler on stays within 5% of sampler-off and the
+  # cost aggregator resolves >= 2 tenants' shares under mixed load, and
+  # writes BENCH_timeseries.json next to the build.
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_timeseries
+  (cd "$BUILD_DIR/bench" && ./bench_timeseries)
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 fi

@@ -181,6 +181,9 @@ void AdmissionHandler::handle(PipelineContext& ctx, Next next) {
   Priority priority =
       classifier_ ? classifier_(ctx) : default_priority(ctx);
   std::string tenant = tenant_ ? tenant_(ctx) : default_tenant(ctx);
+  // Cost attribution reuses the admission classification: shed requests
+  // are charged to their tenant too (rejection work is still work).
+  ctx.tenant = tenant;
 
   AdmissionController::Decision decision =
       controller_->admit(priority, tenant, ctx.path);

@@ -44,18 +44,45 @@ ServiceHandle Container::service_at(const std::string& path) const {
   return registry_.pin(path);
 }
 
+void Container::attribute_cost(
+    PipelineContext& ctx, std::chrono::steady_clock::time_point started) const {
+  if (!costs_) return;
+  ctx.cost.wall_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  ctx.cost.fault = ctx.cost.fault || ctx.response.is_fault() ||
+                   (ctx.http_done && ctx.http_response.status >= 400);
+  std::string tenant = std::move(ctx.tenant);
+  if (tenant.empty()) {
+    // No admission stage ran; classify here from the same transport fact.
+    if (ctx.http_request) {
+      if (auto it = ctx.http_request->headers.find("X-GS-Tenant");
+          it != ctx.http_request->headers.end()) {
+        tenant = it->second;
+      }
+    }
+    if (tenant.empty()) tenant = "anon";
+  }
+  costs_->record(tenant, ctx.path, ctx.cost);
+}
+
 soap::Envelope Container::process(const soap::Envelope& request,
                                   const std::string& path) {
   PipelineContext ctx(*this, path);
   ctx.request = &request;
+  auto started = std::chrono::steady_clock::now();
   chain_.run(ctx);
+  attribute_cost(ctx, started);
   return std::move(ctx.response);
 }
 
 net::HttpResponse Container::handle(const net::HttpRequest& request) {
   PipelineContext ctx(*this, request.path);
   ctx.http_request = &request;
+  auto started = std::chrono::steady_clock::now();
   chain_.run(ctx);
+  attribute_cost(ctx, started);
   if (!ctx.http_done) {
     // A chain without a transport stage still answers HTTP: map the
     // envelope the inner stages produced.

@@ -9,6 +9,7 @@
 // their own chain (Container::chain / set_chain) before taking traffic.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -87,6 +88,14 @@ class Container final : public net::Endpoint {
   /// security, dispatch.
   static HandlerChain default_chain();
 
+  /// Attaches per-tenant cost attribution: every finished request's
+  /// CostRecord is recorded under its (tenant, path). Deployment-time
+  /// wiring (before traffic); nullptr detaches.
+  void set_cost_aggregator(telemetry::CostAggregator* costs) noexcept {
+    costs_ = costs;
+  }
+  telemetry::CostAggregator* cost_aggregator() const noexcept { return costs_; }
+
   /// net::Endpoint: runs the chain from the transport boundary.
   net::HttpResponse handle(const net::HttpRequest& request) override;
   const security::Credential* tls_credential() const override {
@@ -98,11 +107,15 @@ class Container final : public net::Endpoint {
   soap::Envelope process(const soap::Envelope& request, const std::string& path);
 
  private:
+  void attribute_cost(PipelineContext& ctx,
+                      std::chrono::steady_clock::time_point started) const;
+
   ContainerConfig config_;
   LifetimeManager lifetime_;
   ServiceRegistry registry_;
   ContainerMetrics metrics_;
   HandlerChain chain_;
+  telemetry::CostAggregator* costs_ = nullptr;
 };
 
 }  // namespace gs::container

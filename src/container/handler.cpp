@@ -114,11 +114,14 @@ void ParseHandler::handle(PipelineContext& ctx, Next next) {
   // runs on this thread, so thread-local deltas are this request's DOM
   // node and arena byte counts.
   xml::probe::AllocStats probe_before = xml::probe::snapshot();
+  ctx.cost.request_bytes = ctx.http_request->body.size();
   auto parse_started = std::chrono::steady_clock::now();
   try {
     ctx.parsed = soap::Envelope::from_xml(ctx.http_request->body);
   } catch (const std::exception& e) {
-    m.parse_us->record(elapsed_us(parse_started));
+    ctx.cost.parse_us = elapsed_us(parse_started);
+    ctx.cost.fault = true;
+    m.parse_us->record(ctx.cost.parse_us);
     m.faults->add();
     telemetry::EventLog::global().emit(
         telemetry::Level::kWarn, "container", "fault: malformed request body",
@@ -127,19 +130,24 @@ void ParseHandler::handle(PipelineContext& ctx, Next next) {
     ctx.http_done = true;
     return;
   }
-  m.parse_us->record(elapsed_us(parse_started));
+  ctx.cost.parse_us = elapsed_us(parse_started);
+  m.parse_us->record(ctx.cost.parse_us);
   ctx.request = &ctx.parsed;
 
   next(ctx);
 
   auto serialize_started = std::chrono::steady_clock::now();
   ctx.http_response = serialize_response(ctx.response);
-  m.serialize_us->record(elapsed_us(serialize_started));
+  ctx.cost.serialize_us = elapsed_us(serialize_started);
+  m.serialize_us->record(ctx.cost.serialize_us);
   ctx.http_done = true;
+  ctx.cost.response_bytes = ctx.http_response.body_size();
 
   xml::probe::AllocStats probe_after = xml::probe::snapshot();
-  m.nodes_per_request->record(probe_after.dom_nodes - probe_before.dom_nodes);
-  m.arena_bytes->add(probe_after.arena_bytes - probe_before.arena_bytes);
+  ctx.cost.xml_nodes = probe_after.dom_nodes - probe_before.dom_nodes;
+  ctx.cost.arena_bytes = probe_after.arena_bytes - probe_before.arena_bytes;
+  m.nodes_per_request->record(ctx.cost.xml_nodes);
+  m.arena_bytes->add(ctx.cost.arena_bytes);
 }
 
 // --- telemetry --------------------------------------------------------------

@@ -20,6 +20,7 @@
 #include "container/registry.hpp"
 #include "container/service.hpp"
 #include "net/http.hpp"
+#include "telemetry/cost.hpp"
 
 namespace gs::container {
 
@@ -55,6 +56,16 @@ struct PipelineContext {
   /// The resolved service, pinned until this context dies so a concurrent
   /// undeploy cannot free it mid-request.
   ServiceHandle service;
+
+  /// Tenant classification (PR 8): the admission stage fills it from
+  /// X-GS-Tenant; empty means no classifier ran and the container derives
+  /// it at accounting time.
+  std::string tenant;
+
+  /// Cost accrued so far: stages add what they measure (parse/serialize
+  /// time, probe deltas, octets); the container stamps wall_us/fault and
+  /// hands the record to its CostAggregator, when one is attached.
+  telemetry::CostRecord cost;
 };
 
 /// One pipeline stage. `next` runs the remainder of the chain; work done

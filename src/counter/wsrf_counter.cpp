@@ -90,7 +90,16 @@ WsrfCounterDeployment::WsrfCounterDeployment(Params params)
         core_->note_changed(id);
       });
 
-  telemetry_ = std::make_unique<telemetry::TelemetryService>(telemetry_address());
+  // The telemetry resource reads the registry the container writes to
+  // (custom or global) and carries whatever series/SLO/cost wiring the
+  // deployment attached.
+  telemetry_ = std::make_unique<telemetry::TelemetryService>(
+      telemetry_address(),
+      params.container.metrics ? params.container.metrics
+                               : &telemetry::MetricsRegistry::global(),
+      &telemetry::TraceLog::global(), &telemetry::EventLog::global(),
+      params.series, params.slo, params.costs);
+  if (params.costs) container_.set_cost_aggregator(params.costs);
 
   container_.deploy("/Counter", *service_);
   container_.deploy("/CounterSubscriptions", *manager_);

@@ -44,6 +44,12 @@ class WsrfCounterDeployment {
     net::SoapCaller* notification_sink = nullptr;  // required
     /// Base URL, e.g. "http://vo.example"; services mount under it.
     std::string address_base;
+    /// Optional observability wiring: when set, the Telemetry resource
+    /// exposes <t:Series>/<t:Slo>/<t:Tenants> from these, and `costs`
+    /// receives every request's attribution record.
+    const telemetry::TimeSeriesStore* series = nullptr;
+    const telemetry::SloTracker* slo = nullptr;
+    telemetry::CostAggregator* costs = nullptr;
   };
 
   explicit WsrfCounterDeployment(Params params);

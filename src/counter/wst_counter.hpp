@@ -35,6 +35,12 @@ class WstCounterDeployment {
     std::string address_base;
     /// Flat-XML subscription file (Plumbwork behaviour); empty = memory.
     std::filesystem::path subscription_file;
+    /// Optional observability wiring: when set, the Telemetry resource
+    /// exposes <t:Series>/<t:Slo>/<t:Tenants> from these, and `costs`
+    /// receives every request's attribution record.
+    const telemetry::TimeSeriesStore* series = nullptr;
+    const telemetry::SloTracker* slo = nullptr;
+    telemetry::CostAggregator* costs = nullptr;
   };
 
   explicit WstCounterDeployment(Params params);

@@ -1,0 +1,75 @@
+#include "telemetry/cost.hpp"
+
+#include <stdexcept>
+
+namespace gs::telemetry {
+
+void CostAggregator::Costs::accrue(const CostRecord& cost) {
+  ++requests;
+  if (cost.fault) ++faults;
+  wall_us += cost.wall_us;
+  parse_us += cost.parse_us;
+  serialize_us += cost.serialize_us;
+  xml_nodes += cost.xml_nodes;
+  arena_bytes += cost.arena_bytes;
+  request_bytes += cost.request_bytes;
+  response_bytes += cost.response_bytes;
+}
+
+CostAggregator::CostAggregator(MetricsRegistry* registry)
+    : registry_(registry) {
+  if (!registry_) throw std::invalid_argument("CostAggregator needs a registry");
+}
+
+void CostAggregator::record(const std::string& tenant,
+                            const std::string& service,
+                            const CostRecord& cost) {
+  Handles handles;
+  {
+    std::lock_guard lock(mu_);
+    TenantCosts& row = table_[tenant];
+    if (row.tenant.empty()) row.tenant = tenant;
+    row.total.accrue(cost);
+    row.by_service[service].accrue(cost);
+
+    Handles& cached = handles_[tenant];
+    if (!cached.requests) {
+      const std::string prefix = "tenant." + tenant;
+      cached.requests = &registry_->counter(prefix + ".requests");
+      cached.wall_us = &registry_->histogram(prefix + ".wall_us");
+      cached.bytes_in = &registry_->counter(prefix + ".bytes_in");
+      cached.bytes_out = &registry_->counter(prefix + ".bytes_out");
+    }
+    handles = cached;
+  }
+  // Metric writes are lock-free; no need to hold mu_ for them.
+  handles.requests->add();
+  handles.wall_us->record(cost.wall_us);
+  handles.bytes_in->add(cost.request_bytes);
+  handles.bytes_out->add(cost.response_bytes);
+}
+
+std::vector<CostAggregator::TenantCosts> CostAggregator::totals() const {
+  std::lock_guard lock(mu_);
+  std::vector<TenantCosts> out;
+  out.reserve(table_.size());
+  for (const auto& [id, row] : table_) out.push_back(row);
+  return out;
+}
+
+std::optional<CostAggregator::TenantCosts> CostAggregator::tenant(
+    const std::string& id) const {
+  std::lock_guard lock(mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t CostAggregator::requests_recorded() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [id, row] : table_) total += row.total.requests;
+  return total;
+}
+
+}  // namespace gs::telemetry

@@ -58,6 +58,7 @@ void EventLog::log(Event event) {
       1, std::memory_order_relaxed);
   if (event.level < min_level_.load(std::memory_order_relaxed)) return;
   std::lock_guard lock(mu_);
+  event.seq = ++last_seq_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
@@ -100,6 +101,22 @@ std::vector<Event> EventLog::recent(std::size_t n, Level min_level) const {
   }
   std::reverse(out.begin(), out.end());
   return out;
+}
+
+std::vector<Event> EventLog::events_since(std::uint64_t seq) const {
+  std::vector<Event> all = snapshot();
+  std::vector<Event> out;
+  // The ring is seq-ordered (log() assigns monotonically under mu_), so
+  // everything after the first match qualifies.
+  for (Event& event : all) {
+    if (event.seq > seq) out.push_back(std::move(event));
+  }
+  return out;
+}
+
+std::uint64_t EventLog::last_seq() const {
+  std::lock_guard lock(mu_);
+  return last_seq_;
 }
 
 std::uint64_t EventLog::count(Level level) const {

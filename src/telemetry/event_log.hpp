@@ -30,6 +30,9 @@ const char* level_name(Level level);
 
 /// One recorded incident.
 struct Event {
+  /// Monotonic per-log sequence number assigned on log(), starting at 1 —
+  /// the cursor consumers resume from (events_since).
+  std::uint64_t seq = 0;
   std::int64_t ts_us = 0;      // steady-clock microseconds (same base as spans)
   Level level = Level::kInfo;
   std::string component;       // "net.retry", "wsn.delivery", "container", ...
@@ -59,6 +62,13 @@ class EventLog {
   std::vector<Event> snapshot() const;
   /// The most recent `n` events at `min_level` or above, oldest first.
   std::vector<Event> recent(std::size_t n, Level min_level = Level::kDebug) const;
+  /// Cursor read: retained events with seq > `seq`, oldest first. A
+  /// consumer that resumes from its last seen seq pulls only new events —
+  /// and can detect loss, since ring eviction makes the first returned
+  /// seq jump past seq + 1.
+  std::vector<Event> events_since(std::uint64_t seq) const;
+  /// Sequence number of the most recently logged event (0 = none yet).
+  std::uint64_t last_seq() const;
 
   /// Total events emitted at `level` (including ones no longer retained).
   std::uint64_t count(Level level) const;
@@ -85,6 +95,7 @@ class EventLog {
   std::size_t capacity_;
   std::size_t next_ = 0;
   bool wrapped_ = false;
+  std::uint64_t last_seq_ = 0;
   std::vector<Event> ring_;
   std::int64_t start_us_;
   std::atomic<Level> min_level_{Level::kDebug};

@@ -1,0 +1,73 @@
+#include "telemetry/exposition.hpp"
+
+#include <cstdio>
+
+namespace gs::telemetry {
+
+namespace {
+
+std::string format_quantile(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "gs_";
+  out.reserve(name.size() + 3);
+  for (char c : name) {
+    bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  MetricsSnapshot snap = registry.snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + "_total " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " summary\n";
+    if (h.count > 0) {
+      out += prom + "{quantile=\"0.5\"} " + format_quantile(h.percentile(50)) +
+             "\n";
+      out += prom + "{quantile=\"0.9\"} " + format_quantile(h.percentile(90)) +
+             "\n";
+      out += prom + "{quantile=\"0.99\"} " +
+             format_quantile(h.percentile(99)) + "\n";
+    }
+    out += prom + "_sum " + std::to_string(h.sum_us) + "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+MetricsHttpEndpoint::MetricsHttpEndpoint(net::Endpoint& inner,
+                                         const MetricsRegistry* registry,
+                                         std::string path)
+    : inner_(inner),
+      registry_(registry ? registry : &MetricsRegistry::global()),
+      path_(std::move(path)) {}
+
+net::HttpResponse MetricsHttpEndpoint::handle(const net::HttpRequest& request) {
+  if (request.method == "GET" && request.path == path_) {
+    return net::HttpResponse::ok(prometheus_text(*registry_),
+                                 kPrometheusContentType);
+  }
+  return inner_.handle(request);
+}
+
+}  // namespace gs::telemetry

@@ -1,0 +1,64 @@
+// Plain-HTTP text exposition of a MetricsRegistry.
+//
+// The WSRF/WS-Transfer telemetry resource is the paper-faithful interface,
+// but every modern scrape pipeline speaks the Prometheus text format; this
+// adapter serves the same registry as `name value` lines so an off-the-
+// shelf scraper can read a container without a SOAP client:
+//
+//   # TYPE gs_container_requests counter
+//   gs_container_requests_total 123
+//   # TYPE gs_container_inflight gauge
+//   gs_container_inflight 2
+//   # TYPE gs_container_dispatch_us summary
+//   gs_container_dispatch_us{quantile="0.5"} 41.0
+//   gs_container_dispatch_us{quantile="0.99"} 180.0
+//   gs_container_dispatch_us_sum 5120
+//   gs_container_dispatch_us_count 123
+//
+// Metric names are sanitized to [a-zA-Z0-9_:] with a `gs_` prefix (dots
+// become underscores); histograms export as summaries (the registry's
+// power-of-two buckets are not cumulative le-buckets).
+//
+// MetricsHttpEndpoint wraps any inner endpoint: GET <path> (default
+// /metrics) answers with the text page, everything else passes through —
+// so a container mounts on an HttpServer with scraping enabled by
+// composition, no container changes.
+#pragma once
+
+#include <string>
+
+#include "net/virtual_network.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace gs::telemetry {
+
+/// Content-Type the text page is served with.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4";
+
+/// Renders the registry in the Prometheus text exposition format.
+std::string prometheus_text(const MetricsRegistry& registry);
+
+/// `name` mangled to a legal Prometheus metric name: `gs_` + name with
+/// every character outside [a-zA-Z0-9_:] replaced by '_'.
+std::string prometheus_name(const std::string& name);
+
+class MetricsHttpEndpoint final : public net::Endpoint {
+ public:
+  explicit MetricsHttpEndpoint(
+      net::Endpoint& inner,
+      const MetricsRegistry* registry = &MetricsRegistry::global(),
+      std::string path = "/metrics");
+
+  net::HttpResponse handle(const net::HttpRequest& request) override;
+  const security::Credential* tls_credential() const override {
+    return inner_.tls_credential();
+  }
+
+ private:
+  net::Endpoint& inner_;
+  const MetricsRegistry* registry_;
+  std::string path_;
+};
+
+}  // namespace gs::telemetry

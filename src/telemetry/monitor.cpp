@@ -53,6 +53,10 @@ void MonitorProducer::add_rule(AlertRule rule) {
 }
 
 void MonitorProducer::tick() {
+  // Retention first: the series the SLOs judge must include this tick's
+  // interval. Both calls synchronize internally and never take mu_.
+  if (config_.series) config_.series->sample();
+
   std::unique_ptr<xml::Element> snapshot_el;
   std::vector<std::unique_ptr<xml::Element>> alert_els;
   {
@@ -132,6 +136,29 @@ void MonitorProducer::tick() {
     }
   }
 
+  // SLO burn rates are judged on the freshly-sampled series. Transitions
+  // leave as the same `<t:Alert>` shape threshold rules use, so consumers
+  // need no new handling: rule = "slo:<objective>", value = the short
+  // burn, threshold = 1 (burn is already normalized to budget).
+  if (config_.slo) {
+    for (const SloAlert& slo_alert : config_.slo->evaluate()) {
+      auto alert = std::make_unique<xml::Element>(t("Alert"));
+      alert->declare_prefix("t", kTelemetryNs);
+      alert->set_attr("producer", config_.producer_address);
+      alert->set_attr("rule", "slo:" + slo_alert.objective);
+      alert->set_attr("metric", "slo." + slo_alert.objective + ".burn");
+      alert->set_attr("value", format_us(slo_alert.burn_short));
+      alert->set_attr("threshold", "1.0");
+      alert->set_attr("firing", slo_alert.firing ? "true" : "false");
+      alert->set_text(slo_alert.detail);
+      {
+        std::lock_guard lock(mu_);
+        ++alerts_fired_;
+      }
+      alert_els.push_back(std::move(alert));
+    }
+  }
+
   // Publishing happens outside mu_: delivery may block on retries, and it
   // records into the very registry the next tick will snapshot.
   publish(kTelemetryTopic, *snapshot_el, snapshot_action());
@@ -208,9 +235,18 @@ net::HttpResponse MonitorConsumer::handle(const net::HttpRequest& request) {
   return net::HttpResponse::ok(soap::Envelope().to_xml());
 }
 
+void MonitorConsumer::attach_series(TimeSeriesStore* store) { series_ = store; }
+
 void MonitorConsumer::apply_snapshot(const xml::Element& snapshot,
                                      bool wrapped) {
   std::string producer = snapshot.attr("producer").value_or("");
+  common::TimeMs ts_ms = static_cast<common::TimeMs>(
+      parse_u64(snapshot.attr("ts_ms")));
+  struct Ingest {
+    std::string series;
+    double value;
+  };
+  std::vector<Ingest> ingests;
   {
     std::lock_guard lock(mu_);
     ProducerState& state = table_[producer];
@@ -218,21 +254,47 @@ void MonitorConsumer::apply_snapshot(const xml::Element& snapshot,
     state.last_seq = std::max(state.last_seq, parse_u64(snapshot.attr("seq")));
     ++state.snapshots;
     ++(wrapped ? state.via_wsn : state.via_wse);
+    // Counter rates use the producer's own clock: snapshot text is this
+    // tick's increments, ts_ms the tick instant, so delta / (ts_ms -
+    // previous ts_ms) is exact even when delivery was delayed or retried.
+    common::TimeMs elapsed_ms =
+        state.last_ts_ms > 0 && ts_ms > state.last_ts_ms
+            ? ts_ms - state.last_ts_ms
+            : 0;
     for (const xml::Element* el : snapshot.child_elements()) {
       auto name = el->attr("name");
       if (!name) continue;
       if (el->name() == t("Counter")) {
         state.counter_totals[*name] = parse_u64(el->attr("total"));
+        if (series_ && elapsed_ms > 0) {
+          double delta =
+              static_cast<double>(std::strtoull(el->text().c_str(), nullptr, 10));
+          ingests.push_back({producer + '|' + *name,
+                             delta * 1000.0 / static_cast<double>(elapsed_ms)});
+        }
       } else if (el->name() == t("Gauge")) {
         state.gauges[*name] = std::strtoll(el->text().c_str(), nullptr, 10);
+        if (series_) {
+          ingests.push_back({producer + '|' + *name,
+                             static_cast<double>(state.gauges[*name])});
+        }
       } else if (el->name() == t("Histogram")) {
         if (auto p99 = el->attr("p99_us")) {
           state.histogram_p99_us[*name] =
               std::strtod(p99->c_str(), nullptr);
+          if (series_ && parse_u64(el->attr("count")) > 0) {
+            ingests.push_back({producer + '|' + *name + ".p99",
+                               state.histogram_p99_us[*name]});
+          }
         }
       }
     }
+    if (ts_ms > 0) state.last_ts_ms = ts_ms;
     ++snapshots_seen_;
+  }
+  // The store has its own lock; feed it outside mu_.
+  for (const Ingest& ingest : ingests) {
+    series_->ingest(ingest.series, ts_ms, ingest.value);
   }
   cv_.notify_all();
 }

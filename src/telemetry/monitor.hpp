@@ -28,6 +28,8 @@
 #include "common/clock.hpp"
 #include "net/virtual_network.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/timeseries.hpp"
 #include "wse/service.hpp"
 #include "wsn/producer.hpp"
 
@@ -74,6 +76,14 @@ class MonitorProducer {
     const common::Clock* clock = &common::RealClock::instance();
     /// poll() cadence; tick() ignores it.
     common::TimeMs interval_ms = 1000;
+    /// Optional retention: each tick also samples this store, so series
+    /// history advances on the same cadence as published snapshots.
+    TimeSeriesStore* series = nullptr;
+    /// Optional judgment: each tick evaluates these objectives (after
+    /// sampling `series`) and publishes burn-rate transitions as
+    /// `gs:Telemetry/Alert` notifications on both stacks, with an EventLog
+    /// entry per transition.
+    SloTracker* slo = nullptr;
   };
 
   explicit MonitorProducer(Config config);
@@ -120,9 +130,16 @@ class MonitorConsumer final : public net::Endpoint {
     std::map<std::string, std::int64_t> gauges;
     std::map<std::string, double> histogram_p99_us;
     std::string last_alert;  // most recent rule name, empty if none
+    common::TimeMs last_ts_ms = 0;  // producer clock of the last snapshot
   };
 
   net::HttpResponse handle(const net::HttpRequest& request) override;
+
+  /// Fleet-wide history: every received snapshot's metrics are also fed
+  /// into `store` as `<producer>|<metric>` series — counters as rates over
+  /// the inter-snapshot gap (the `ts_ms` attribute), gauges as levels,
+  /// histograms as their per-tick p99. Call before traffic.
+  void attach_series(TimeSeriesStore* store);
 
   std::vector<ProducerState> states() const;
   std::optional<ProducerState> state_for(const std::string& producer) const;
@@ -151,6 +168,7 @@ class MonitorConsumer final : public net::Endpoint {
   std::map<std::string, ProducerState> table_;
   std::uint64_t snapshots_seen_ = 0;
   std::uint64_t alerts_seen_ = 0;
+  TimeSeriesStore* series_ = nullptr;
 };
 
 }  // namespace gs::telemetry

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "soap/namespaces.hpp"
@@ -28,6 +29,39 @@ std::string format_us(double us) {
   return buf;
 }
 
+std::string format_ratio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+/// Copies matching counter/gauge values onto `el` as attributes named by
+/// the metric's suffix past `prefix` (absent metrics are skipped — the
+/// rollup only reports subsystems that exist in this registry).
+template <typename Map>
+bool attrs_from_prefix(xml::Element& el, const Map& metrics,
+                       const std::string& prefix) {
+  bool any = false;
+  for (const auto& [name, value] : metrics) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    el.set_attr(name.substr(prefix.size()), std::to_string(value));
+    any = true;
+  }
+  return any;
+}
+
+void set_cost_attrs(xml::Element& el, const CostAggregator::Costs& costs) {
+  el.set_attr("requests", std::to_string(costs.requests));
+  el.set_attr("faults", std::to_string(costs.faults));
+  el.set_attr("wall_us", std::to_string(costs.wall_us));
+  el.set_attr("parse_us", std::to_string(costs.parse_us));
+  el.set_attr("serialize_us", std::to_string(costs.serialize_us));
+  el.set_attr("xml_nodes", std::to_string(costs.xml_nodes));
+  el.set_attr("arena_bytes", std::to_string(costs.arena_bytes));
+  el.set_attr("bytes_in", std::to_string(costs.request_bytes));
+  el.set_attr("bytes_out", std::to_string(costs.response_bytes));
+}
+
 std::int64_t steady_now_us() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -36,9 +70,27 @@ std::int64_t steady_now_us() {
 
 }  // namespace
 
-std::unique_ptr<xml::Element> telemetry_document(const MetricsRegistry& registry,
-                                                const TraceLog& log,
-                                                const EventLog* events) {
+std::unique_ptr<xml::Element> series_element(
+    const std::string& name, const TimeSeriesStore::Window& window) {
+  auto el = std::make_unique<xml::Element>(t("Series"));
+  el->set_attr("name", name);
+  el->set_attr("resolution", resolution_name(window.resolution));
+  el->set_attr("interval_ms", std::to_string(window.interval_ms));
+  for (const SeriesPoint& p : window.points) {
+    xml::Element& point = el->append_element(t("Point"));
+    point.set_attr("t_ms", std::to_string(p.t_ms));
+    point.set_attr("value", format_us(p.value));
+    point.set_attr("min", format_us(p.min));
+    point.set_attr("max", format_us(p.max));
+    point.set_attr("samples", std::to_string(p.samples));
+  }
+  return el;
+}
+
+std::unique_ptr<xml::Element> telemetry_document(
+    const MetricsRegistry& registry, const TraceLog& log,
+    const EventLog* events, const TimeSeriesStore* series,
+    const SloTracker* slo, const CostAggregator* costs) {
   auto root = std::make_unique<xml::Element>(t("Telemetry"));
   root->declare_prefix("t", kTelemetryNs);
 
@@ -112,6 +164,17 @@ std::unique_ptr<xml::Element> telemetry_document(const MetricsRegistry& registry
     health.set_attr("events_error",
                     std::to_string(events->count(Level::kError)));
     health.set_attr("events_dropped", std::to_string(events->dropped()));
+    // Overload control (PR 8): admission totals at a glance — shed_total
+    // climbing while admitted stalls is the "saturated container"
+    // signature the paper-era evaluations kept hitting.
+    if (auto it = snap.counters.find("container.admitted");
+        it != snap.counters.end()) {
+      health.set_attr("admitted", std::to_string(it->second));
+    }
+    if (auto it = snap.counters.find("container.shed_total");
+        it != snap.counters.end()) {
+      health.set_attr("shed_total", std::to_string(it->second));
+    }
     for (const auto& [name, value] : snap.gauges) {
       if (name.find("queue_depth") == std::string::npos) continue;
       xml::Element& el = health.append_element(t("QueueDepth"));
@@ -127,6 +190,20 @@ std::unique_ptr<xml::Element> telemetry_document(const MetricsRegistry& registry
       el.set_attr("name", name);
       el.set_text(std::to_string(value));
     }
+    // Circuit breaker (PR 8) and batch scheduler (PR 6) rollups, present
+    // when those subsystems write into this registry.
+    {
+      auto breaker = std::make_unique<xml::Element>(t("Breaker"));
+      bool any = attrs_from_prefix(*breaker, snap.gauges, "net.breaker_");
+      any |= attrs_from_prefix(*breaker, snap.counters, "net.breaker_");
+      if (any) health.append(std::move(breaker));
+    }
+    {
+      auto sched = std::make_unique<xml::Element>(t("Scheduler"));
+      if (attrs_from_prefix(*sched, snap.gauges, "sched.")) {
+        health.append(std::move(sched));
+      }
+    }
     for (const Event& event : events->recent(5, Level::kError)) {
       xml::Element& el = health.append_element(t("LastError"));
       el.set_attr("ts_us", std::to_string(event.ts_us));
@@ -134,19 +211,109 @@ std::unique_ptr<xml::Element> telemetry_document(const MetricsRegistry& registry
       el.set_text(event.message);
     }
   }
+
+  if (series) {
+    for (const std::string& name : series->series_names()) {
+      root->append(series_element(name, series->query(name)));
+    }
+  }
+
+  if (slo) {
+    for (const SloStatus& s : slo->status()) {
+      xml::Element& el = root->append_element(t("Slo"));
+      el.set_attr("name", s.objective);
+      el.set_attr("firing", s.firing ? "true" : "false");
+      el.set_attr("burn_short", format_ratio(s.burn_short));
+      el.set_attr("burn_long", format_ratio(s.burn_long));
+      el.set_attr("error_ratio_short", format_ratio(s.error_ratio_short));
+      el.set_attr("error_ratio_long", format_ratio(s.error_ratio_long));
+    }
+  }
+
+  if (costs) {
+    xml::Element& tenants = root->append_element(t("Tenants"));
+    for (const CostAggregator::TenantCosts& row : costs->totals()) {
+      xml::Element& tenant = tenants.append_element(t("Tenant"));
+      tenant.set_attr("id", row.tenant);
+      set_cost_attrs(tenant, row.total);
+      for (const auto& [path, service_costs] : row.by_service) {
+        xml::Element& svc = tenant.append_element(t("Service"));
+        svc.set_attr("path", path);
+        set_cost_attrs(svc, service_costs);
+      }
+    }
+  }
   return root;
 }
 
+std::unique_ptr<xml::Element> TelemetryService::query_element(
+    const std::string& requested) const {
+  // "Series/<metric>[/<start_ms>]": the retained window of one series,
+  // optionally clipped to points at or after start_ms.
+  if (requested.rfind("Series/", 0) == 0 && series_) {
+    std::string rest = requested.substr(7);
+    common::TimeMs start_ms = 0;
+    if (std::size_t slash = rest.rfind('/'); slash != std::string::npos) {
+      const std::string tail = rest.substr(slash + 1);
+      if (!tail.empty() &&
+          tail.find_first_not_of("0123456789") == std::string::npos) {
+        start_ms = std::strtoll(tail.c_str(), nullptr, 10);
+        rest = rest.substr(0, slash);
+      }
+    }
+    auto el = series_element(rest, series_->query(rest, start_ms));
+    el->declare_prefix("t", kTelemetryNs);
+    return el;
+  }
+  // "Events/<seq>": cursor pull — only events logged after seq.
+  if (requested.rfind("Events/", 0) == 0 && events_) {
+    const std::string tail = requested.substr(7);
+    if (!tail.empty() &&
+        tail.find_first_not_of("0123456789") == std::string::npos) {
+      std::uint64_t seq = std::strtoull(tail.c_str(), nullptr, 10);
+      auto el = std::make_unique<xml::Element>(t("Events"));
+      el->declare_prefix("t", kTelemetryNs);
+      el->set_attr("since", tail);
+      el->set_attr("last_seq", std::to_string(events_->last_seq()));
+      for (const Event& event : events_->events_since(seq)) {
+        xml::Element& ev = el->append_element(t("Event"));
+        ev.set_attr("seq", std::to_string(event.seq));
+        ev.set_attr("ts_us", std::to_string(event.ts_us));
+        ev.set_attr("level", level_name(event.level));
+        ev.set_attr("component", event.component);
+        if (event.trace_id != 0) {
+          ev.set_attr("trace", std::to_string(event.trace_id));
+        }
+        ev.set_text(event.message);
+        for (const auto& [key, value] : event.attrs) {
+          xml::Element& attr_el = ev.append_element(t("Attr"));
+          attr_el.set_attr("name", key);
+          attr_el.set_text(value);
+        }
+      }
+      return el;
+    }
+  }
+  return nullptr;
+}
+
 TelemetryService::TelemetryService(std::string address, MetricsRegistry* registry,
-                                   TraceLog* log, EventLog* events)
+                                   TraceLog* log, EventLog* events,
+                                   const TimeSeriesStore* series,
+                                   const SloTracker* slo,
+                                   const CostAggregator* costs)
     : container::Service("Telemetry"),
       address_(std::move(address)),
       registry_(registry),
       log_(log),
-      events_(events) {
+      events_(events),
+      series_(series),
+      slo_(slo),
+      costs_(costs) {
   // WSRF: GetResourceProperty selects elements of the telemetry document,
-  // either by metric name (`<prop>net.http.requests</prop>`) or by element
-  // kind ("Counters", "Gauges", "Histograms", "Traces").
+  // either by metric name (`<prop>net.http.requests</prop>`), by element
+  // kind ("Counters", "Gauges", "Histograms", "Traces", ...), or by the
+  // cursor/window forms ("Series/<metric>[/<start_ms>]", "Events/<seq>").
   register_operation(kGetResourceProperty, [this](container::RequestContext& ctx) {
     std::string requested = ctx.payload().text();
     // Trim surrounding whitespace from the property name.
@@ -157,6 +324,16 @@ TelemetryService::TelemetryService(std::string address, MetricsRegistry* registr
     }
     requested = requested.substr(b, e - b + 1);
 
+    soap::Envelope response =
+        container::make_response(ctx, kGetResourceProperty + "Response");
+    xml::Element& body = response.add_payload(rp("GetResourcePropertyResponse"));
+
+    // Cursor/window forms answer without building the whole document.
+    if (auto custom = query_element(requested)) {
+      body.append(std::move(custom));
+      return response;
+    }
+
     static const std::map<std::string, std::string> kKinds = {
         {"Counters", "Counter"},
         {"Gauges", "Gauge"},
@@ -164,13 +341,13 @@ TelemetryService::TelemetryService(std::string address, MetricsRegistry* registr
         {"Traces", "Trace"},
         {"Events", "Event"},
         {"Health", "Health"},
+        {"Series", "Series"},
+        {"Slos", "Slo"},
+        {"Tenants", "Tenants"},
     };
     auto kind = kKinds.find(requested);
 
     auto doc = document();
-    soap::Envelope response =
-        container::make_response(ctx, kGetResourceProperty + "Response");
-    xml::Element& body = response.add_payload(rp("GetResourcePropertyResponse"));
     bool matched = false;
     for (const xml::Element* el : doc->child_elements()) {
       bool wanted = kind != kKinds.end()
@@ -198,10 +375,24 @@ TelemetryService::TelemetryService(std::string address, MetricsRegistry* registr
         return response;
       });
 
-  // WS-Transfer: Get returns the representation — the same document.
+  // WS-Transfer: Get returns the representation — the same document. A
+  // payload naming a cursor/window form ("Series/<metric>[/<start_ms>]",
+  // "Events/<seq>") narrows the representation to that fragment, so both
+  // stacks expose the same windowed queries.
   register_operation(kTransferGet, [this](container::RequestContext& ctx) {
     soap::Envelope response =
         container::make_response(ctx, kTransferGet + "Response");
+    if (const xml::Element* p = ctx.request->payload()) {
+      std::string requested = p->text();
+      size_t b = requested.find_first_not_of(" \t\r\n");
+      size_t e = requested.find_last_not_of(" \t\r\n");
+      if (b != std::string::npos) {
+        if (auto custom = query_element(requested.substr(b, e - b + 1))) {
+          response.add_payload(std::move(custom));
+          return response;
+        }
+      }
+    }
     response.add_payload(document());
     return response;
   });

@@ -14,8 +14,11 @@
 #include <string>
 
 #include "container/service.hpp"
+#include "telemetry/cost.hpp"
 #include "telemetry/event_log.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/trace.hpp"
 
 namespace gs::telemetry {
@@ -37,39 +40,72 @@ namespace gs::telemetry {
 ///       <t:Attr name="address">http://node1/..</t:Attr>
 ///     </t:Event>
 ///     <t:Health uptime_us=".." events_warn=".." events_error=".."
-///               events_dropped="..">
+///               events_dropped=".." shed_total=".." admitted="..">
 ///       <t:QueueDepth name="..">0</t:QueueDepth>
 ///       <t:Evictions name="wsn.subscribers_evicted">0</t:Evictions>
+///       <t:Breaker open_routes=".." opened=".." fast_fails=".."
+///                  closed=".." probes=".."/>
+///       <t:Scheduler queue_depth=".." jobs_running=".." nodes_up=".."
+///                    nodes_down=".." cpus_used=".." cpus_total=".."/>
 ///       <t:LastError ts_us=".." component="..">message</t:LastError>
 ///     </t:Health>
+///     <t:Series name="container.faults" resolution="raw" interval_ms="..">
+///       <t:Point t_ms=".." value=".." min=".." max=".." samples=".."/>
+///     </t:Series>
+///     <t:Slo name="availability" firing="false" burn_short=".."
+///            burn_long=".." error_ratio_short=".." error_ratio_long=".."/>
+///     <t:Tenants>
+///       <t:Tenant id="alice" requests=".." faults=".." wall_us=".."
+///                 parse_us=".." serialize_us=".." xml_nodes=".."
+///                 arena_bytes=".." bytes_in=".." bytes_out="..">
+///         <t:Service path="/Counter" requests=".." wall_us=".."/>
+///       </t:Tenant>
+///     </t:Tenants>
 ///   </t:Telemetry>
 ///
 /// Metric/trace names, event messages, and attr values are arbitrary text
 /// (fault reasons, remote addresses); escaping happens in the XML writer on
 /// serialization, including control characters. `events` may be null — the
-/// Event and Health sections are then omitted.
-std::unique_ptr<xml::Element> telemetry_document(const MetricsRegistry& registry,
-                                                const TraceLog& log,
-                                                const EventLog* events = nullptr);
+/// Event and Health sections are then omitted; likewise `series`, `slo`,
+/// and `costs` gate the Series, Slo, and Tenants sections.
+std::unique_ptr<xml::Element> telemetry_document(
+    const MetricsRegistry& registry, const TraceLog& log,
+    const EventLog* events = nullptr, const TimeSeriesStore* series = nullptr,
+    const SloTracker* slo = nullptr, const CostAggregator* costs = nullptr);
+
+/// One `<t:Series>` element for `window` (helper shared by the document
+/// builder and the windowed Series/<metric> query).
+std::unique_ptr<xml::Element> series_element(
+    const std::string& name, const TimeSeriesStore::Window& window);
 
 class TelemetryService final : public container::Service {
  public:
   explicit TelemetryService(std::string address,
                             MetricsRegistry* registry = &MetricsRegistry::global(),
                             TraceLog* log = &TraceLog::global(),
-                            EventLog* events = &EventLog::global());
+                            EventLog* events = &EventLog::global(),
+                            const TimeSeriesStore* series = nullptr,
+                            const SloTracker* slo = nullptr,
+                            const CostAggregator* costs = nullptr);
 
   const std::string& address() const noexcept { return address_; }
 
  private:
   std::unique_ptr<xml::Element> document() const {
-    return telemetry_document(*registry_, *log_, events_);
+    return telemetry_document(*registry_, *log_, events_, series_, slo_,
+                              costs_);
   }
+  /// Resolves the cursor/window query forms ("Series/<metric>[/<start_ms>]"
+  /// and "Events/<seq>"); nullptr when `requested` is not one of them.
+  std::unique_ptr<xml::Element> query_element(const std::string& requested) const;
 
   std::string address_;
   MetricsRegistry* registry_;
   TraceLog* log_;
   EventLog* events_;
+  const TimeSeriesStore* series_;
+  const SloTracker* slo_;
+  const CostAggregator* costs_;
 };
 
 }  // namespace gs::telemetry
