@@ -28,6 +28,12 @@ Observability records (BENCH_timeseries.json) carry sampler_overhead_pct
 stay within 5% of sampling-off throughput regardless of baseline) and
 tenant_attribution_us (a per-request cost, gated like monitoring p99 at
 3x the threshold to absorb jitter on a sub-microsecond statistic).
+
+Durability records (BENCH_durability.json) carry ops_per_sec (the
+pipelined document-store throughput, gated like any throughput) and
+recovery_ms (cold-start WAL replay wall time — a single-shot
+millisecond-scale measurement, gated at 3x the threshold like the other
+jitter-prone statistics).
 """
 
 import argparse
@@ -150,6 +156,20 @@ def main():
                 line = (
                     f"{figure} {bench}: tenant attribution {base_attr:.2f} -> "
                     f"{cand_attr:.2f} us ({change:+.1f}%)"
+                )
+                if change > 3.0 * args.threshold:
+                    failures.append(line)
+                    print(f"! {line}")
+                else:
+                    print(f"  {line}")
+            base_recovery = base_record.get("recovery_ms", 0.0)
+            cand_recovery = cand_record.get("recovery_ms", 0.0)
+            if base_recovery > 0.0 and cand_recovery > 0.0:
+                change = (cand_recovery - base_recovery) / base_recovery * 100.0
+                compared += 1
+                line = (
+                    f"{figure} {bench}: recovery {base_recovery:.1f} -> "
+                    f"{cand_recovery:.1f} ms ({change:+.1f}%)"
                 )
                 if change > 3.0 * args.threshold:
                     failures.append(line)

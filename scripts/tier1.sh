@@ -13,6 +13,9 @@
 # Observability gate (the sampler-overhead claim, machine-checked):
 #   $ OBSERVE=1 scripts/tier1.sh        # timeseries/slo suites + the
 #                                       # sampling-overhead bench
+# Durability gate (the crash-safety + group-commit claims, machine-checked):
+#   $ DURABLE=1 scripts/tier1.sh        # crash-injection suites + the
+#                                       # durable-write throughput bench
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -72,10 +75,12 @@ elif [[ "$TSAN_ONLY" == "1" ]]; then
   # scheduler (two-phase passes against JobRunner exit callbacks), and the
   # wire fast path (shared template skeletons, thread-local probes and
   # scratch buffers, refcounted buffer-chain segments) with its xml
-  # substrate, and the observability layer (sampler vs request threads,
-  # SLO evaluation against a concurrently-fed store).
+  # substrate, the observability layer (sampler vs request threads,
+  # SLO evaluation against a concurrently-fed store), and the durable
+  # storage engine (group-commit thread vs writers, drain barriers, the
+  # load/store/remove cache hammer).
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
-    -R 'telemetry|reliability|monitor|concurrency|scheduler|xml|wire|overload|timeseries|slo'
+    -R 'telemetry|reliability|monitor|concurrency|scheduler|xml|wire|overload|timeseries|slo|durability'
 elif [[ "${OVERLOAD:-0}" == "1" ]]; then
   # Overload gate, part one: the admission/breaker suite.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
@@ -96,6 +101,18 @@ elif [[ "${OBSERVE:-0}" == "1" ]]; then
   # writes BENCH_timeseries.json next to the build.
   cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_timeseries
   (cd "$BUILD_DIR/bench" && ./bench_timeseries)
+elif [[ "${DURABLE:-0}" == "1" ]]; then
+  # Durability gate, part one: the crash-injection suite (torn appends,
+  # partial fsyncs, mid-log bit rot, restart recovery across both SOAP
+  # stacks) plus the xmldb contract/cache suites over the WAL backend.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
+    -R 'durability|xmldb'
+  # Part two: the durable-write bench. It exits nonzero unless group
+  # commit holds >= 50% of the memory backend's document-store throughput
+  # at a 64-document write window and a 10k-document log replays in full,
+  # and writes BENCH_durability.json next to the build.
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_durability
+  (cd "$BUILD_DIR/bench" && ./bench_durability)
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 fi

@@ -1,5 +1,7 @@
 #include "container/container.hpp"
 
+#include "telemetry/event_log.hpp"
+
 namespace gs::container {
 
 Container::Container(ContainerConfig config)
@@ -42,6 +44,37 @@ void Container::undeploy(const std::string& path) { registry_.undeploy(path); }
 
 ServiceHandle Container::service_at(const std::string& path) const {
   return registry_.pin(path);
+}
+
+void Container::add_recovery(std::string name, std::function<void()> hook) {
+  recovery_hooks_.emplace_back(std::move(name), std::move(hook));
+}
+
+std::size_t Container::recover() {
+  telemetry::MetricsRegistry& reg =
+      config_.metrics ? *config_.metrics : telemetry::MetricsRegistry::global();
+  telemetry::Counter& failures = reg.counter("container.recovery_failures");
+  telemetry::Histogram& recovery_us = reg.histogram("container.recovery_us");
+  std::size_t ok = 0;
+  for (const auto& [name, hook] : recovery_hooks_) {
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+      hook();
+      ++ok;
+      telemetry::EventLog::global().emit(telemetry::Level::kInfo, "container",
+                                         "recovered layer " + name, {});
+    } catch (const std::exception& e) {
+      failures.add(1);
+      telemetry::EventLog::global().emit(
+          telemetry::Level::kError, "container",
+          "recovery of layer " + name + " failed: " + e.what(), {});
+    }
+    recovery_us.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+  return ok;
 }
 
 void Container::attribute_cost(

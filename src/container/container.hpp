@@ -10,8 +10,11 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "container/handler.hpp"
@@ -88,6 +91,22 @@ class Container final : public net::Endpoint {
   /// security, dispatch.
   static HandlerChain default_chain();
 
+  /// Registers a named recovery hook. Deployments register one per
+  /// stateful layer (wsrf home, subscription stores, sched state) while
+  /// wiring up; recover() runs them in registration order, which is
+  /// therefore the cross-layer recovery order — register foundations
+  /// (resource properties) before the layers that reference them
+  /// (subscriptions pointing at resources, jobs pointing at partitions).
+  void add_recovery(std::string name, std::function<void()> hook);
+
+  /// The explicit recovery phase: replays every registered hook against
+  /// the (durable) storage binding, rebuilding in-memory state before the
+  /// container takes traffic. A hook that throws is logged and counted
+  /// (`container.recovery_failures`) and recovery continues — one corrupt
+  /// layer must not hold the rest of the container down. Returns the
+  /// number of hooks that succeeded.
+  std::size_t recover();
+
   /// Attaches per-tenant cost attribution: every finished request's
   /// CostRecord is recorded under its (tenant, path). Deployment-time
   /// wiring (before traffic); nullptr detaches.
@@ -116,6 +135,7 @@ class Container final : public net::Endpoint {
   ContainerMetrics metrics_;
   HandlerChain chain_;
   telemetry::CostAggregator* costs_ = nullptr;
+  std::vector<std::pair<std::string, std::function<void()>>> recovery_hooks_;
 };
 
 }  // namespace gs::container

@@ -24,6 +24,9 @@ WsrfCounterDeployment::WsrfCounterDeployment(Params params)
           {.write_through_cache = params.write_through_cache}),
       container_(params.container) {
   core_ = std::make_unique<CounterCore>(db_);
+  durable_ = std::make_unique<xmldb::DurableStore>(db_);
+  durable_->open_collection(core_->collection(), "counter.resource", 1);
+  durable_->open_collection("counter-subscriptions", "wsn.subscription", 1);
   counter_home_ = std::make_unique<wsrf::ResourceHome>(db_, core_->collection(),
                                                        &container_.lifetime());
   subscription_home_ = std::make_unique<wsrf::ResourceHome>(
@@ -104,6 +107,11 @@ WsrfCounterDeployment::WsrfCounterDeployment(Params params)
   container_.deploy("/Counter", *service_);
   container_.deploy("/CounterSubscriptions", *manager_);
   container_.deploy("/Telemetry", *telemetry_);
+
+  // Recovery order: counter resources (and their scheduled terminations)
+  // before the subscriptions that reference them.
+  container_.add_recovery("wsrf.counter", [this] { counter_home_->recover(); });
+  container_.add_recovery("wsn.subscriptions", [this] { manager_->recover(); });
 }
 
 WsrfCounterClient::WsrfCounterClient(net::SoapCaller& caller,

@@ -20,6 +20,7 @@
 #include "wsn/producer.hpp"
 #include "wsrf/client.hpp"
 #include "wsrf/service.hpp"
+#include "xmldb/durable_store.hpp"
 
 namespace gs::counter {
 
@@ -59,6 +60,14 @@ class WsrfCounterDeployment {
   wsn::NotificationProducer& producer() noexcept { return *producer_; }
   xmldb::XmlDatabase& db() noexcept { return db_; }
   app::CounterCore& core() noexcept { return *core_; }
+  xmldb::DurableStore& durable() noexcept { return *durable_; }
+
+  /// Runs the container's recovery phase (registered hooks: counter
+  /// resources + lifetimes, then WSN subscriptions — so a restarted
+  /// deployment over a durable backend serves its old state and keeps
+  /// notifying). Call before taking traffic when the backend carries
+  /// prior state; a fresh backend makes this a no-op.
+  std::size_t recover() { return container_.recover(); }
 
   std::string counter_address() const { return address_base_ + "/Counter"; }
   std::string manager_address() const {
@@ -71,6 +80,7 @@ class WsrfCounterDeployment {
   std::string address_base_;
   xmldb::XmlDatabase db_;
   container::Container container_;
+  std::unique_ptr<xmldb::DurableStore> durable_;
   std::unique_ptr<app::CounterCore> core_;
   std::unique_ptr<wsrf::ResourceHome> counter_home_;
   std::unique_ptr<wsrf::ResourceHome> subscription_home_;

@@ -12,9 +12,16 @@ WstCounterDeployment::WstCounterDeployment(Params params)
       db_(std::move(params.backend), {.write_through_cache = false}),
       container_(params.container) {
   core_ = std::make_unique<CounterCore>(db_);
-  store_ = params.subscription_file.empty()
-               ? std::make_unique<wse::SubscriptionStore>()
-               : std::make_unique<wse::SubscriptionStore>(params.subscription_file);
+  durable_ = std::make_unique<xmldb::DurableStore>(db_);
+  durable_->open_collection(core_->collection(), "counter.resource", 1);
+  if (params.subscriptions_in_db) {
+    durable_->open_collection("wse-subscriptions", "wse.subscription", 1);
+    store_ = std::make_unique<wse::SubscriptionStore>(db_, "wse-subscriptions");
+  } else if (!params.subscription_file.empty()) {
+    store_ = std::make_unique<wse::SubscriptionStore>(params.subscription_file);
+  } else {
+    store_ = std::make_unique<wse::SubscriptionStore>();
+  }
   manager_ = std::make_unique<wse::WseSubscriptionManagerService>(
       *store_, manager_address(), *params.container.clock);
   source_ = std::make_unique<wse::EventSourceService>(
@@ -59,6 +66,8 @@ WstCounterDeployment::WstCounterDeployment(Params params)
   container_.deploy("/CounterEvents", *source_);
   container_.deploy("/CounterEventSubscriptions", *manager_);
   container_.deploy("/Telemetry", *telemetry_);
+
+  container_.add_recovery("wse.subscriptions", [this] { store_->recover(); });
 }
 
 WstCounterClient::WstCounterClient(net::SoapCaller& caller,

@@ -21,6 +21,7 @@
 #include "wse/service.hpp"
 #include "wst/client.hpp"
 #include "wst/service.hpp"
+#include "xmldb/durable_store.hpp"
 
 namespace gs::counter {
 
@@ -35,6 +36,11 @@ class WstCounterDeployment {
     std::string address_base;
     /// Flat-XML subscription file (Plumbwork behaviour); empty = memory.
     std::filesystem::path subscription_file;
+    /// When true, subscriptions persist as per-entry documents in the
+    /// deployment's database instead of the flat file — the durable path:
+    /// with a WAL backend they survive a crash and recover() brings them
+    /// back. Wins over subscription_file.
+    bool subscriptions_in_db = false;
     /// Optional observability wiring: when set, the Telemetry resource
     /// exposes <t:Series>/<t:Slo>/<t:Tenants> from these, and `costs`
     /// receives every request's attribution record.
@@ -49,6 +55,12 @@ class WstCounterDeployment {
   wst::TransferService& service() noexcept { return *service_; }
   xmldb::XmlDatabase& db() noexcept { return db_; }
   app::CounterCore& core() noexcept { return *core_; }
+  wse::SubscriptionStore& subscription_store() noexcept { return *store_; }
+
+  /// Runs the container's recovery phase. Counter documents need no
+  /// rehydration (WS-Transfer reads the database per request); the hook
+  /// reloads the WS-Eventing subscription list from its medium.
+  std::size_t recover() { return container_.recover(); }
 
   std::string counter_address() const { return address_base_ + "/Counter"; }
   std::string source_address() const { return address_base_ + "/CounterEvents"; }
@@ -62,6 +74,7 @@ class WstCounterDeployment {
   std::string address_base_;
   xmldb::XmlDatabase db_;
   container::Container container_;
+  std::unique_ptr<xmldb::DurableStore> durable_;
   std::unique_ptr<app::CounterCore> core_;
   std::unique_ptr<wse::SubscriptionStore> store_;
   std::unique_ptr<wse::WseSubscriptionManagerService> manager_;

@@ -1,0 +1,195 @@
+#include "sched/durable.hpp"
+
+#include <algorithm>
+
+#include "common/parse.hpp"
+#include "sched/service.hpp"
+#include "soap/namespaces.hpp"
+
+namespace gs::sched {
+namespace {
+
+constexpr std::uint32_t kSchemaVersion = 1;
+
+xml::QName s(const char* local) { return {soap::ns::kSched, local}; }
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < text.size()) out.push_back(text.substr(start));
+      break;
+    }
+    if (comma > start) out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::string join_csv(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += ',';
+    out += p;
+  }
+  return out;
+}
+
+template <typename T>
+T attr_num(const xml::Element& el, const char* name, T fallback) {
+  if (auto v = el.attr(name)) {
+    if (auto n = common::parse_number<T>(*v)) return *n;
+  }
+  return fallback;
+}
+
+JobState job_state_from(const std::string& name) {
+  if (name == "RUNNING") return JobState::kRunning;
+  if (name == "COMPLETED") return JobState::kCompleted;
+  if (name == "FAILED") return JobState::kFailed;
+  if (name == "CANCELLED") return JobState::kCancelled;
+  if (name == "PREEMPTED") return JobState::kPreempted;
+  return JobState::kPending;
+}
+
+}  // namespace
+
+JobInfo job_from_element(const xml::Element& el) {
+  JobInfo info;
+  info.id = el.attr("id").value_or("");
+  info.name = el.attr("name").value_or("");
+  info.account = el.attr("account").value_or("default");
+  info.partition = el.attr("partition").value_or("");
+  info.command = el.attr("command").value_or("");
+  info.node = el.attr("node").value_or("");
+  info.cpus = attr_num<unsigned>(el, "cpus", 1);
+  info.mem_mb = attr_num<std::uint64_t>(el, "mem_mb", 0);
+  info.state = job_state_from(el.attr("state").value_or("PENDING"));
+  info.exit_code = attr_num<int>(el, "exit_code", 0);
+  info.backfilled = el.attr("backfilled").value_or("") == "true";
+  info.preempt_count = attr_num<int>(el, "preempt_count", 0);
+  info.reason = el.attr("reason").value_or("");
+  info.submit_time = attr_num<common::TimeMs>(el, "submit_time", 0);
+  info.start_time = attr_num<common::TimeMs>(el, "start_time", 0);
+  info.end_time = attr_num<common::TimeMs>(el, "end_time", 0);
+  info.time_limit_ms = attr_num<common::TimeMs>(el, "time_limit_ms", 0);
+  if (auto deps = el.attr("depends_on")) info.depends_on = split_csv(*deps);
+  return info;
+}
+
+DurableSchedStore::DurableSchedStore(xmldb::DurableStore& store,
+                                     Scheduler& sched)
+    : store_(store), sched_(sched) {
+  store_.open_collection(jobs_collection(), "sched.job", kSchemaVersion);
+  store_.open_collection(partitions_collection(), "sched.partition",
+                         kSchemaVersion);
+  store_.open_collection(nodes_collection(), "sched.node", kSchemaVersion);
+}
+
+void DurableSchedStore::save_job(const JobInfo& info) {
+  std::unique_ptr<xml::Element> el = job_element(info);
+  // job_element is the wire document view, which never exposes the raw
+  // command; the durable twin needs it to rerun the job after a restart.
+  el->set_attr("command", info.command);
+  store_.db().store(jobs_collection(), info.id, *el);
+}
+
+void DurableSchedStore::attach() {
+  sched_.on_submit([this](const JobInfo& info) { save_job(info); });
+  sched_.on_transition(
+      [this](const JobInfo& info, JobState, JobState) { save_job(info); });
+}
+
+void DurableSchedStore::save_partition(const Partition& partition) {
+  xml::Element el{s("Partition")};
+  el.set_attr("name", partition.name);
+  el.set_attr("priority", std::to_string(partition.priority));
+  el.set_attr("preempt_tier", std::to_string(partition.preempt_tier));
+  el.set_attr("preemptable", partition.preemptable ? "true" : "false");
+  el.set_attr("default_time_limit_ms",
+              std::to_string(partition.default_time_limit_ms));
+  el.set_attr("max_time_limit_ms", std::to_string(partition.max_time_limit_ms));
+  store_.db().store(partitions_collection(), partition.name, el);
+}
+
+void DurableSchedStore::save_node(const NodeInfo& node) {
+  xml::Element el{s("Node")};
+  el.set_attr("name", node.name);
+  el.set_attr("partitions", join_csv(node.partitions));
+  el.set_attr("cpus", std::to_string(node.cpus));
+  el.set_attr("mem_mb", std::to_string(node.mem_mb));
+  el.set_attr("state", node_state_name(node.state));
+  store_.db().store(nodes_collection(), node.name, el);
+}
+
+RestoreSummary DurableSchedStore::restore() {
+  RestoreSummary summary;
+  xmldb::XmlDatabase& db = store_.db();
+
+  // 1. Partitions — jobs reference them, so they come back first.
+  for (const std::string& name : db.ids(partitions_collection())) {
+    std::unique_ptr<xml::Element> el = db.load(partitions_collection(), name);
+    if (!el) continue;
+    Partition p;
+    p.name = el->attr("name").value_or(name);
+    p.priority = attr_num<int>(*el, "priority", 0);
+    p.preempt_tier = attr_num<int>(*el, "preempt_tier", 0);
+    p.preemptable = el->attr("preemptable").value_or("") == "true";
+    p.default_time_limit_ms =
+        attr_num<common::TimeMs>(*el, "default_time_limit_ms", 60'000);
+    p.max_time_limit_ms = attr_num<common::TimeMs>(*el, "max_time_limit_ms",
+                                                   24LL * 3600 * 1000);
+    sched_.add_partition(p);
+    ++summary.partitions;
+  }
+
+  // 2. Nodes — re-registered UP as of now (the restore IS their report-in;
+  // a node that is actually gone goes DOWN at the next heartbeat sweep).
+  // Persisted DRAIN sticks.
+  for (const std::string& name : db.ids(nodes_collection())) {
+    std::unique_ptr<xml::Element> el = db.load(nodes_collection(), name);
+    if (!el) continue;
+    std::string node_name = el->attr("name").value_or(name);
+    sched_.nodes().upsert(node_name,
+                          split_csv(el->attr("partitions").value_or("")),
+                          attr_num<unsigned>(*el, "cpus", 1),
+                          attr_num<std::uint64_t>(*el, "mem_mb", 1024),
+                          sched_.clock().now());
+    if (el->attr("state").value_or("") ==
+        std::string(node_state_name(NodeState::kDrain))) {
+      sched_.nodes().drain(node_name);
+    }
+    ++summary.nodes;
+  }
+
+  // 3. Jobs, in submit order (ids sort lexically, so order by the
+  // persisted submit_time with id as tiebreak — dependencies always point
+  // backwards in that order).
+  std::vector<JobInfo> jobs;
+  for (const std::string& id : db.ids(jobs_collection())) {
+    std::unique_ptr<xml::Element> el = db.load(jobs_collection(), id);
+    if (!el) continue;
+    JobInfo info = job_from_element(*el);
+    if (info.id.empty() || info.partition.empty()) {
+      ++summary.skipped;
+      continue;
+    }
+    jobs.push_back(std::move(info));
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const JobInfo& a, const JobInfo& b) {
+    if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+    return a.id < b.id;
+  });
+  for (const JobInfo& info : jobs) {
+    if (sched_.restore(info)) {
+      ++summary.jobs;
+    } else {
+      ++summary.skipped;
+    }
+  }
+  return summary;
+}
+
+}  // namespace gs::sched

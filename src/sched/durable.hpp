@@ -1,0 +1,69 @@
+// Durable batch-controller state.
+//
+// The scheduler is pure in-memory policy; this module is its persistence
+// shadow. DurableSchedStore opens three collections through the
+// DurableStore facade — jobs, partitions, nodes — and keeps them current:
+// attach() subscribes to the scheduler's submit and transition streams so
+// every job document is rewritten at each state change, and partitions /
+// node registrations are saved explicitly by the wiring that creates
+// them. restore() is the inverse, run during the container's recovery
+// phase: partitions first, then nodes (marked for re-registration via
+// heartbeat), then jobs in submit order so afterok parents always precede
+// their children.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "sched/node_registry.hpp"
+#include "sched/scheduler.hpp"
+#include "xml/node.hpp"
+#include "xmldb/durable_store.hpp"
+
+namespace gs::sched {
+
+/// Inverse of service.cpp's job_element(): rebuilds a JobInfo from its
+/// persisted document. Missing attributes degrade to defaults.
+JobInfo job_from_element(const xml::Element& el);
+
+struct RestoreSummary {
+  std::size_t partitions = 0;
+  std::size_t nodes = 0;
+  std::size_t jobs = 0;        // restored into the scheduler
+  std::size_t skipped = 0;     // unparsable or duplicate documents
+};
+
+class DurableSchedStore {
+ public:
+  /// Opens (and version-checks) the sched collections on `store`'s
+  /// database. Does not read any job state — call restore() for that.
+  DurableSchedStore(xmldb::DurableStore& store, Scheduler& sched);
+
+  /// Subscribes to the scheduler: every accepted submission and every
+  /// state transition rewrites that job's document, so the collection
+  /// always holds the latest acked view. Call once, after restore().
+  void attach();
+
+  /// Rehydrates scheduler state from the collections. Safe to call on a
+  /// fresh database (restores nothing) and idempotent on a live scheduler
+  /// (Scheduler::restore skips existing ids).
+  RestoreSummary restore();
+
+  /// Partition/node state changes have no listener stream — the wiring
+  /// that adds them persists them through these.
+  void save_partition(const Partition& partition);
+  void save_node(const NodeInfo& node);
+
+  static const char* jobs_collection() { return "sched_jobs"; }
+  static const char* partitions_collection() { return "sched_partitions"; }
+  static const char* nodes_collection() { return "sched_nodes"; }
+
+ private:
+  void save_job(const JobInfo& info);
+
+  xmldb::DurableStore& store_;
+  Scheduler& sched_;
+};
+
+}  // namespace gs::sched

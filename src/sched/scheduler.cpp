@@ -201,6 +201,20 @@ std::vector<std::string> Scheduler::submit(const JobSpec& spec) {
     update_gauges_locked();
   }
   emit(transitions);
+  {
+    std::vector<SubmitListener> listeners;
+    {
+      std::lock_guard lock(listeners_mu_);
+      listeners = submit_listeners_;
+    }
+    if (!listeners.empty()) {
+      for (const std::string& id : ids) {
+        std::optional<JobInfo> snapshot = info(id);
+        if (!snapshot) continue;
+        for (const SubmitListener& l : listeners) l(*snapshot);
+      }
+    }
+  }
   return ids;
 }
 
@@ -548,6 +562,82 @@ std::optional<common::TimeMs> Scheduler::next_event_time() const {
 void Scheduler::on_transition(TransitionListener listener) {
   std::lock_guard lock(listeners_mu_);
   listeners_.push_back(std::move(listener));
+}
+
+void Scheduler::on_submit(SubmitListener listener) {
+  std::lock_guard lock(listeners_mu_);
+  submit_listeners_.push_back(std::move(listener));
+}
+
+bool Scheduler::restore(const JobInfo& persisted) {
+  std::vector<Transition> transitions;
+  {
+    std::lock_guard lock(mu_);
+    if (persisted.id.empty() || jobs_.count(persisted.id)) return false;
+
+    Job job;
+    job.info = persisted;
+    job.seq = next_seq_++;
+    job.sim_duration_ms = parse_sim_duration(persisted.command);
+
+    // Advance the id counter past restored ids ("job-N" / "job-N_k") so
+    // new submissions never collide with recovered jobs.
+    if (persisted.id.starts_with("job-")) {
+      std::string tail = persisted.id.substr(4);
+      if (auto us = tail.find('_'); us != std::string::npos) {
+        tail.resize(us);
+      }
+      try {
+        std::uint64_t n = std::stoull(tail);
+        if (n >= next_id_) next_id_ = n + 1;
+      } catch (const std::exception&) {
+        // non-numeric id: counter untouched
+      }
+    }
+
+    bool doomed = false;
+    if (!is_terminal(job.info.state)) {
+      if (job.info.state != JobState::kPending) {
+        // The process died with the container; back to the queue.
+        job.info.state = JobState::kPending;
+        job.info.reason = "container_restart";
+        job.info.node.clear();
+        job.info.start_time = 0;
+      }
+      // Rebuild afterok state against the already-restored parents.
+      for (const std::string& dep : job.info.depends_on) {
+        auto it = jobs_.find(dep);
+        if (it == jobs_.end()) {
+          // The parent never made it to the durable store — we cannot
+          // prove it completed, and afterok demands proof.
+          doomed = true;
+          continue;
+        }
+        JobState ds = it->second.info.state;
+        if (ds == JobState::kCompleted) continue;
+        if (is_terminal(ds)) doomed = true;
+        job.waiting_on.push_back(dep);
+      }
+    }
+
+    const std::string id = job.info.id;
+    for (const std::string& dep : job.waiting_on) {
+      dependents_[dep].push_back(id);
+    }
+    if (!is_terminal(job.info.state)) ++pending_count_;
+    order_.push_back(id);
+    auto [jit, inserted] = jobs_.emplace(id, std::move(job));
+    if (doomed && !is_terminal(jit->second.info.state)) {
+      Job& j = jit->second;
+      j.info.reason = "dependency";
+      j.info.end_time = clock_->now();
+      jobs_cancelled_.add();
+      set_state_locked(j, JobState::kCancelled, transitions);
+    }
+    update_gauges_locked();
+  }
+  emit(transitions);
+  return true;
 }
 
 // --- locked helpers -----------------------------------------------------------

@@ -118,6 +118,7 @@ class Scheduler {
 
   using TransitionListener =
       std::function<void(const JobInfo&, JobState from, JobState to)>;
+  using SubmitListener = std::function<void(const JobInfo&)>;
 
   explicit Scheduler(Config config);
 
@@ -165,6 +166,20 @@ class Scheduler {
 
   /// Registers a transition listener (invoked outside the scheduler lock).
   void on_transition(TransitionListener listener);
+  /// Registers a submit listener: fired once per accepted job, outside the
+  /// lock, after the job is queued (durable persistence attaches here —
+  /// transitions alone never see the initial PENDING).
+  void on_submit(SubmitListener listener);
+
+  /// Re-inserts one persisted job after a restart. Terminal jobs keep
+  /// their recorded state (the document view stays complete); a job that
+  /// was RUNNING or mid-preemption returns to PENDING with reason
+  /// "container_restart" — its process died with the container.
+  /// Dependency state is rebuilt from the restored parents, so callers
+  /// must restore in submit order (submit-time order works: parents are
+  /// always older). The id counter advances past the restored id. False
+  /// when the id already exists (restore is idempotent).
+  bool restore(const JobInfo& persisted);
 
   NodeRegistry& nodes() noexcept { return *nodes_; }
   app::JobRunner& runner() noexcept { return *runner_; }
@@ -238,6 +253,7 @@ class Scheduler {
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 1;
   std::vector<TransitionListener> listeners_;
+  std::vector<SubmitListener> submit_listeners_;
   std::mutex listeners_mu_;
 
   // Telemetry handles (resolved once; writes are lock-free).

@@ -204,6 +204,15 @@ std::unique_ptr<xml::Element> telemetry_document(
         health.append(std::move(sched));
       }
     }
+    // Durable storage engine (PR 10): WAL commit/recovery counters, absent
+    // when the deployment runs on a volatile backend. wal_corrupt_records
+    // climbing is the signal a medium is rotting under the container.
+    {
+      auto wal = std::make_unique<xml::Element>(t("Wal"));
+      bool any = attrs_from_prefix(*wal, snap.counters, "xmldb.wal_");
+      any |= attrs_from_prefix(*wal, snap.gauges, "xmldb.wal_");
+      if (any) health.append(std::move(wal));
+    }
     for (const Event& event : events->recent(5, Level::kError)) {
       xml::Element& el = health.append_element(t("LastError"));
       el.set_attr("ts_us", std::to_string(event.ts_us));

@@ -17,6 +17,7 @@
 #include "common/clock.hpp"
 #include "soap/addressing.hpp"
 #include "xml/xpath.hpp"
+#include "xmldb/database.hpp"
 
 namespace gs::wse {
 
@@ -51,8 +52,15 @@ class SubscriptionStore {
  public:
   /// In-memory store.
   SubscriptionStore() = default;
-  /// File-backed store: loads `path` if present, rewrites it on mutation.
+  /// File-backed store: loads `path` if present, rewrites it on mutation
+  /// (the Plumbwork flat-file behavior the paper describes).
   explicit SubscriptionStore(std::filesystem::path path);
+  /// Database-backed store: one document per subscription in `collection`,
+  /// so mutations are per-entry writes the durable (WAL) backend can
+  /// group-commit instead of whole-file rewrites. Loads existing entries
+  /// on construction; call recover() to reload after the backend is
+  /// rehydrated.
+  SubscriptionStore(xmldb::XmlDatabase& db, std::string collection);
 
   std::string add(WseSubscription sub);  // assigns and returns the id
   bool remove(const std::string& id);
@@ -67,13 +75,27 @@ class SubscriptionStore {
 
   size_t size() const;
 
+  /// Reloads the in-memory list from the backing medium (db or file),
+  /// dropping corrupt entries with a warn as load does. Returns the number
+  /// of subscriptions live after the reload.
+  std::size_t recover();
+
  private:
   void persist_locked() const;
+  /// Persists one mutated/added subscription (db mode: targeted store;
+  /// file mode: whole-file rewrite).
+  void persist_one_locked(const WseSubscription& sub) const;
+  /// Persists one removal.
+  void erase_one_locked(const std::string& id) const;
   void load();
+  void load_locked();
+  void note_id_locked(const std::string& id);
 
   mutable std::mutex mu_;
   std::vector<WseSubscription> subs_;
-  std::filesystem::path path_;  // empty = memory only
+  std::filesystem::path path_;            // file mode; empty otherwise
+  xmldb::XmlDatabase* db_ = nullptr;      // db mode; null otherwise
+  std::string collection_;
   std::uint64_t next_id_ = 1;
 };
 

@@ -101,6 +101,13 @@ std::optional<Subscription> SubscriptionManagerService::find(
   return subscription_from_xml(id, *state);
 }
 
+std::size_t SubscriptionManagerService::recover() {
+  home().recover();
+  std::size_t live = home().ids().size();
+  count_.store(live, std::memory_order_relaxed);
+  return live;
+}
+
 bool SubscriptionManagerService::set_paused(const std::string& id, bool paused) {
   auto state = home().try_load(id);
   if (!state) return false;

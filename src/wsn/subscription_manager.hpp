@@ -68,6 +68,13 @@ class SubscriptionManagerService : public wsrf::WsrfService {
     return count_.load(std::memory_order_relaxed);
   }
 
+  /// Rehydrates after a restart: re-registers lifetime handles for every
+  /// persisted subscription (ResourceHome::recover) and resets the live
+  /// count from the collection. Without this, a restarted producer would
+  /// see count() == 0 and silently skip delivering to subscriptions that
+  /// are still on the medium. Returns the number of live subscriptions.
+  std::size_t recover();
+
  private:
   std::atomic<size_t> count_{0};
 };

@@ -76,7 +76,19 @@ void ResourceHome::create_with_id(const std::string& id,
                                   std::unique_ptr<xml::Element> initial_state,
                                   common::TimeMs termination_time) {
   db_.store(collection_, id, *initial_state);
+  persist_termination(id, termination_time);
   register_lifetime(id, termination_time);
+}
+
+void ResourceHome::persist_termination(const std::string& id, common::TimeMs t) {
+  if (!lifetime_) return;  // no scheduled termination to survive a restart
+  if (t == container::LifetimeManager::kNever) {
+    db_.remove(tt_collection(), id);
+  } else {
+    xml::Element doc{xml::QName("termination")};
+    doc.set_attr("ms", std::to_string(t));
+    db_.store(tt_collection(), id, doc);
+  }
 }
 
 void ResourceHome::register_lifetime(const std::string& id,
@@ -85,6 +97,7 @@ void ResourceHome::register_lifetime(const std::string& id,
   container::LifetimeManager::Handle handle = lifetime_->schedule(
       termination_time, [this, id] {
         db_.remove(collection_, id);
+        db_.remove(tt_collection(), id);
         std::vector<std::function<void(const std::string&)>> hooks;
         {
           std::lock_guard lock(mu_);
@@ -95,6 +108,30 @@ void ResourceHome::register_lifetime(const std::string& id,
       });
   std::lock_guard lock(mu_);
   handles_[id] = handle;
+}
+
+std::size_t ResourceHome::recover() {
+  std::size_t rehydrated = 0;
+  for (const std::string& id : db_.ids(collection_)) {
+    {
+      std::lock_guard lock(mu_);
+      if (handles_.count(id)) continue;  // already live in this process
+    }
+    common::TimeMs t = container::LifetimeManager::kNever;
+    if (auto doc = db_.load(tt_collection(), id)) {
+      try {
+        t = std::stoll(doc->attr("ms").value_or(""));
+      } catch (const std::exception&) {
+        t = container::LifetimeManager::kNever;
+      }
+    }
+    // A termination time already in the past is re-registered as is: the
+    // next lifetime sweep destroys the resource through the normal path
+    // (running destroy hooks), exactly as if the container had been up.
+    register_lifetime(id, t);
+    ++rehydrated;
+  }
+  return rehydrated;
 }
 
 std::unique_ptr<xml::Element> ResourceHome::load(const std::string& id) const {
@@ -125,11 +162,12 @@ bool ResourceHome::destroy(const std::string& id) {
   }
   if (handle != 0 && lifetime_) {
     // destroy() runs the scheduled callback, which removes the document
-    // and fires the hooks.
+    // (and its persisted termination time) and fires the hooks.
     return lifetime_->destroy(handle);
   }
   bool removed = db_.remove(collection_, id);
   if (removed) {
+    if (lifetime_) db_.remove(tt_collection(), id);
     std::vector<std::function<void(const std::string&)>> hooks;
     {
       std::lock_guard lock(mu_);
@@ -147,10 +185,16 @@ bool ResourceHome::exists(const std::string& id) const {
 std::vector<std::string> ResourceHome::ids() const { return db_.ids(collection_); }
 
 bool ResourceHome::set_termination_time(const std::string& id, common::TimeMs t) {
-  std::lock_guard lock(mu_);
-  auto it = handles_.find(id);
-  if (it == handles_.end() || !lifetime_) return false;
-  return lifetime_->set_termination_time(it->second, t);
+  container::LifetimeManager::Handle handle;
+  {
+    std::lock_guard lock(mu_);
+    auto it = handles_.find(id);
+    if (it == handles_.end() || !lifetime_) return false;
+    handle = it->second;
+  }
+  bool ok = lifetime_->set_termination_time(handle, t);
+  if (ok) persist_termination(id, t);  // outside mu_: persist takes the db path
+  return ok;
 }
 
 std::optional<common::TimeMs> ResourceHome::termination_time(

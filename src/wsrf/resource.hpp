@@ -113,6 +113,16 @@ class ResourceHome {
   /// and service-group cleanup attach here).
   void on_destroyed(std::function<void(const std::string& id)> hook);
 
+  /// Rehydrates the home from a durable database after a restart:
+  /// re-registers a lifetime handle for every document in the collection,
+  /// restoring each resource's scheduled termination from the side
+  /// collection where finite termination times are persisted (an
+  /// unpersisted or unparsable entry degrades to kNever — a leak, never a
+  /// premature destroy). Resources already holding a handle are skipped,
+  /// so recover() is idempotent. Returns the number of resources
+  /// rehydrated. Container deployments register this as a recovery hook.
+  std::size_t recover();
+
   /// Serializes read-modify-write sequences on one resource: hold the
   /// returned lock across load/mutate/save so concurrent writers to the
   /// same resource cannot interleave (writers to other resources usually
@@ -126,6 +136,11 @@ class ResourceHome {
 
  private:
   void register_lifetime(const std::string& id, common::TimeMs termination_time);
+  /// Side collection ("<collection>_tt") holding one document per resource
+  /// with a finite termination time — what recover() reads to restore
+  /// schedules. kNever is represented by absence.
+  std::string tt_collection() const { return collection_ + "_tt"; }
+  void persist_termination(const std::string& id, common::TimeMs t);
 
   xmldb::XmlDatabase& db_;
   std::string collection_;

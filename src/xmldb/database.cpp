@@ -46,22 +46,42 @@ void XmlDatabase::store(const std::string& collection, const std::string& id,
                         const xml::Element& document) {
   StorageOp op("xmldb.store", "xmldb.store_us");
   std::string octets = xml::write(document);
+  std::uint64_t epoch;
+  {
+    std::lock_guard lock(mu_);
+    epoch = epoch_;
+  }
   backend_->put(collection, id, octets);
   std::lock_guard lock(mu_);
   ++stats_.stores;
+  ++epoch_;  // the bump lands after the backend write, in the same
+             // critical section as the cache update, so a load that read
+             // the backend before this put sees a changed epoch by the
+             // time it could fill the cache.
   if (options_.write_through_cache) {
-    // The octets just serialized are kept as the octet twin of the element
-    // cache; uncached databases skip the shared wrapper entirely (store is
-    // on the Put hot path).
-    cache_[cache_key(collection, id)] = document.clone_element();
-    octet_cache_[cache_key(collection, id)] =
-        std::make_shared<const std::string>(std::move(octets));
+    if (epoch_ == epoch + 1) {
+      // No other mutation interleaved with our put. The octets just
+      // serialized are kept as the octet twin of the element cache;
+      // uncached databases skip the shared wrapper entirely (store is on
+      // the Put hot path).
+      cache_[cache_key(collection, id)] = document.clone_element();
+      octet_cache_[cache_key(collection, id)] =
+          std::make_shared<const std::string>(std::move(octets));
+    } else {
+      // A concurrent store/remove of unknown order raced our put — our
+      // copy may not be what the backend now holds (a later store's
+      // value, or nothing after a remove). Drop the entry; the next load
+      // repopulates from the backend.
+      cache_.erase(cache_key(collection, id));
+      octet_cache_.erase(cache_key(collection, id));
+    }
   }
 }
 
 std::unique_ptr<xml::Element> XmlDatabase::load(const std::string& collection,
                                                 const std::string& id) {
   StorageOp op("xmldb.load", "xmldb.load_us");
+  std::uint64_t epoch;
   {
     std::lock_guard lock(mu_);
     ++stats_.loads;
@@ -72,6 +92,7 @@ std::unique_ptr<xml::Element> XmlDatabase::load(const std::string& collection,
         return it->second->clone_element();
       }
     }
+    epoch = epoch_;
   }
   std::optional<std::string> octets = backend_->get(collection, id);
   {
@@ -82,9 +103,14 @@ std::unique_ptr<xml::Element> XmlDatabase::load(const std::string& collection,
   auto doc = xml::parse_element(*octets);
   if (options_.write_through_cache) {
     std::lock_guard lock(mu_);
-    cache_[cache_key(collection, id)] = doc->clone_element();
-    octet_cache_[cache_key(collection, id)] =
-        std::make_shared<const std::string>(std::move(*octets));
+    if (epoch_ == epoch) {
+      cache_[cache_key(collection, id)] = doc->clone_element();
+      octet_cache_[cache_key(collection, id)] =
+          std::make_shared<const std::string>(std::move(*octets));
+    }
+    // else: a store/remove landed after our backend read — what we hold is
+    // a valid point-in-time document for the caller, but caching it would
+    // shadow the newer state (or resurrect a removed id).
   }
   return doc;
 }
@@ -92,6 +118,7 @@ std::unique_ptr<xml::Element> XmlDatabase::load(const std::string& collection,
 std::shared_ptr<const std::string> XmlDatabase::load_octets(
     const std::string& collection, const std::string& id) {
   StorageOp op("xmldb.load", "xmldb.load_us");
+  std::uint64_t epoch;
   {
     std::lock_guard lock(mu_);
     ++stats_.loads;
@@ -102,6 +129,7 @@ std::shared_ptr<const std::string> XmlDatabase::load_octets(
         return it->second;
       }
     }
+    epoch = epoch_;
   }
   std::optional<std::string> octets = backend_->get(collection, id);
   {
@@ -112,7 +140,7 @@ std::shared_ptr<const std::string> XmlDatabase::load_octets(
   auto shared = std::make_shared<const std::string>(std::move(*octets));
   if (options_.write_through_cache) {
     std::lock_guard lock(mu_);
-    octet_cache_[cache_key(collection, id)] = shared;
+    if (epoch_ == epoch) octet_cache_[cache_key(collection, id)] = shared;
   }
   return shared;
 }
@@ -122,6 +150,12 @@ bool XmlDatabase::remove(const std::string& collection, const std::string& id) {
   bool removed = backend_->remove(collection, id);
   std::lock_guard lock(mu_);
   ++stats_.removes;
+  ++epoch_;  // after the backend remove: a load that saw the document
+             // before it vanished now fails its epoch check and won't
+             // resurrect it in the cache.
+  // Erase even when the backend reported the document absent: a cache
+  // entry may exist for an id a concurrent store just created, and the
+  // caller's intent is "this id is gone".
   cache_.erase(cache_key(collection, id));
   octet_cache_.erase(cache_key(collection, id));
   return removed;

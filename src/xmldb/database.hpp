@@ -93,6 +93,14 @@ class XmlDatabase {
   std::unique_ptr<Backend> backend_;
   Options options_;
   mutable std::mutex mu_;
+  // Mutation epoch, bumped (under mu_) by every store/remove. Loads read
+  // the backend outside the lock, so a fill races with concurrent
+  // mutations; capturing the epoch before the backend read and filling
+  // only if it is unchanged makes the coherence rule explicit: a cache
+  // entry never outlives the mutation that invalidated it. The guard is
+  // global rather than per-key — a spurious miss costs a re-read, a stale
+  // hit would resurrect a removed document.
+  std::uint64_t epoch_ = 0;
   std::map<std::string, std::unique_ptr<xml::Element>> cache_;
   // Octet twin of cache_ (write-through only): the serialized form kept
   // refcounted so in-flight responses outlive evictions.

@@ -1,0 +1,91 @@
+#include "xmldb/durable_store.hpp"
+
+#include <stdexcept>
+
+#include "telemetry/event_log.hpp"
+#include "xml/node.hpp"
+
+namespace gs::xmldb {
+namespace {
+
+constexpr char kMeta[] = "_meta";
+
+std::unique_ptr<xml::Element> header_document(const std::string& schema,
+                                              std::uint32_t version) {
+  auto doc = std::make_unique<xml::Element>(xml::QName("collection"));
+  doc->set_attr("schema", schema);
+  doc->set_attr("version", std::to_string(version));
+  return doc;
+}
+
+}  // namespace
+
+const char* DurableStore::meta_collection() { return kMeta; }
+
+std::uint32_t DurableStore::open_collection(const std::string& collection,
+                                            const std::string& schema,
+                                            std::uint32_t version,
+                                            const Migrator& migrate) {
+  std::unique_ptr<xml::Element> header = db_.load(kMeta, collection);
+  if (!header) {
+    db_.store(kMeta, collection, *header_document(schema, version));
+    return 0;
+  }
+
+  std::string found_schema = header->attr("schema").value_or("");
+  std::uint32_t found_version = 0;
+  try {
+    found_version = static_cast<std::uint32_t>(
+        std::stoul(header->attr("version").value_or("0")));
+  } catch (const std::exception&) {
+    found_version = 0;
+  }
+
+  if (found_schema != schema) {
+    throw std::runtime_error("durable collection '" + collection +
+                             "' holds schema '" + found_schema +
+                             "', expected '" + schema + "'");
+  }
+  if (found_version > version) {
+    throw std::runtime_error(
+        "durable collection '" + collection + "' is at version " +
+        std::to_string(found_version) + ", newer than this build's " +
+        std::to_string(version) + " — refusing to open");
+  }
+  if (found_version < version) {
+    if (!migrate || !migrate(db_, collection, found_version)) {
+      throw std::runtime_error(
+          "durable collection '" + collection + "' needs migration from " +
+          std::to_string(found_version) + " to " + std::to_string(version) +
+          " and no migrator accepted it");
+    }
+    telemetry::EventLog::global().emit(
+        telemetry::Level::kInfo, "xmldb.durable",
+        "migrated collection " + collection + " v" +
+            std::to_string(found_version) + " -> v" + std::to_string(version),
+        {});
+    db_.store(kMeta, collection, *header_document(schema, version));
+  }
+  return found_version;
+}
+
+std::vector<CollectionHeader> DurableStore::headers() {
+  std::vector<CollectionHeader> out;
+  for (const std::string& collection : db_.ids(kMeta)) {
+    std::unique_ptr<xml::Element> doc = db_.load(kMeta, collection);
+    if (!doc) continue;
+    CollectionHeader h;
+    h.collection = collection;
+    h.schema = doc->attr("schema").value_or("");
+    try {
+      h.version = static_cast<std::uint32_t>(
+          std::stoul(doc->attr("version").value_or("0")));
+    } catch (const std::exception&) {
+      h.version = 0;
+    }
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+}  // namespace gs::xmldb

@@ -1,0 +1,205 @@
+#include "xmldb/log_device.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+namespace gs::xmldb {
+
+// --- MemoryLogDevice --------------------------------------------------------------
+
+MemoryLogDevice::MemoryLogDevice(std::string initial)
+    : durable_(std::move(initial)) {}
+
+void MemoryLogDevice::check_alive_locked() const {
+  if (crashed_) throw LogDeviceError("log device crashed");
+}
+
+void MemoryLogDevice::append(std::string_view bytes) {
+  std::lock_guard lock(mu_);
+  check_alive_locked();
+  if (crash_at_bytes_ > 0) {
+    std::uint64_t total = durable_.size() + buffered_.size();
+    if (total + bytes.size() > crash_at_bytes_) {
+      // The write crossing the kill point tears: only the bytes up to the
+      // limit plus `tear_keep_` extra reach the medium, durably — the
+      // partial sector a real torn write leaves behind.
+      std::uint64_t admit = crash_at_bytes_ > total ? crash_at_bytes_ - total : 0;
+      admit = std::min<std::uint64_t>(admit + tear_keep_, bytes.size());
+      buffered_.append(bytes.substr(0, admit));
+      durable_ += buffered_;
+      buffered_.clear();
+      crashed_ = true;
+      throw LogDeviceError("log device crashed at seeded byte offset");
+    }
+  }
+  buffered_.append(bytes);
+}
+
+void MemoryLogDevice::sync() {
+  std::lock_guard lock(mu_);
+  check_alive_locked();
+  ++syncs_;
+  if (crash_at_sync_ > 0 && static_cast<int>(syncs_) >= crash_at_sync_) {
+    auto keep = static_cast<std::uint64_t>(
+        static_cast<double>(buffered_.size()) * sync_keep_fraction_);
+    durable_.append(buffered_.substr(0, keep));
+    buffered_.clear();
+    crashed_ = true;
+    throw LogDeviceError("log device crashed at seeded sync");
+  }
+  durable_ += buffered_;
+  buffered_.clear();
+}
+
+std::string MemoryLogDevice::contents() const {
+  std::lock_guard lock(mu_);
+  return durable_;
+}
+
+std::uint64_t MemoryLogDevice::size() const {
+  std::lock_guard lock(mu_);
+  return durable_.size();
+}
+
+void MemoryLogDevice::reset(std::string_view bytes) {
+  std::lock_guard lock(mu_);
+  check_alive_locked();
+  durable_.assign(bytes);
+  buffered_.clear();
+}
+
+void MemoryLogDevice::crash_at_bytes(std::uint64_t at_bytes,
+                                     std::uint64_t tear_keep) {
+  std::lock_guard lock(mu_);
+  crash_at_bytes_ = at_bytes;
+  tear_keep_ = tear_keep;
+}
+
+void MemoryLogDevice::crash_at_sync(int nth, double keep_fraction) {
+  std::lock_guard lock(mu_);
+  crash_at_sync_ = static_cast<int>(syncs_) + nth;
+  sync_keep_fraction_ = keep_fraction;
+}
+
+void MemoryLogDevice::crash_now() {
+  std::lock_guard lock(mu_);
+  buffered_.clear();
+  crashed_ = true;
+}
+
+bool MemoryLogDevice::crashed() const {
+  std::lock_guard lock(mu_);
+  return crashed_;
+}
+
+std::uint64_t MemoryLogDevice::sync_count() const {
+  std::lock_guard lock(mu_);
+  return syncs_;
+}
+
+// --- FileLogDevice ----------------------------------------------------------------
+
+FileLogDevice::FileLogDevice(std::filesystem::path path)
+    : path_(std::move(path)) {
+  std::lock_guard lock(mu_);
+  std::filesystem::create_directories(path_.parent_path());
+  open_locked();
+}
+
+void FileLogDevice::open_locked() {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw LogDeviceError("cannot open log " + path_.string() + ": " +
+                         std::strerror(errno));
+  }
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  synced_bytes_ = written_bytes_ = end < 0 ? 0 : static_cast<std::uint64_t>(end);
+}
+
+FileLogDevice::~FileLogDevice() {
+  std::lock_guard lock(mu_);
+  if (fd_ >= 0) {
+    ::fdatasync(fd_);  // healthy close: flush the tail
+    ::close(fd_);
+  }
+}
+
+void FileLogDevice::append(std::string_view bytes) {
+  std::lock_guard lock(mu_);
+  if (fd_ < 0) throw LogDeviceError("log device closed: " + path_.string());
+  const char* p = bytes.data();
+  size_t remaining = bytes.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(fd_, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw LogDeviceError("write failed for " + path_.string() + ": " +
+                           std::strerror(errno));
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  written_bytes_ += bytes.size();
+}
+
+void FileLogDevice::sync() {
+  std::lock_guard lock(mu_);
+  if (fd_ < 0) throw LogDeviceError("log device closed: " + path_.string());
+  if (::fdatasync(fd_) != 0) {
+    throw LogDeviceError("fdatasync failed for " + path_.string() + ": " +
+                         std::strerror(errno));
+  }
+  synced_bytes_ = written_bytes_;
+}
+
+std::string FileLogDevice::contents() const {
+  std::lock_guard lock(mu_);
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return {};
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::uint64_t FileLogDevice::size() const {
+  std::lock_guard lock(mu_);
+  return synced_bytes_;
+}
+
+void FileLogDevice::reset(std::string_view bytes) {
+  std::lock_guard lock(mu_);
+  // Write-temp, fsync, rename: readers of `path_` see the old log or the
+  // new one, never a prefix.
+  std::filesystem::path tmp = path_;
+  tmp += ".tmp";
+  int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tfd < 0) {
+    throw LogDeviceError("cannot open " + tmp.string() + ": " +
+                         std::strerror(errno));
+  }
+  const char* p = bytes.data();
+  size_t remaining = bytes.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(tfd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(tfd);
+      throw LogDeviceError("write failed for " + tmp.string() + ": " +
+                           std::strerror(errno));
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  ::fdatasync(tfd);
+  ::close(tfd);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) throw LogDeviceError("rename failed for " + path_.string());
+  if (fd_ >= 0) ::close(fd_);
+  open_locked();
+}
+
+}  // namespace gs::xmldb

@@ -2,10 +2,14 @@
 // write-through cache, and XPath queries over collections.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <thread>
 
 #include "xml/parser.hpp"
 #include "xmldb/database.hpp"
+#include "xmldb/log_device.hpp"
+#include "xmldb/wal.hpp"
 
 namespace gs::xmldb {
 namespace {
@@ -16,7 +20,7 @@ std::unique_ptr<xml::Element> doc(const std::string& text) {
 
 // --- backends, parameterized over both implementations ---------------------------
 
-enum class BackendKind { kMemory, kFile };
+enum class BackendKind { kMemory, kFile, kWal };
 
 class BackendTest : public ::testing::TestWithParam<BackendKind> {
  protected:
@@ -27,6 +31,10 @@ class BackendTest : public ::testing::TestWithParam<BackendKind> {
                ::testing::UnitTest::GetInstance()->current_test_info()->name());
       std::filesystem::remove_all(root_);
       backend_ = std::make_unique<FileBackend>(root_);
+    } else if (GetParam() == BackendKind::kWal) {
+      backend_ = std::make_unique<WalBackend>(
+          std::make_shared<MemoryLogDevice>(),
+          std::make_shared<MemoryLogDevice>());
     } else {
       backend_ = std::make_unique<MemoryBackend>();
     }
@@ -40,12 +48,16 @@ class BackendTest : public ::testing::TestWithParam<BackendKind> {
   std::filesystem::path root_;
 };
 
-INSTANTIATE_TEST_SUITE_P(Both, BackendTest,
+INSTANTIATE_TEST_SUITE_P(All, BackendTest,
                          ::testing::Values(BackendKind::kMemory,
-                                           BackendKind::kFile),
+                                           BackendKind::kFile,
+                                           BackendKind::kWal),
                          [](const auto& info) {
-                           return info.param == BackendKind::kMemory ? "Memory"
-                                                                     : "File";
+                           switch (info.param) {
+                             case BackendKind::kMemory: return "Memory";
+                             case BackendKind::kFile: return "File";
+                             default: return "Wal";
+                           }
                          });
 
 TEST_P(BackendTest, PutGetRoundTrip) {
@@ -212,6 +224,72 @@ TEST(XmlDatabase, IdsDelegatesToBackend) {
   db.store("c", "a", *doc("<r/>"));
   std::vector<std::string> expected = {"a", "b"};
   EXPECT_EQ(db.ids("c"), expected);
+}
+
+// --- cache coherence under concurrency --------------------------------------------
+
+// Regression test for a load-vs-remove race: load() used to re-fill the
+// cache after its (unlocked) backend read with no ordering against a
+// concurrent remove() or store(), so a removed document could resurrect
+// in the cache and a stale octet string could shadow a newer store.
+// Mutations now bump an epoch and loads decline to fill when it moved.
+// The schedule is only reliably explored under TSan (scripts/tier1.sh
+// SANITIZE=tsan runs this suite), but the final coherence sweep below is
+// a real assertion in every mode.
+TEST(XmlDatabaseConcurrency, LoadStoreRemoveQueryHammer) {
+  XmlDatabase db(std::make_unique<WalBackend>(
+      std::make_shared<MemoryLogDevice>(), std::make_shared<MemoryLogDevice>()));
+  constexpr int kKeys = 4;
+  constexpr int kIters = 300;
+  auto key = [](int k) { return "doc-" + std::to_string(k); };
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      while (!go.load()) {}
+      for (int i = 0; i < kIters; ++i) {
+        int k = (i + w) % kKeys;
+        if (i % 3 == 2) {
+          db.remove("c", key(k));
+        } else {
+          db.store("c", key(k), *doc("<r v=\"" + std::to_string(i) + "\"/>"));
+        }
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      while (!go.load()) {}
+      for (int i = 0; i < kIters; ++i) {
+        int k = (i + r) % kKeys;
+        // A loaded document, if present, must be a well-formed <r>: a torn
+        // cache fill would surface here as a wrong or unparsable root.
+        if (auto loaded = db.load("c", key(k))) {
+          EXPECT_EQ(loaded->name().local(), "r");
+        }
+        (void)db.contains("c", key(k));
+        (void)db.load_octets("c", key(k));
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!go.load()) {}
+    auto expr = xml::XPathExpr::compile("r");
+    for (int i = 0; i < kIters / 4; ++i) (void)db.query("c", expr);
+  });
+  go.store(true);
+  for (auto& t : threads) t.join();
+
+  // Coherence sweep: after removing a key, the cache must not serve it.
+  // Before the epoch guard a late load-side fill could leave a ghost
+  // entry that this load would return.
+  for (int k = 0; k < kKeys; ++k) {
+    db.remove("c", key(k));
+    EXPECT_EQ(db.load("c", key(k)), nullptr) << key(k);
+    EXPECT_EQ(db.load_octets("c", key(k)), nullptr) << key(k);
+    EXPECT_FALSE(db.contains("c", key(k))) << key(k);
+  }
 }
 
 }  // namespace
